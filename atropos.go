@@ -1,0 +1,156 @@
+// Package atropos is the public API of Atropos-Go, a reproduction of
+// "Repairing Serializability Bugs in Distributed Database Programs via
+// Automated Schema Refactoring" (PLDI 2021).
+//
+// Atropos takes a database program written in a small SQL-like DSL,
+// statically detects serializability anomalies that weak consistency
+// (eventual consistency, causal consistency, repeatable read) would admit,
+// and repairs them by refactoring the database schema — merging commands
+// after relocating fields between tables, and turning read-modify-write
+// counters into append-only logging tables — rather than by strengthening
+// consistency levels.
+//
+// Typical use:
+//
+//	prog, err := atropos.Parse(src)
+//	report, err := atropos.Analyze(prog, atropos.EC)
+//	result, err := atropos.Repair(prog, atropos.EC)
+//	fmt.Println(atropos.Format(result.Program))
+//
+// The package also exposes the evaluation substrate: the nine benchmark
+// programs of the paper's Table 1, the discrete-event geo-replicated
+// cluster simulator behind Figs. 12-15, and the experiment drivers that
+// regenerate every table and figure (see EXPERIMENTS.md).
+package atropos
+
+import (
+	"time"
+
+	"atropos/internal/anomaly"
+	"atropos/internal/ast"
+	"atropos/internal/benchmarks"
+	"atropos/internal/cluster"
+	"atropos/internal/core"
+	"atropos/internal/exp"
+	"atropos/internal/refactor"
+	"atropos/internal/repair"
+)
+
+// Program is a parsed, semantically checked database program.
+type Program = ast.Program
+
+// Model is the consistency model anomalies are detected under.
+type Model = anomaly.Model
+
+// Consistency models (Table 1's columns).
+const (
+	EC = anomaly.EC // eventual consistency
+	CC = anomaly.CC // causal consistency
+	RR = anomaly.RR // repeatable read
+	SC = anomaly.SC // serializability
+)
+
+// AnomalyReport is the static detector's output.
+type AnomalyReport = anomaly.Report
+
+// AccessPair is one anomalous access pair χ = (c1, f̄1, c2, f̄2).
+type AccessPair = anomaly.AccessPair
+
+// RepairResult carries the refactored program, the introduced value
+// correspondences, and the before/after anomaly sets.
+type RepairResult = repair.Result
+
+// ValueCorr is a value correspondence (R, R′, f, f′, θ, α).
+type ValueCorr = refactor.ValueCorr
+
+// Parse parses and semantically checks DSL source.
+func Parse(src string) (*Program, error) { return core.LoadProgram(src) }
+
+// Format renders a program back to DSL concrete syntax.
+func Format(p *Program) string { return ast.Format(p) }
+
+// Analyze runs the static anomaly oracle under the given model.
+func Analyze(p *Program, m Model) (*AnomalyReport, error) { return anomaly.Detect(p, m) }
+
+// Repair runs the full Atropos pipeline (Fig. 4): detect, preprocess,
+// refactor, post-process.
+func Repair(p *Program, m Model) (*RepairResult, error) { return repair.Repair(p, m) }
+
+// RepairTimed is Repair plus the total wall time (Table 1's Time column).
+func RepairTimed(p *Program, m Model) (*RepairResult, time.Duration, error) {
+	res, err := core.Run(p, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Repair, res.Elapsed, nil
+}
+
+// Benchmark is one of the paper's nine evaluation programs with its
+// workload mix and population generator.
+type Benchmark = benchmarks.Benchmark
+
+// Scale sizes a benchmark's population and key skew.
+type Scale = benchmarks.Scale
+
+// TableRow is one initial record of a benchmark population.
+type TableRow = benchmarks.TableRow
+
+// Benchmarks returns the evaluation corpus in Table 1 order.
+func Benchmarks() []*Benchmark { return benchmarks.All() }
+
+// BenchmarkByName looks up a benchmark ("SmallBank", "TPC-C", ...).
+func BenchmarkByName(name string) *Benchmark { return benchmarks.ByName(name) }
+
+// Cluster simulation (the paper's deployment substrate, Figs. 12-15).
+type (
+	// ClusterConfig describes one simulated deployment run.
+	ClusterConfig = cluster.Config
+	// ClusterResult is its measurement.
+	ClusterResult = cluster.Result
+	// Topology is the 3-replica network geometry.
+	Topology = cluster.Topology
+	// ClusterMode selects a deployment's consistency (EC / SC / AT-SC).
+	ClusterMode = cluster.Mode
+)
+
+// Deployment modes.
+const (
+	ModeEC   = cluster.ModeEC
+	ModeSC   = cluster.ModeSC
+	ModeATSC = cluster.ModeATSC
+)
+
+// The paper's three clusters.
+var (
+	VACluster     = cluster.VACluster
+	USCluster     = cluster.USCluster
+	GlobalCluster = cluster.GlobalCluster
+)
+
+// Simulate runs one deployment configuration.
+func Simulate(cfg ClusterConfig) (ClusterResult, error) { return cluster.Run(cfg) }
+
+// Experiment drivers (one per table/figure; see DESIGN.md §5).
+type (
+	// PerfConfig drives one Fig. 12-15 panel.
+	PerfConfig = exp.PerfConfig
+	// PerfResult holds its four measured curves.
+	PerfResult = exp.PerfResult
+	// Table1Row is one row of Table 1.
+	Table1Row = exp.Table1Row
+)
+
+// Table1 regenerates Table 1 over the given benchmarks.
+func Table1(benches []*Benchmark) ([]Table1Row, error) { return exp.Table1(benches) }
+
+// FormatTable1 renders Table 1 rows.
+func FormatTable1(rows []Table1Row) string { return exp.FormatTable1(rows) }
+
+// Perf runs one performance panel (a Fig. 12-15 subfigure).
+func Perf(cfg PerfConfig) (*PerfResult, error) { return exp.Perf(cfg) }
+
+// MigrateRows materializes a refactored program's initial state from the
+// original program's rows through the repair's value correspondences.
+func MigrateRows(orig, refactored *Program, corrs []ValueCorr, rows []benchmarks.TableRow) ([]benchmarks.TableRow, error) {
+	return exp.MigrateRows(orig, refactored, corrs, rows)
+}

@@ -1,0 +1,114 @@
+package atropos_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"atropos"
+)
+
+const quickstartSrc = `
+table T { id: int key, n: int, }
+txn bump(k: int, amt: int) {
+  x := select n from T where id = k;
+  update T set n = x.n + amt where id = k;
+}
+txn read(k: int) {
+  x := select n from T where id = k;
+  return x.n;
+}
+`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	prog, err := atropos.Parse(quickstartSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	report, err := atropos.Analyze(prog, atropos.EC)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if report.Count() == 0 {
+		t.Fatal("no anomalies found in the RMW program")
+	}
+	res, elapsed, err := atropos.RepairTimed(prog, atropos.EC)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if elapsed <= 0 {
+		t.Error("elapsed time not recorded")
+	}
+	if len(res.Remaining) != 0 {
+		t.Errorf("remaining anomalies: %v", res.Remaining)
+	}
+	out := atropos.Format(res.Program)
+	if !strings.Contains(out, "T_N_LOG") {
+		t.Errorf("repaired program lacks the logging table:\n%s", out)
+	}
+	// The output re-parses (Format emits valid DSL).
+	if _, err := atropos.Parse(out); err != nil {
+		t.Errorf("formatted output does not re-parse: %v", err)
+	}
+}
+
+func TestPublicAPIParseErrors(t *testing.T) {
+	if _, err := atropos.Parse("table T {"); err == nil {
+		t.Error("syntax error accepted")
+	}
+	if _, err := atropos.Parse("table T { n: int, }"); err == nil {
+		t.Error("schema without key accepted")
+	}
+}
+
+func TestPublicAPIBenchmarks(t *testing.T) {
+	all := atropos.Benchmarks()
+	if len(all) != 9 {
+		t.Fatalf("benchmarks = %d, want 9", len(all))
+	}
+	if atropos.BenchmarkByName("SmallBank") == nil {
+		t.Fatal("SmallBank missing")
+	}
+	if atropos.BenchmarkByName("bogus") != nil {
+		t.Fatal("unknown benchmark resolved")
+	}
+}
+
+func TestPublicAPISimulate(t *testing.T) {
+	bank := atropos.BenchmarkByName("SIBench")
+	prog, err := bank.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := atropos.Scale{Records: 20}
+	res, err := atropos.Simulate(atropos.ClusterConfig{
+		Program:  prog,
+		Mix:      bank.Mix,
+		Scale:    scale,
+		Rows:     bank.Rows(scale),
+		Topology: atropos.VACluster,
+		Clients:  8,
+		Duration: 2 * time.Second,
+		Seed:     1,
+		Mode:     atropos.ModeEC,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Committed == 0 {
+		t.Error("no transactions committed")
+	}
+}
+
+func TestPublicAPITable1(t *testing.T) {
+	rows, err := atropos.Table1([]*atropos.Benchmark{atropos.BenchmarkByName("SIBench")})
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(rows) != 1 || rows[0].EC != 1 || rows[0].AT != 0 {
+		t.Errorf("SIBench Table1 row = %+v", rows[0])
+	}
+	if out := atropos.FormatTable1(rows); !strings.Contains(out, "SIBench") {
+		t.Errorf("FormatTable1:\n%s", out)
+	}
+}

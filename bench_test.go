@@ -1,0 +1,143 @@
+// Benchmarks regenerating each table and figure of the paper (short
+// configurations; the full-scale runs are `atropos-exp`, see EXPERIMENTS.md
+// and DESIGN.md §5 for the experiment index).
+package atropos_test
+
+import (
+	"testing"
+	"time"
+
+	"atropos"
+	"atropos/internal/anomaly"
+	"atropos/internal/benchmarks"
+	"atropos/internal/cluster"
+	"atropos/internal/exp"
+	"atropos/internal/repair"
+)
+
+// --- Table 1: static analysis and repair per benchmark ---
+
+func benchTable1(b *testing.B, name string) {
+	bench := benchmarks.ByName(name)
+	prog, err := bench.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repair.Repair(prog, anomaly.EC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_TPCC(b *testing.B)       { benchTable1(b, "TPC-C") }
+func BenchmarkTable1_SEATS(b *testing.B)      { benchTable1(b, "SEATS") }
+func BenchmarkTable1_Courseware(b *testing.B) { benchTable1(b, "Courseware") }
+func BenchmarkTable1_SmallBank(b *testing.B)  { benchTable1(b, "SmallBank") }
+func BenchmarkTable1_Twitter(b *testing.B)    { benchTable1(b, "Twitter") }
+func BenchmarkTable1_FMKe(b *testing.B)       { benchTable1(b, "FMKe") }
+func BenchmarkTable1_SIBench(b *testing.B)    { benchTable1(b, "SIBench") }
+func BenchmarkTable1_Wikipedia(b *testing.B)  { benchTable1(b, "Wikipedia") }
+func BenchmarkTable1_Killrchat(b *testing.B)  { benchTable1(b, "Killrchat") }
+
+// --- Table 1's consistency-model columns (EC vs CC vs RR detection) ---
+
+func benchDetect(b *testing.B, model anomaly.Model) {
+	prog, err := benchmarks.SmallBank.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := anomaly.Detect(prog, model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetect_EC(b *testing.B) { benchDetect(b, anomaly.EC) }
+func BenchmarkDetect_CC(b *testing.B) { benchDetect(b, anomaly.CC) }
+func BenchmarkDetect_RR(b *testing.B) { benchDetect(b, anomaly.RR) }
+func BenchmarkDetect_SC(b *testing.B) { benchDetect(b, anomaly.SC) }
+
+// --- Figures 12-15: one simulated performance point per panel ---
+
+func benchPerfPoint(b *testing.B, benchName string, topo cluster.Topology) {
+	bench := benchmarks.ByName(benchName)
+	res, err := exp.Perf(exp.PerfConfig{
+		Benchmark:    bench,
+		Topology:     topo,
+		ClientCounts: []int{50},
+		Duration:     2 * time.Second,
+		Warmup:       200 * time.Millisecond,
+		Scale:        benchmarks.Scale{Records: 50},
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Perf(exp.PerfConfig{
+			Benchmark:    bench,
+			Topology:     topo,
+			ClientCounts: []int{50},
+			Duration:     2 * time.Second,
+			Warmup:       200 * time.Millisecond,
+			Scale:        benchmarks.Scale{Records: 50},
+			Seed:         int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12a_SmallBank_US(b *testing.B) { benchPerfPoint(b, "SmallBank", cluster.USCluster) }
+func BenchmarkFig12b_SEATS_US(b *testing.B)     { benchPerfPoint(b, "SEATS", cluster.USCluster) }
+func BenchmarkFig12c_TPCC_US(b *testing.B)      { benchPerfPoint(b, "TPC-C", cluster.USCluster) }
+
+func BenchmarkFig13_SmallBank_VA(b *testing.B) { benchPerfPoint(b, "SmallBank", cluster.VACluster) }
+func BenchmarkFig13_SmallBank_Global(b *testing.B) {
+	benchPerfPoint(b, "SmallBank", cluster.GlobalCluster)
+}
+func BenchmarkFig14_SEATS_VA(b *testing.B)     { benchPerfPoint(b, "SEATS", cluster.VACluster) }
+func BenchmarkFig14_SEATS_Global(b *testing.B) { benchPerfPoint(b, "SEATS", cluster.GlobalCluster) }
+func BenchmarkFig15_TPCC_VA(b *testing.B)      { benchPerfPoint(b, "TPC-C", cluster.VACluster) }
+func BenchmarkFig15_TPCC_Global(b *testing.B)  { benchPerfPoint(b, "TPC-C", cluster.GlobalCluster) }
+
+// --- Figure 16: one round of random refactoring vs Atropos ---
+
+func BenchmarkFig16_SmallBank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig16(benchmarks.SmallBank, 1, 10, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Appendix A.2: SmallBank invariants ---
+
+func BenchmarkInvariants_SmallBank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Invariants(10, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Public API end to end (quickstart path) ---
+
+func BenchmarkPublicAPIRepair(b *testing.B) {
+	prog, err := benchmarks.Courseware.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atropos.Repair(prog, atropos.EC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

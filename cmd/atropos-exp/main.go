@@ -1,0 +1,196 @@
+// Command atropos-exp regenerates the paper's tables and figures
+// (see DESIGN.md §5 for the experiment index).
+//
+// Usage:
+//
+//	atropos-exp -exp table1
+//	atropos-exp -exp fig12 [-bench SmallBank] [-duration 90]
+//	atropos-exp -exp fig13|fig14|fig15          # per-topology panels
+//	atropos-exp -exp fig16 [-rounds 20]
+//	atropos-exp -exp invariants
+//	atropos-exp -exp summary
+//	atropos-exp -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"atropos/internal/benchmarks"
+	"atropos/internal/cluster"
+	"atropos/internal/exp"
+)
+
+var (
+	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, all")
+	benchArg = flag.String("bench", "", "benchmark for fig12/fig16 (default: the figure's benchmarks)")
+	duration = flag.Int("duration", 90, "seconds of simulated time per performance point")
+	clients  = flag.String("clients", "", "comma-separated client counts (default: paper's sweep)")
+	rounds   = flag.Int("rounds", 20, "random-refactoring rounds for fig16")
+	seed     = flag.Int64("seed", 42, "random seed")
+	records  = flag.Int("records", 100, "benchmark population scale")
+)
+
+func main() {
+	flag.Parse()
+	switch *expName {
+	case "table1":
+		runTable1()
+	case "fig12":
+		runFig(12)
+	case "fig13":
+		runFig(13)
+	case "fig14":
+		runFig(14)
+	case "fig15":
+		runFig(15)
+	case "fig16":
+		runFig16()
+	case "invariants":
+		runInvariants()
+	case "summary":
+		runSummary()
+	case "all":
+		runTable1()
+		runFig(12)
+		runFig(13)
+		runFig(14)
+		runFig(15)
+		runFig16()
+		runInvariants()
+		runSummary()
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *expName))
+	}
+}
+
+func runTable1() {
+	fmt.Println("== Table 1: statically identified anomalous access pairs ==")
+	rows, err := exp.Table1(benchmarks.All())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(exp.FormatTable1(rows))
+	fmt.Println()
+}
+
+// figBenches returns the benchmarks of each performance figure.
+func figBenches(fig int) []*benchmarks.Benchmark {
+	switch fig {
+	case 12: // Fig. 12: SmallBank, SEATS, TPC-C on the US cluster
+		return []*benchmarks.Benchmark{benchmarks.SmallBank, benchmarks.SEATS, benchmarks.TPCC}
+	case 13:
+		return []*benchmarks.Benchmark{benchmarks.SmallBank}
+	case 14:
+		return []*benchmarks.Benchmark{benchmarks.SEATS}
+	default:
+		return []*benchmarks.Benchmark{benchmarks.TPCC}
+	}
+}
+
+func figTopologies(fig int) []cluster.Topology {
+	if fig == 12 {
+		return []cluster.Topology{cluster.USCluster}
+	}
+	return cluster.Topologies() // Figs. 13-15: VA, US, Global
+}
+
+func runFig(fig int) {
+	benches := figBenches(fig)
+	if *benchArg != "" {
+		b := benchmarks.ByName(*benchArg)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchArg))
+		}
+		benches = []*benchmarks.Benchmark{b}
+	}
+	fmt.Printf("== Figure %d: throughput and latency vs clients ==\n", fig)
+	for _, b := range benches {
+		for _, topo := range figTopologies(fig) {
+			res, err := exp.Perf(exp.PerfConfig{
+				Benchmark:    b,
+				Topology:     topo,
+				ClientCounts: clientCounts(b),
+				Duration:     time.Duration(*duration) * time.Second,
+				Scale:        benchmarks.Scale{Records: *records},
+				Seed:         *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(res.Format())
+			fmt.Println()
+		}
+	}
+}
+
+func clientCounts(b *benchmarks.Benchmark) []int {
+	if *clients != "" {
+		var out []int
+		for _, part := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -clients: %w", err))
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	// The paper sweeps to 250 clients for SmallBank, 125 for SEATS/TPC-C.
+	if b.Name == "SmallBank" {
+		return []int{10, 50, 100, 150, 200, 250}
+	}
+	return []int{10, 25, 50, 75, 100, 125}
+}
+
+func runFig16() {
+	fmt.Println("== Figure 16: random refactoring vs Atropos (App. A.3) ==")
+	benches := []*benchmarks.Benchmark{benchmarks.SmallBank, benchmarks.SEATS, benchmarks.TPCC}
+	if *benchArg != "" {
+		b := benchmarks.ByName(*benchArg)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchArg))
+		}
+		benches = []*benchmarks.Benchmark{b}
+	}
+	for _, b := range benches {
+		res, err := exp.Fig16(b, *rounds, 10, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Println()
+	}
+}
+
+func runInvariants() {
+	fmt.Println("== SmallBank application-level invariants (§7.1, App. A.2) ==")
+	res, err := exp.Invariants(60, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Format())
+	fmt.Println()
+}
+
+func runSummary() {
+	fmt.Println("== Headline aggregates ==")
+	t1, err := exp.Table1(benchmarks.All())
+	if err != nil {
+		fatal(err)
+	}
+	s, err := exp.Summary(t1, 150, time.Duration(*duration)*time.Second, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(s.Format())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atropos-exp:", err)
+	os.Exit(1)
+}

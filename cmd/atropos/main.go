@@ -1,0 +1,125 @@
+// Command atropos analyzes and repairs a database program: it reports the
+// anomalous access pairs found under a consistency model and prints the
+// refactored program.
+//
+// Usage:
+//
+//	atropos [flags] program.dsl     # analyze + repair a DSL file
+//	atropos [flags] -bench SmallBank
+//
+// Flags:
+//
+//	-model EC|CC|RR|SC   consistency model (default EC)
+//	-analyze             only detect anomalies, do not repair
+//	-steps               print the refactoring steps applied
+//	-bench NAME          use a built-in benchmark instead of a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atropos"
+)
+
+func main() {
+	model := flag.String("model", "EC", "consistency model: EC, CC, RR, or SC")
+	analyzeOnly := flag.Bool("analyze", false, "only detect anomalies")
+	showSteps := flag.Bool("steps", false, "print refactoring steps")
+	benchName := flag.String("bench", "", "built-in benchmark name (SmallBank, TPC-C, ...)")
+	outPath := flag.String("out", "", "write the refactored program to this file instead of stdout")
+	flag.Parse()
+
+	m, err := parseModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	prog, name, err := loadInput(*benchName, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *analyzeOnly {
+		report, err := atropos.Analyze(prog, m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d anomalous access pairs under %s\n", name, report.Count(), m)
+		for _, p := range report.Pairs {
+			fmt.Printf("  %s\n", p)
+		}
+		return
+	}
+
+	res, elapsed, err := atropos.RepairTimed(prog, m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d anomalies under %s, %d remaining after repair (%.1fs)\n",
+		name, len(res.Initial), m, len(res.Remaining), elapsed.Seconds())
+	if *showSteps {
+		fmt.Println("steps:")
+		for _, s := range res.Steps {
+			fmt.Printf("  %s\n", s)
+		}
+	}
+	if len(res.Remaining) > 0 {
+		fmt.Printf("transactions still requiring SC: %s\n", strings.Join(res.SerializableTxns, ", "))
+	}
+	text := atropos.Format(res.Program)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("refactored program written to %s\n", *outPath)
+		return
+	}
+	fmt.Println("\n-- refactored program --")
+	fmt.Println(text)
+}
+
+func parseModel(s string) (atropos.Model, error) {
+	switch strings.ToUpper(s) {
+	case "EC":
+		return atropos.EC, nil
+	case "CC":
+		return atropos.CC, nil
+	case "RR":
+		return atropos.RR, nil
+	case "SC":
+		return atropos.SC, nil
+	default:
+		return atropos.EC, fmt.Errorf("unknown model %q (want EC, CC, RR, or SC)", s)
+	}
+}
+
+func loadInput(benchName string, args []string) (*atropos.Program, string, error) {
+	if benchName != "" {
+		b := atropos.BenchmarkByName(benchName)
+		if b == nil {
+			var names []string
+			for _, bb := range atropos.Benchmarks() {
+				names = append(names, bb.Name)
+			}
+			return nil, "", fmt.Errorf("unknown benchmark %q (have: %s)", benchName, strings.Join(names, ", "))
+		}
+		p, err := b.Program()
+		return p, b.Name, err
+	}
+	if len(args) != 1 {
+		return nil, "", fmt.Errorf("usage: atropos [flags] program.dsl (or -bench NAME)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, "", err
+	}
+	p, err := atropos.Parse(string(src))
+	return p, args[0], err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atropos:", err)
+	os.Exit(1)
+}

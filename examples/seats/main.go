@@ -1,0 +1,60 @@
+// SEATS: repair the airline-ticketing benchmark and sweep client counts on
+// the globally distributed cluster — the regime where coordination is most
+// expensive and schema refactoring buys the most (the paper's Fig. 14,
+// right panel).
+//
+// Run with: go run ./examples/seats
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"atropos"
+)
+
+func main() {
+	seats := atropos.BenchmarkByName("SEATS")
+	prog, err := seats.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := atropos.Repair(prog, atropos.EC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SEATS: %d anomalies under EC, %d remain after repair\n",
+		len(result.Initial), len(result.Remaining))
+	fmt.Printf("transactions still needing SC: %v\n\n", result.SerializableTxns)
+
+	res, err := atropos.Perf(atropos.PerfConfig{
+		Benchmark:    seats,
+		Topology:     atropos.GlobalCluster,
+		ClientCounts: []int{10, 50, 100},
+		Duration:     10 * time.Second,
+		Scale:        atropos.Scale{Records: 100},
+		Seed:         7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+
+	// The headline comparison: the safe deployment (AT-SC) versus
+	// serializing everything (SC).
+	var sc, atsc float64
+	for _, s := range res.Series {
+		n := len(s.Points) - 1
+		switch s.Label {
+		case "SC":
+			sc = s.Points[n].Throughput
+		case "AT-SC":
+			atsc = s.Points[n].Throughput
+		}
+	}
+	if sc > 0 {
+		fmt.Printf("\nAT-SC over SC at peak load: %+.0f%% throughput\n", 100*(atsc-sc)/sc)
+	}
+}

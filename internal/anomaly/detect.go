@@ -1,0 +1,543 @@
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+
+	"atropos/internal/ast"
+	"atropos/internal/logic"
+)
+
+// cmdInst is one command of one of the two instantiated transaction
+// instances (A = instance 0, B = instance 1).
+type cmdInst struct {
+	idx    int
+	inst   int
+	cmd    ast.DBCommand
+	label  string
+	table  string
+	reads  map[string]bool
+	writes map[string]bool
+	key    keyConstraint
+	writer bool
+	reader bool
+}
+
+// Detect runs the oracle over every transaction of the program under the
+// given consistency model.
+func Detect(prog *ast.Program, model Model) (*Report, error) {
+	d := &detector{prog: prog, model: model, encoders: map[[2]string]*pairEncoder{}}
+	report := &Report{Model: model}
+	for _, t := range prog.Txns {
+		pairs, err := d.detectTxn(t)
+		if err != nil {
+			return nil, err
+		}
+		report.Pairs = append(report.Pairs, pairs...)
+	}
+	report.Queries = d.queries
+	return report, nil
+}
+
+type detector struct {
+	prog     *ast.Program
+	model    Model
+	encoders map[[2]string]*pairEncoder
+	queries  int
+}
+
+// detectTxn finds the anomalous access pairs of transaction t: for each
+// pair of distinct commands (c1, c2), search over witness transactions and
+// witness command pairs for a satisfiable dependency cycle.
+func (d *detector) detectTxn(t *ast.Txn) ([]AccessPair, error) {
+	cmds := ast.Commands(t.Body)
+	var found []AccessPair
+	for i := 0; i < len(cmds); i++ {
+		for j := i + 1; j < len(cmds); j++ {
+			pair, ok, err := d.checkPair(t, i, j)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				found = append(found, pair)
+			}
+		}
+	}
+	return found, nil
+}
+
+func (d *detector) checkPair(t *ast.Txn, i, j int) (AccessPair, bool, error) {
+	for _, w := range d.prog.Txns {
+		enc, err := d.encoderFor(t, w)
+		if err != nil {
+			return AccessPair{}, false, err
+		}
+		c1 := enc.items[i]
+		c2 := enc.items[j]
+		for _, d1 := range enc.items[enc.nA:] {
+			for _, d2 := range enc.items[enc.nA:] {
+				// Orientation 1: A.c1 → B.d1, B.d2 → A.c2.
+				if enc.hasDep(c1, d1) && enc.hasDep(d2, c2) {
+					d.queries++
+					if enc.solveCycle(c1, d1, d2, c2) {
+						return enc.buildPair(t.Name, w.Name, c1, c2, d1, d2, false), true, nil
+					}
+				}
+				// Orientation 2: B.d1 → A.c1, A.c2 → B.d2.
+				if enc.hasDep(d1, c1) && enc.hasDep(c2, d2) {
+					d.queries++
+					if enc.solveCycle(d1, c1, c2, d2) {
+						return enc.buildPair(t.Name, w.Name, c1, c2, d1, d2, true), true, nil
+					}
+				}
+			}
+		}
+	}
+	return AccessPair{}, false, nil
+}
+
+func (d *detector) encoderFor(t, w *ast.Txn) (*pairEncoder, error) {
+	key := [2]string{t.Name, w.Name}
+	if enc, ok := d.encoders[key]; ok {
+		return enc, nil
+	}
+	enc, err := newPairEncoder(d.prog, t, w, d.model)
+	if err != nil {
+		return nil, err
+	}
+	d.encoders[key] = enc
+	return enc, nil
+}
+
+// pairEncoder holds the SAT encoding for one (T, T') transaction pair.
+type pairEncoder struct {
+	enc   *logic.Encoder
+	items []*cmdInst // A's commands then B's commands
+	nA    int
+	// deps[x][y] true when a dep(x→y) proposition was defined.
+	deps map[int]map[int]bool
+	// edgeNames[x][y] lists the per-field edge propositions behind dep(x→y).
+	edgeNames map[int]map[int][]edgeProp
+}
+
+type edgeProp struct {
+	name  string
+	kind  EdgeKind
+	field string
+}
+
+func ordName(i, j int) string { return fmt.Sprintf("o_%d_%d", i, j) }
+func visName(i, j int) string { return fmt.Sprintf("v_%d_%d", i, j) }
+func coName(i, j int) string  { return fmt.Sprintf("co_%d_%d", i, j) }
+func depName(i, j int) string { return fmt.Sprintf("dep_%d_%d", i, j) }
+
+func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model) (*pairEncoder, error) {
+	pe := &pairEncoder{
+		enc:       logic.NewEncoder(),
+		deps:      map[int]map[int]bool{},
+		edgeNames: map[int]map[int][]edgeProp{},
+	}
+	build := func(txn *ast.Txn, inst int) error {
+		for ci, c := range ast.Commands(txn.Body) {
+			schema := prog.Schema(c.TableName())
+			if schema == nil {
+				return fmt.Errorf("anomaly: %s.%s: unknown table %q", txn.Name, c.CmdLabel(), c.TableName())
+			}
+			acc := ast.CommandAccess(c, schema)
+			item := &cmdInst{
+				idx:    len(pe.items),
+				inst:   inst,
+				cmd:    c,
+				label:  c.CmdLabel(),
+				table:  c.TableName(),
+				reads:  map[string]bool{},
+				writes: map[string]bool{},
+				key:    extractKey(c, schema, inst, ci),
+			}
+			for _, f := range acc.Reads {
+				item.reads[f] = true
+			}
+			for _, f := range acc.Writes {
+				item.writes[f] = true
+			}
+			// Selects and updates implicitly read the presence field: they
+			// filter on alive records, so inserts conflict with them
+			// (phantom dependencies).
+			switch c.(type) {
+			case *ast.Select, *ast.Update:
+				item.reads[ast.AliveField] = true
+			}
+			item.writer = len(item.writes) > 0
+			item.reader = len(item.reads) > 0
+			pe.items = append(pe.items, item)
+		}
+		return nil
+	}
+	if err := build(t, 0); err != nil {
+		return nil, err
+	}
+	pe.nA = len(pe.items)
+	if err := build(w, 1); err != nil {
+		return nil, err
+	}
+
+	n := len(pe.items)
+	// Axiom: ord is a strict total order (the execution counter).
+	pe.enc.AssertStrictTotalOrder(n, ordName)
+	// Axiom: program order within each instance.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pe.items[i].inst == pe.items[j].inst {
+				pe.enc.Assert(logic.P(ordName(i, j)))
+			}
+		}
+	}
+	// Axiom: vis ⊆ ord for every cross-instance writer pair.
+	for _, x := range pe.items {
+		if !x.writer {
+			continue
+		}
+		for _, y := range pe.items {
+			if y.inst == x.inst {
+				continue
+			}
+			pe.enc.Assert(logic.ImpliesF(logic.P(visName(x.idx, y.idx)), logic.P(ordName(x.idx, y.idx))))
+		}
+	}
+
+	pe.assertTermCongruence()
+	pe.defineEdges()
+	pe.assertModelAxioms(model)
+	return pe, nil
+}
+
+// eqPropName returns the canonical equality proposition name for two terms
+// of one sort (table, primary-key field).
+func eqPropName(table, field string, a, b term) string {
+	if b.id < a.id {
+		a, b = b, a
+	}
+	return fmt.Sprintf("eq_%s_%s_%s=%s", table, field, a.id, b.id)
+}
+
+// eqFormula returns the formula for term equality within a sort.
+func eqFormula(table, field string, a, b term) logic.Formula {
+	switch decideEq(a, b) {
+	case eqTrue:
+		return logic.True
+	case eqFalse:
+		return logic.False
+	default:
+		return logic.P(eqPropName(table, field, a, b))
+	}
+}
+
+// assertTermCongruence adds transitivity over the free equality atoms of
+// each (table, field) sort.
+func (pe *pairEncoder) assertTermCongruence() {
+	sorts := map[[2]string]map[string]term{}
+	for _, it := range pe.items {
+		for f, tm := range it.key {
+			key := [2]string{it.table, f}
+			if sorts[key] == nil {
+				sorts[key] = map[string]term{}
+			}
+			sorts[key][tm.id] = tm
+		}
+	}
+	for key, termSet := range sorts {
+		ids := make([]string, 0, len(termSet))
+		for id := range termSet {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		terms := make([]term, len(ids))
+		for i, id := range ids {
+			terms[i] = termSet[id]
+		}
+		for a := 0; a < len(terms); a++ {
+			for b := 0; b < len(terms); b++ {
+				if b == a {
+					continue
+				}
+				for c := 0; c < len(terms); c++ {
+					if c == a || c == b {
+						continue
+					}
+					pe.enc.Assert(logic.ImpliesF(
+						logic.AndF(
+							eqFormula(key[0], key[1], terms[a], terms[b]),
+							eqFormula(key[0], key[1], terms[b], terms[c]),
+						),
+						eqFormula(key[0], key[1], terms[a], terms[c]),
+					))
+				}
+			}
+		}
+	}
+}
+
+// aliasFormula is satisfiable when x and y may access a common record:
+// every primary-key field pinned by both must pin equal values.
+func (pe *pairEncoder) aliasFormula(x, y *cmdInst) logic.Formula {
+	if x.table != y.table {
+		return logic.False
+	}
+	var conj []logic.Formula
+	for f, tx := range x.key {
+		if ty, ok := y.key[f]; ok {
+			conj = append(conj, eqFormula(x.table, f, tx, ty))
+		}
+	}
+	return logic.AndF(conj...)
+}
+
+// defineEdges introduces the per-field dependency-edge propositions and the
+// aggregated dep(x→y) propositions for cross-instance command pairs.
+func (pe *pairEncoder) defineEdges() {
+	for _, x := range pe.items {
+		for _, y := range pe.items {
+			if x.inst == y.inst {
+				continue
+			}
+			if x.table != y.table || mustDiffer(x.key, y.key) {
+				continue
+			}
+			alias := pe.aliasFormula(x, y)
+			var props []edgeProp
+			var defs []logic.Formula
+			addEdge := func(kind EdgeKind, field string, cond logic.Formula) {
+				name := fmt.Sprintf("e_%s_%d_%d_%s", kind, x.idx, y.idx, field)
+				pe.enc.Assert(logic.IffF(logic.P(name), logic.AndF(alias, cond)))
+				props = append(props, edgeProp{name: name, kind: kind, field: field})
+				defs = append(defs, logic.P(name))
+			}
+			for f := range x.writes {
+				if y.reads[f] {
+					// wr: y's local view contains x's write of f.
+					addEdge(EdgeWR, f, logic.P(visName(x.idx, y.idx)))
+				}
+				if y.writes[f] {
+					// ww: y's write of f follows x's in arbitration order.
+					addEdge(EdgeWW, f, logic.P(ordName(x.idx, y.idx)))
+				}
+			}
+			for f := range x.reads {
+				if y.writes[f] {
+					// rw: x read a version of f that does not include y's
+					// write (anti-dependency).
+					addEdge(EdgeRW, f, logic.NotF(logic.P(visName(y.idx, x.idx))))
+				}
+			}
+			if len(props) == 0 {
+				continue
+			}
+			pe.enc.Assert(logic.IffF(logic.P(depName(x.idx, y.idx)), logic.OrF(defs...)))
+			if pe.deps[x.idx] == nil {
+				pe.deps[x.idx] = map[int]bool{}
+			}
+			pe.deps[x.idx][y.idx] = true
+			if pe.edgeNames[x.idx] == nil {
+				pe.edgeNames[x.idx] = map[int][]edgeProp{}
+			}
+			pe.edgeNames[x.idx][y.idx] = props
+		}
+	}
+}
+
+// assertModelAxioms adds the per-consistency-model visibility axioms.
+func (pe *pairEncoder) assertModelAxioms(model Model) {
+	n := len(pe.items)
+	switch model {
+	case EC:
+		// Eventual consistency constrains nothing further: local views are
+		// arbitrary subsets of committed batches (ConstructView).
+	case CC:
+		// co is the happens-before relation: program order ∪ vis, closed
+		// transitively, consistent with arbitration order.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				x, y := pe.items[i], pe.items[j]
+				if x.inst == y.inst && i < j {
+					pe.enc.Assert(logic.P(coName(i, j)))
+				}
+				if x.writer && y.inst != x.inst {
+					pe.enc.Assert(logic.ImpliesF(logic.P(visName(i, j)), logic.P(coName(i, j))))
+				}
+				pe.enc.Assert(logic.ImpliesF(logic.P(coName(i, j)), logic.P(ordName(i, j))))
+			}
+		}
+		pe.enc.AssertTransitive(n, coName)
+		// Causal delivery: a view containing w2 contains every write w1
+		// happening-before w2.
+		for _, w1 := range pe.items {
+			if !w1.writer {
+				continue
+			}
+			for _, w2 := range pe.items {
+				if !w2.writer || w2.idx == w1.idx {
+					continue
+				}
+				for _, y := range pe.items {
+					if y.inst == w1.inst || y.inst == w2.inst {
+						continue
+					}
+					pe.enc.Assert(logic.ImpliesF(
+						logic.AndF(logic.P(coName(w1.idx, w2.idx)), logic.P(visName(w2.idx, y.idx))),
+						logic.P(visName(w1.idx, y.idx)),
+					))
+				}
+			}
+		}
+	case RR:
+		// Repeatable read (paper §7.1): results of a newly committed
+		// transaction do not become visible to an executing transaction
+		// that has already read its state — i.e., all of a transaction's
+		// commands observe one stable snapshot per foreign write. (The
+		// writer's own commands need not become visible together: RR gives
+		// the reader snapshot stability, not writer atomicity, which is
+		// why it removes only reader-side pairs — the paper measured
+		// 5–16% reductions on three benchmarks.)
+		for _, w := range pe.items {
+			if !w.writer {
+				continue
+			}
+			for _, y := range pe.items {
+				if y.inst == w.inst {
+					continue
+				}
+				for _, y2 := range pe.items {
+					if y2.inst != y.inst || y2.idx <= y.idx {
+						continue
+					}
+					pe.enc.Assert(logic.IffF(
+						logic.P(visName(w.idx, y.idx)),
+						logic.P(visName(w.idx, y2.idx)),
+					))
+				}
+			}
+		}
+	case SC:
+		// Strong atomicity: arbitration order implies visibility, and all
+		// of a transaction's writes become visible together. Strong
+		// isolation: views do not grow mid-transaction (§3.2).
+		for _, x := range pe.items {
+			if !x.writer {
+				continue
+			}
+			for _, y := range pe.items {
+				if y.inst == x.inst {
+					continue
+				}
+				pe.enc.Assert(logic.ImpliesF(logic.P(ordName(x.idx, y.idx)), logic.P(visName(x.idx, y.idx))))
+			}
+			for _, x2 := range pe.items {
+				if !x2.writer || x2.inst != x.inst || x2.idx <= x.idx {
+					continue
+				}
+				for _, y := range pe.items {
+					if y.inst == x.inst {
+						continue
+					}
+					pe.enc.Assert(logic.IffF(logic.P(visName(x.idx, y.idx)), logic.P(visName(x2.idx, y.idx))))
+				}
+			}
+		}
+		for _, y := range pe.items {
+			for _, y2 := range pe.items {
+				if y2.inst != y.inst || y2.idx <= y.idx {
+					continue
+				}
+				for _, w := range pe.items {
+					if !w.writer || w.inst == y.inst {
+						continue
+					}
+					pe.enc.Assert(logic.ImpliesF(logic.P(visName(w.idx, y2.idx)), logic.P(visName(w.idx, y.idx))))
+				}
+			}
+		}
+	}
+}
+
+// hasDep reports whether a dep(x→y) proposition exists (some statically
+// possible conflict).
+func (pe *pairEncoder) hasDep(x, y *cmdInst) bool { return pe.deps[x.idx][y.idx] }
+
+// solveCycle checks satisfiability of dep(from1→to1) ∧ dep(from2→to2)
+// under the encoder's axioms.
+func (pe *pairEncoder) solveCycle(from1, to1, from2, to2 *cmdInst) bool {
+	a1 := pe.enc.Lit(depName(from1.idx, to1.idx), false)
+	a2 := pe.enc.Lit(depName(from2.idx, to2.idx), false)
+	return pe.enc.SolveAssuming(a1, a2)
+}
+
+// buildPair assembles the reported access pair from the SAT model:
+// the involved fields are read off the true edge propositions.
+func (pe *pairEncoder) buildPair(txn, witness string, c1, c2, d1, d2 *cmdInst, reversed bool) AccessPair {
+	edge1From, edge1To := c1, d1
+	edge2From, edge2To := d2, c2
+	if reversed {
+		edge1From, edge1To = d1, c1
+		edge2From, edge2To = c2, d2
+	}
+	k1, f1 := pe.modelEdge(edge1From, edge1To)
+	k2, f2 := pe.modelEdge(edge2From, edge2To)
+	// Report the fields belonging to c1 and c2 respectively.
+	pair := AccessPair{
+		Txn: txn,
+		C1:  c1.label, F1: f1,
+		C2: c2.label, F2: f2,
+		Witness: Witness{Txn: witness, D1: d1.label, D2: d2.label, Edge1: k1, Edge2: k2},
+	}
+	pair.Kind = classify(c1, c2, f1, f2)
+	return pair
+}
+
+// modelEdge returns the kind and fields of the true edge propositions for
+// (x→y) in the current model.
+func (pe *pairEncoder) modelEdge(x, y *cmdInst) (EdgeKind, []string) {
+	var kind EdgeKind
+	var fields []string
+	for _, ep := range pe.edgeNames[x.idx][y.idx] {
+		if pe.enc.Value(ep.name) {
+			kind = ep.kind
+			fields = append(fields, ep.field)
+		}
+	}
+	sort.Strings(fields)
+	return kind, dedup(fields)
+}
+
+func dedup(xs []string) []string {
+	out := xs[:0:0]
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// classify names the anomaly per the Fig. 2 taxonomy.
+func classify(c1, c2 *cmdInst, f1, f2 []string) Kind {
+	_, c1Sel := c1.cmd.(*ast.Select)
+	_, c2Sel := c2.cmd.(*ast.Select)
+	switch {
+	case c1Sel && c2Sel:
+		return KindNonRepeatableRead
+	case !c1Sel && !c2Sel:
+		return KindDirtyRead
+	default:
+		for _, a := range f1 {
+			for _, b := range f2 {
+				if a == b {
+					return KindLostUpdate
+				}
+			}
+		}
+		return KindWriteSkew
+	}
+}

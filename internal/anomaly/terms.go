@@ -1,0 +1,133 @@
+package anomaly
+
+import (
+	"fmt"
+
+	"atropos/internal/ast"
+)
+
+// This file implements the record-aliasing analysis: each command's where
+// clause (or insert value list) is abstracted into symbolic terms pinning
+// the target table's primary-key fields. Whether two commands may access a
+// common record reduces to satisfiability of equalities between these
+// terms: constants decide immediately, uuid() terms are globally fresh
+// (never equal to anything), and everything else becomes a free equality
+// atom subject to congruence (symmetry by canonical naming, transitivity
+// asserted per sort).
+
+type termKind int
+
+const (
+	termConst termKind = iota
+	termUUID
+	termExpr // argument or arbitrary expression: value chosen by execution
+)
+
+// term is a symbolic primary-key constraint value.
+type term struct {
+	kind termKind
+	// id is the canonical identity: equal ids denote equal runtime values.
+	// For termExpr it includes the owning instance so the same expression
+	// in different transaction instances yields distinct terms.
+	id string
+}
+
+// termOf abstracts the expression pinning a primary-key field. inst
+// distinguishes the two transaction instances; cmdIdx makes uuid() terms
+// unique per command instance.
+func termOf(e ast.Expr, inst, cmdIdx int) term {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return term{kind: termConst, id: fmt.Sprintf("ci%d", x.Val)}
+	case *ast.BoolLit:
+		return term{kind: termConst, id: fmt.Sprintf("cb%t", x.Val)}
+	case *ast.StringLit:
+		return term{kind: termConst, id: "cs" + x.Val}
+	case *ast.UUID:
+		return term{kind: termUUID, id: fmt.Sprintf("u%d_%d", inst, cmdIdx)}
+	default:
+		// Arguments, at-accesses, arithmetic: identical expressions within
+		// one instance evaluate to the same value (the DSL is deterministic
+		// given views), so canonicalize by printed form + instance.
+		return term{kind: termExpr, id: fmt.Sprintf("e%d_%s", inst, ast.ExprString(e))}
+	}
+}
+
+// eqStatus is the decidable part of term equality.
+type eqStatus int
+
+const (
+	eqUnknown eqStatus = iota
+	eqTrue
+	eqFalse
+)
+
+// decideEq returns whether two terms are definitely equal, definitely
+// unequal, or execution-dependent.
+func decideEq(a, b term) eqStatus {
+	if a.id == b.id {
+		return eqTrue
+	}
+	if a.kind == termUUID || b.kind == termUUID {
+		// uuid() values are globally fresh: unequal to every other value.
+		return eqFalse
+	}
+	if a.kind == termConst && b.kind == termConst {
+		return eqFalse // distinct ids ⇒ distinct constants
+	}
+	return eqUnknown
+}
+
+// keyConstraint maps a table's primary-key field names to the term pinning
+// them; unconstrained fields are absent (the command may range over that
+// dimension).
+type keyConstraint map[string]term
+
+// extractKey computes the key constraint of a database command. For
+// selects/updates it uses the equality conjuncts of the where clause (other
+// shapes leave fields unconstrained — a conservative over-approximation);
+// for inserts it uses the value list (inserts always pin the full key).
+func extractKey(c ast.DBCommand, schema *ast.Schema, inst, cmdIdx int) keyConstraint {
+	kc := keyConstraint{}
+	pk := map[string]bool{}
+	for _, f := range schema.PrimaryKey() {
+		pk[f.Name] = true
+	}
+	switch x := c.(type) {
+	case *ast.Select:
+		if eqs, ok := ast.WhereEqualities(x.Where); ok {
+			for _, q := range eqs {
+				if pk[q.Field] {
+					kc[q.Field] = termOf(q.Expr, inst, cmdIdx)
+				}
+			}
+		}
+	case *ast.Update:
+		if eqs, ok := ast.WhereEqualities(x.Where); ok {
+			for _, q := range eqs {
+				if pk[q.Field] {
+					kc[q.Field] = termOf(q.Expr, inst, cmdIdx)
+				}
+			}
+		}
+	case *ast.Insert:
+		for _, a := range x.Values {
+			if pk[a.Field] {
+				kc[a.Field] = termOf(a.Expr, inst, cmdIdx)
+			}
+		}
+	}
+	return kc
+}
+
+// mustDiffer reports whether two commands on the same table can never
+// access a common record: some primary-key field is pinned by both to
+// definitely-unequal terms.
+func mustDiffer(a, b keyConstraint) bool {
+	for f, ta := range a {
+		if tb, ok := b[f]; ok && decideEq(ta, tb) == eqFalse {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,395 @@
+// Package ast defines the abstract syntax of the database-program DSL from
+// the paper's Figure 5: programs are a set of relational schemas plus a set
+// of named transactions whose bodies are sequences of SELECT/UPDATE/INSERT
+// commands and control commands (if, iterate).
+//
+// Every schema implicitly contains a boolean field named Alive ("alive")
+// which models row presence; INSERT and DELETE are definable in terms of
+// updates to it (paper §3). Commands carry stable labels (S1, U1, ...)
+// assigned by the parser and used in anomaly reports.
+package ast
+
+import "fmt"
+
+// AliveField is the name of the implicit presence field carried by every
+// schema (paper §3: "Every schema includes a special Boolean field, alive").
+const AliveField = "alive"
+
+// LogIDField is the reserved primary-key suffix field introduced on logging
+// schemas by the logger refactoring rule (paper §4.2.2).
+const LogIDField = "log_id"
+
+// Type is the type of a field, parameter, or expression.
+type Type int
+
+// The DSL's value types.
+const (
+	TInvalid Type = iota
+	TInt
+	TBool
+	TString
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TBool:
+		return "bool"
+	case TString:
+		return "string"
+	default:
+		return "invalid"
+	}
+}
+
+// Program is a database program P = (R̄, T̄): schemas plus transactions.
+type Program struct {
+	Schemas []*Schema
+	Txns    []*Txn
+}
+
+// Schema returns the schema with the given name, or nil.
+func (p *Program) Schema(name string) *Schema {
+	for _, s := range p.Schemas {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Txn returns the transaction with the given name, or nil.
+func (p *Program) Txn(name string) *Txn {
+	for _, t := range p.Txns {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Schema is a named relation schema ρ : f̄ with a non-empty primary key.
+type Schema struct {
+	Name   string
+	Fields []*Field
+}
+
+// Field returns the field with the given name, or nil. The implicit alive
+// field is visible through this accessor.
+func (s *Schema) Field(name string) *Field {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	if name == AliveField {
+		return aliveField
+	}
+	return nil
+}
+
+var aliveField = &Field{Name: AliveField, Type: TBool}
+
+// HasField reports whether the schema declares the field (or it is alive).
+func (s *Schema) HasField(name string) bool { return s.Field(name) != nil }
+
+// PrimaryKey returns the fields marked as primary key, in declaration order.
+func (s *Schema) PrimaryKey() []*Field {
+	var pk []*Field
+	for _, f := range s.Fields {
+		if f.PK {
+			pk = append(pk, f)
+		}
+	}
+	return pk
+}
+
+// NonKeyFields returns the declared fields that are not part of the key.
+func (s *Schema) NonKeyFields() []*Field {
+	var out []*Field
+	for _, f := range s.Fields {
+		if !f.PK {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Field is a single schema field; PK marks primary-key membership.
+type Field struct {
+	Name string
+	Type Type
+	PK   bool
+}
+
+// Txn is a named transaction t(ā){c̄; return e}.
+type Txn struct {
+	Name   string
+	Params []*Param
+	Body   []Stmt
+	Ret    Expr // nil when the transaction returns nothing
+}
+
+// Param returns the parameter with the given name, or nil.
+func (t *Txn) Param(name string) *Param {
+	for _, p := range t.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Param is a typed transaction argument.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Stmt is a statement: a database command or a control command.
+type Stmt interface {
+	isStmt()
+}
+
+// DBCommand is implemented by the three database commands (SELECT, UPDATE,
+// INSERT); control commands do not implement it.
+type DBCommand interface {
+	Stmt
+	// CmdLabel returns the stable label (S1, U1, ...) of the command.
+	CmdLabel() string
+	// SetCmdLabel updates the stable label.
+	SetCmdLabel(string)
+	// TableName returns the table the command operates on.
+	TableName() string
+}
+
+// Select is x := SELECT f̄ FROM R WHERE φ. Star selects all fields.
+type Select struct {
+	Label  string
+	Var    string
+	Star   bool
+	Fields []string
+	Table  string
+	Where  Expr
+}
+
+// Update is UPDATE R SET f̄ = ē WHERE φ.
+type Update struct {
+	Label string
+	Table string
+	Sets  []Assign
+	Where Expr
+}
+
+// Insert is INSERT INTO R VALUES (f̄ = ē). Per paper §3 it is sugar for an
+// update that sets alive = true on a fresh primary key; the interpreter and
+// the refactoring engine treat it as an atomic whole-record write.
+type Insert struct {
+	Label  string
+	Table  string
+	Values []Assign
+}
+
+// Assign pairs a field name with the expression assigned to it.
+type Assign struct {
+	Field string
+	Expr  Expr
+}
+
+// If is if(e){c̄}.
+type If struct {
+	Cond Expr
+	Then []Stmt
+}
+
+// Iterate is iterate(e){c̄}: run the body e times; the current index is
+// available inside the body as the iter expression.
+type Iterate struct {
+	Count Expr
+	Body  []Stmt
+}
+
+// Skip is the no-op statement.
+type Skip struct{}
+
+func (*Select) isStmt()  {}
+func (*Update) isStmt()  {}
+func (*Insert) isStmt()  {}
+func (*If) isStmt()      {}
+func (*Iterate) isStmt() {}
+func (*Skip) isStmt()    {}
+
+// CmdLabel implements DBCommand.
+func (s *Select) CmdLabel() string { return s.Label }
+
+// SetCmdLabel implements DBCommand.
+func (s *Select) SetCmdLabel(l string) { s.Label = l }
+
+// TableName implements DBCommand.
+func (s *Select) TableName() string { return s.Table }
+
+// CmdLabel implements DBCommand.
+func (u *Update) CmdLabel() string { return u.Label }
+
+// SetCmdLabel implements DBCommand.
+func (u *Update) SetCmdLabel(l string) { u.Label = l }
+
+// TableName implements DBCommand.
+func (u *Update) TableName() string { return u.Table }
+
+// CmdLabel implements DBCommand.
+func (i *Insert) CmdLabel() string { return i.Label }
+
+// SetCmdLabel implements DBCommand.
+func (i *Insert) SetCmdLabel(l string) { i.Label = l }
+
+// TableName implements DBCommand.
+func (i *Insert) TableName() string { return i.Table }
+
+// Expr is an expression (paper Fig. 5 e / φ productions).
+type Expr interface {
+	isExpr()
+}
+
+// IntLit is an integer constant.
+type IntLit struct{ Val int64 }
+
+// BoolLit is a boolean constant.
+type BoolLit struct{ Val bool }
+
+// StringLit is a string constant.
+type StringLit struct{ Val string }
+
+// Arg references a transaction parameter.
+type Arg struct{ Name string }
+
+// BinOp enumerates binary operators: arithmetic ⊕, comparison ⊙, boolean ∘.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpLt
+	OpLe
+	OpEq
+	OpNe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "&&"
+	case OpOr:
+		return "||"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// IsComparison reports whether op is one of ⊙ (<, <=, =, !=, >, >=).
+func (op BinOp) IsComparison() bool { return op >= OpLt && op <= OpGe }
+
+// IsArith reports whether op is one of ⊕ (+, -, *, /).
+func (op BinOp) IsArith() bool { return op <= OpDiv }
+
+// IsLogical reports whether op is ∧ or ∨.
+func (op BinOp) IsLogical() bool { return op == OpAnd || op == OpOr }
+
+// Binary is e op e.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// IterVar is the iter expression: the current iterate counter.
+type IterVar struct{}
+
+// ThisField is this.f — a field reference inside a where clause.
+type ThisField struct{ Field string }
+
+// FieldAt is at_e(x.f): the value of field f in the e-th record held in x.
+// A nil Index means at1 (the sole/first record), the common case.
+type FieldAt struct {
+	Var   string
+	Field string
+	Index Expr
+}
+
+// AggFn enumerates aggregation functions over query results.
+type AggFn int
+
+// Aggregators. Any is the nondeterministic-choice aggregator used by value
+// correspondences (paper §4.1); Count is provided for workloads.
+const (
+	AggSum AggFn = iota
+	AggMin
+	AggMax
+	AggCount
+	AggAny
+)
+
+func (a AggFn) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	case AggAny:
+		return "any"
+	default:
+		return fmt.Sprintf("agg(%d)", int(a))
+	}
+}
+
+// Agg is agg(x.f): fold the f values of the records held in x.
+type Agg struct {
+	Fn    AggFn
+	Var   string
+	Field string
+}
+
+// UUID is the uuid() expression: a globally fresh value (paper Fig. 3).
+type UUID struct{}
+
+func (*IntLit) isExpr()    {}
+func (*BoolLit) isExpr()   {}
+func (*StringLit) isExpr() {}
+func (*Arg) isExpr()       {}
+func (*Binary) isExpr()    {}
+func (*IterVar) isExpr()   {}
+func (*ThisField) isExpr() {}
+func (*FieldAt) isExpr()   {}
+func (*Agg) isExpr()       {}
+func (*UUID) isExpr()      {}

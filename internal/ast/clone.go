@@ -1,0 +1,121 @@
+package ast
+
+// CloneProgram returns a deep copy of p. The refactoring engine mutates
+// programs freely, so every repair step starts from a clone.
+func CloneProgram(p *Program) *Program {
+	out := &Program{}
+	for _, s := range p.Schemas {
+		out.Schemas = append(out.Schemas, CloneSchema(s))
+	}
+	for _, t := range p.Txns {
+		out.Txns = append(out.Txns, CloneTxn(t))
+	}
+	return out
+}
+
+// CloneSchema returns a deep copy of s.
+func CloneSchema(s *Schema) *Schema {
+	out := &Schema{Name: s.Name}
+	for _, f := range s.Fields {
+		cp := *f
+		out.Fields = append(out.Fields, &cp)
+	}
+	return out
+}
+
+// CloneTxn returns a deep copy of t.
+func CloneTxn(t *Txn) *Txn {
+	out := &Txn{Name: t.Name, Ret: CloneExpr(t.Ret)}
+	for _, p := range t.Params {
+		cp := *p
+		out.Params = append(out.Params, &cp)
+	}
+	out.Body = CloneStmts(t.Body)
+	return out
+}
+
+// CloneStmts returns a deep copy of a statement list.
+func CloneStmts(body []Stmt) []Stmt {
+	if body == nil {
+		return nil
+	}
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		out = append(out, CloneStmt(s))
+	}
+	return out
+}
+
+// CloneStmt returns a deep copy of s.
+func CloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case *Select:
+		return &Select{
+			Label:  x.Label,
+			Var:    x.Var,
+			Star:   x.Star,
+			Fields: append([]string(nil), x.Fields...),
+			Table:  x.Table,
+			Where:  CloneExpr(x.Where),
+		}
+	case *Update:
+		return &Update{
+			Label: x.Label,
+			Table: x.Table,
+			Sets:  cloneAssigns(x.Sets),
+			Where: CloneExpr(x.Where),
+		}
+	case *Insert:
+		return &Insert{
+			Label:  x.Label,
+			Table:  x.Table,
+			Values: cloneAssigns(x.Values),
+		}
+	case *If:
+		return &If{Cond: CloneExpr(x.Cond), Then: CloneStmts(x.Then)}
+	case *Iterate:
+		return &Iterate{Count: CloneExpr(x.Count), Body: CloneStmts(x.Body)}
+	case *Skip:
+		return &Skip{}
+	default:
+		return s
+	}
+}
+
+func cloneAssigns(as []Assign) []Assign {
+	out := make([]Assign, len(as))
+	for i, a := range as {
+		out[i] = Assign{Field: a.Field, Expr: CloneExpr(a.Expr)}
+	}
+	return out
+}
+
+// CloneExpr returns a deep copy of e; nil clones to nil.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		return &IntLit{Val: x.Val}
+	case *BoolLit:
+		return &BoolLit{Val: x.Val}
+	case *StringLit:
+		return &StringLit{Val: x.Val}
+	case *Arg:
+		return &Arg{Name: x.Name}
+	case *Binary:
+		return &Binary{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *IterVar:
+		return &IterVar{}
+	case *ThisField:
+		return &ThisField{Field: x.Field}
+	case *FieldAt:
+		return &FieldAt{Var: x.Var, Field: x.Field, Index: CloneExpr(x.Index)}
+	case *Agg:
+		return &Agg{Fn: x.Fn, Var: x.Var, Field: x.Field}
+	case *UUID:
+		return &UUID{}
+	default:
+		return e
+	}
+}

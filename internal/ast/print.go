@@ -1,0 +1,154 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program in the DSL concrete syntax accepted by the
+// parser, with command labels as trailing comments (paper Fig. 1 style).
+func Format(p *Program) string {
+	var b strings.Builder
+	for i, s := range p.Schemas {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		FormatSchema(&b, s)
+	}
+	for _, t := range p.Txns {
+		b.WriteString("\n")
+		FormatTxn(&b, t)
+	}
+	return b.String()
+}
+
+// FormatSchema writes one schema declaration.
+func FormatSchema(b *strings.Builder, s *Schema) {
+	fmt.Fprintf(b, "table %s {\n", s.Name)
+	for _, f := range s.Fields {
+		fmt.Fprintf(b, "  %s: %s", f.Name, f.Type)
+		if f.PK {
+			b.WriteString(" key")
+		}
+		b.WriteString(",\n")
+	}
+	b.WriteString("}\n")
+}
+
+// FormatTxn writes one transaction declaration.
+func FormatTxn(b *strings.Builder, t *Txn) {
+	fmt.Fprintf(b, "txn %s(", t.Name)
+	for i, p := range t.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s: %s", p.Name, p.Type)
+	}
+	b.WriteString(") {\n")
+	formatStmts(b, t.Body, 1)
+	if t.Ret != nil {
+		fmt.Fprintf(b, "  return %s;\n", ExprString(t.Ret))
+	}
+	b.WriteString("}\n")
+}
+
+func formatStmts(b *strings.Builder, body []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range body {
+		switch x := s.(type) {
+		case *Select:
+			cols := "*"
+			if !x.Star {
+				cols = strings.Join(x.Fields, ", ")
+			}
+			fmt.Fprintf(b, "%s%s := select %s from %s where %s;%s\n",
+				ind, x.Var, cols, x.Table, ExprString(x.Where), labelComment(x.Label))
+		case *Update:
+			if isDelete(x) {
+				fmt.Fprintf(b, "%sdelete from %s where %s;%s\n",
+					ind, x.Table, ExprString(x.Where), labelComment(x.Label))
+				continue
+			}
+			fmt.Fprintf(b, "%supdate %s set %s where %s;%s\n",
+				ind, x.Table, assignString(x.Sets), ExprString(x.Where), labelComment(x.Label))
+		case *Insert:
+			fmt.Fprintf(b, "%sinsert into %s values (%s);%s\n",
+				ind, x.Table, assignString(x.Values), labelComment(x.Label))
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, ExprString(x.Cond))
+			formatStmts(b, x.Then, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *Iterate:
+			fmt.Fprintf(b, "%siterate (%s) {\n", ind, ExprString(x.Count))
+			formatStmts(b, x.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *Skip:
+			fmt.Fprintf(b, "%sskip;\n", ind)
+		}
+	}
+}
+
+// isDelete recognizes the desugared form of `delete from R where φ`.
+func isDelete(u *Update) bool {
+	if len(u.Sets) != 1 || u.Sets[0].Field != AliveField {
+		return false
+	}
+	b, ok := u.Sets[0].Expr.(*BoolLit)
+	return ok && !b.Val
+}
+
+func labelComment(label string) string {
+	if label == "" {
+		return ""
+	}
+	return " // " + label
+}
+
+func assignString(as []Assign) string {
+	parts := make([]string, len(as))
+	for i, a := range as {
+		parts[i] = fmt.Sprintf("%s = %s", a.Field, ExprString(a.Expr))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExprString renders an expression in concrete syntax.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return fmt.Sprintf("%d", x.Val)
+	case *BoolLit:
+		return fmt.Sprintf("%t", x.Val)
+	case *StringLit:
+		return fmt.Sprintf("%q", x.Val)
+	case *Arg:
+		return x.Name
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.L), x.Op, ExprString(x.R))
+	case *IterVar:
+		return "iter"
+	case *ThisField:
+		return x.Field
+	case *FieldAt:
+		if x.Index == nil {
+			return fmt.Sprintf("%s.%s", x.Var, x.Field)
+		}
+		return fmt.Sprintf("%s.%s[%s]", x.Var, x.Field, ExprString(x.Index))
+	case *Agg:
+		return fmt.Sprintf("%s(%s.%s)", x.Fn, x.Var, x.Field)
+	case *UUID:
+		return "uuid()"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// StmtString renders a single statement (without trailing newline) for
+// diagnostics.
+func StmtString(s Stmt) string {
+	var b strings.Builder
+	formatStmts(&b, []Stmt{s}, 0)
+	return strings.TrimRight(b.String(), "\n")
+}

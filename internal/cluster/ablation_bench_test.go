@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"testing"
+
+	"atropos/internal/parser"
+	"atropos/internal/store"
+)
+
+// Ablation: the sorted-key prefix index on where-clause evaluation
+// (DESIGN.md §4.4). Logging tables grow throughout a run; without the
+// index every statement scans the full key space, turning AT runs
+// quadratic. The two benchmarks below execute the same per-customer
+// aggregate against a 20k-row log table; the indexed form pins the leading
+// key field, the scan form uses an inequality the index cannot serve.
+
+const ablationSrc = `
+table LOG { cust: int key, lid: int key, v: int, }
+txn readCust(k: int) {
+  x := select v from LOG where cust = k;
+  return sum(x.v);
+}
+txn readRange(k: int) {
+  x := select v from LOG where cust >= k && cust <= k;
+  return sum(x.v);
+}
+`
+
+func ablationStore(b *testing.B, rows int) *MatStore {
+	b.Helper()
+	prog, err := parser.Parse(ablationSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := NewMatStore(prog)
+	for i := 0; i < rows; i++ {
+		err := ms.Load("LOG", store.Row{
+			"cust": store.IntV(int64(i % 100)),
+			"lid":  store.IntV(int64(i)),
+			"v":    store.IntV(1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ms
+}
+
+func runAblation(b *testing.B, txn string) {
+	prog, _ := parser.Parse(ablationSrc)
+	ms := ablationStore(b, 20_000)
+	u := &UUIDGen{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewTxnExec(prog, prog.Txn(txn), map[string]store.Value{"k": store.IntV(int64(i % 100))})
+		for {
+			cmd, err := e.Advance(ms)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cmd == nil {
+				break
+			}
+			if _, err := e.Exec(ms, u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if e.Result().I != 200 {
+			b.Fatalf("sum = %d, want 200", e.Result().I)
+		}
+	}
+}
+
+// BenchmarkMatchIndexed uses the prefix index (equality pin on the leading
+// key field).
+func BenchmarkMatchIndexed(b *testing.B) { runAblation(b, "readCust") }
+
+// BenchmarkMatchScan defeats the index (range predicate), measuring the
+// full-scan baseline the index replaces.
+func BenchmarkMatchScan(b *testing.B) { runAblation(b, "readRange") }
+
+// TestKeyRangeEquivalence: the indexed and scanning forms agree on every
+// customer (the index is an optimization, not a semantics change).
+func TestKeyRangeEquivalence(t *testing.T) {
+	prog, err := parser.Parse(ablationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMatStore(prog)
+	for i := 0; i < 500; i++ {
+		err := ms.Load("LOG", store.Row{
+			"cust": store.IntV(int64(i % 20)),
+			"lid":  store.IntV(int64(i)),
+			"v":    store.IntV(int64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := &UUIDGen{}
+	runTxn := func(txn string, k int64) int64 {
+		e := NewTxnExec(prog, prog.Txn(txn), map[string]store.Value{"k": store.IntV(k)})
+		for {
+			cmd, err := e.Advance(ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmd == nil {
+				break
+			}
+			if _, err := e.Exec(ms, u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Result().I
+	}
+	for k := int64(0); k < 20; k++ {
+		indexed := runTxn("readCust", k)
+		scanned := runTxn("readRange", k)
+		if indexed != scanned {
+			t.Fatalf("cust %d: indexed sum %d != scanned sum %d", k, indexed, scanned)
+		}
+	}
+}
+
+// TestKeyRangeCompositeExact: pinning the full composite key narrows to a
+// single record.
+func TestKeyRangeCompositeExact(t *testing.T) {
+	src := `
+table LOG { cust: int key, lid: int key, v: int, }
+txn one(k: int, l: int) {
+  x := select v from LOG where cust = k && lid = l;
+  return count(x.v);
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMatStore(prog)
+	for i := 0; i < 50; i++ {
+		if err := ms.Load("LOG", store.Row{
+			"cust": store.IntV(int64(i % 5)), "lid": store.IntV(int64(i)), "v": store.IntV(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := &UUIDGen{}
+	for _, tc := range []struct {
+		k, l, want int64
+	}{{0, 0, 1}, {0, 5, 1}, {1, 0, 0}, {4, 49, 1}, {4, 48, 0}} {
+		e := NewTxnExec(prog, prog.Txn("one"), map[string]store.Value{
+			"k": store.IntV(tc.k), "l": store.IntV(tc.l),
+		})
+		for {
+			cmd, err := e.Advance(ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmd == nil {
+				break
+			}
+			if _, err := e.Exec(ms, u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if e.Result().I != tc.want {
+			t.Fatalf("one(%d,%d) = %d, want %d", tc.k, tc.l, e.Result().I, tc.want)
+		}
+	}
+}

@@ -1,0 +1,548 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"atropos/internal/ast"
+	"atropos/internal/benchmarks"
+	"atropos/internal/metrics"
+	"atropos/internal/store"
+)
+
+// Mode selects the consistency deployment of a run (the four lines of
+// Fig. 12).
+type Mode int
+
+// Deployment modes.
+const (
+	// ModeEC: every transaction runs against its home replica with
+	// asynchronous replication (the paper's ◆ EC and ■ AT-EC lines,
+	// depending on which program is supplied).
+	ModeEC Mode = iota
+	// ModeSC: every transaction runs at the primary under two-phase record
+	// locking with majority-acknowledged writes (● SC).
+	ModeSC
+	// ModeATSC: transactions named in SerializableTxns run as under
+	// ModeSC; the rest as under ModeEC (▲ AT-SC).
+	ModeATSC
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeEC:
+		return "EC"
+	case ModeSC:
+		return "SC"
+	case ModeATSC:
+		return "AT-SC"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes one simulated run.
+type Config struct {
+	Program *ast.Program
+	Mix     []benchmarks.MixEntry
+	Scale   benchmarks.Scale
+	Rows    []benchmarks.TableRow
+	// Topology is the cluster geometry (VACluster/USCluster/GlobalCluster).
+	Topology Topology
+	Clients  int
+	// Duration is the measured virtual time; Warmup precedes it.
+	Duration time.Duration
+	Warmup   time.Duration
+	Seed     int64
+	Mode     Mode
+	// SerializableTxns names the transactions run under SC in ModeATSC.
+	SerializableTxns map[string]bool
+	// StmtCost is the per-statement service time that consumes replica
+	// capacity (microseconds); 0 means the default of 2000µs. It sets the
+	// saturation throughput.
+	StmtCost int64
+	// StmtOverhead is per-statement latency that does not consume
+	// capacity (driver, TLS, storage stalls on burstable instances);
+	// 0 means the default of 12000µs. It sets the low-load latency floor.
+	StmtOverhead int64
+	// Servers is the per-replica service parallelism (vCPUs); 0 means 2
+	// (the paper's M10 instances).
+	Servers int
+	// LockTimeout aborts SC transactions that wait longer than this for a
+	// record lock (microseconds); 0 derives it from the topology.
+	LockTimeout int64
+}
+
+// Result is the outcome of one run: a figure point plus counters.
+type Result struct {
+	Point     metrics.Point
+	Committed int64
+	Aborted   int64 // SC lock-timeout aborts (retried)
+}
+
+const (
+	defaultStmtCost     = 2_000  // µs of replica capacity per statement
+	defaultStmtOverhead = 12_000 // µs of latency per statement
+	defaultServers      = 2      // vCPUs per replica (M10 tier)
+	primary             = 0
+)
+
+// Run simulates the configured deployment and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	_, res, err := run(cfg, false)
+	return res, err
+}
+
+// FinalState simulates the deployment and returns the converged replica
+// state after all in-flight transactions and replication have drained
+// (used by conservation tests and state inspection).
+func FinalState(cfg Config) (*MatStore, error) {
+	d, _, err := run(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	return d.replicas[primary].state, nil
+}
+
+func run(cfg Config, drain bool) (*driver, Result, error) {
+	if cfg.Clients <= 0 {
+		return nil, Result{}, fmt.Errorf("cluster: need at least one client")
+	}
+	if cfg.StmtCost == 0 {
+		cfg.StmtCost = defaultStmtCost
+	}
+	if cfg.StmtOverhead == 0 {
+		cfg.StmtOverhead = defaultStmtOverhead
+	}
+	if cfg.Servers == 0 {
+		cfg.Servers = defaultServers
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.LockTimeout == 0 {
+		cfg.LockTimeout = 8*cfg.Topology.majorityRTT(primary) + 20_000
+	}
+
+	base := NewMatStore(cfg.Program)
+	for _, r := range cfg.Rows {
+		if err := base.Load(r.Table, r.Row); err != nil {
+			return nil, Result{}, err
+		}
+	}
+	d := &driver{
+		cfg:      cfg,
+		sim:      &Sim{},
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		replicas: [3]*replica{},
+		locks:    map[lockKey]*lockState{},
+		uuid:     &UUIDGen{},
+		lat:      metrics.NewLatencies(8192, cfg.Seed+1),
+	}
+	for i := range d.replicas {
+		st := base
+		if i > 0 {
+			st = base.Clone()
+		}
+		d.replicas[i] = &replica{id: i, state: st, station: newStation(cfg.Servers)}
+	}
+	warmup := cfg.Warmup.Microseconds()
+	total := warmup + cfg.Duration.Microseconds()
+	d.measureFrom = warmup
+	d.measureUntil = total
+
+	for c := 0; c < cfg.Clients; c++ {
+		cl := &client{d: d, id: c, home: c % 3}
+		d.sim.At(int64(c%97), cl.nextTxn) // stagger arrivals slightly
+	}
+	d.sim.Run(total)
+	if drain {
+		// Stop the closed loops and drain in-flight transactions and
+		// replication so the replicas converge (FinalState inspection).
+		d.stopped = true
+		d.sim.Run(total + 3_600_000_000)
+	}
+
+	secs := cfg.Duration.Seconds()
+	res := Result{
+		Committed: d.committed,
+		Aborted:   d.aborted,
+		Point: metrics.Point{
+			Clients:    cfg.Clients,
+			Throughput: float64(d.committed) / secs,
+			MeanMs:     float64(d.lat.Mean().Microseconds()) / 1000,
+			P95Ms:      float64(d.lat.Percentile(95).Microseconds()) / 1000,
+		},
+	}
+	if d.execErr != nil {
+		return d, res, d.execErr
+	}
+	return d, res, nil
+}
+
+type driver struct {
+	cfg          Config
+	sim          *Sim
+	rng          *rand.Rand
+	replicas     [3]*replica
+	locks        map[lockKey]*lockState
+	uuid         *UUIDGen
+	lat          *metrics.Latencies
+	committed    int64
+	aborted      int64
+	measureFrom  int64
+	measureUntil int64
+	stopped      bool
+	tsSeq        int64
+	execErr      error
+}
+
+type replica struct {
+	id      int
+	state   *MatStore
+	station station
+}
+
+type lockKey struct {
+	table string
+	key   store.Key
+}
+
+type lockState struct {
+	owner   *txnRun
+	waiters []*txnRun
+}
+
+// ts produces a unique, strictly monotone merge timestamp. Event-loop
+// processing order is the arbitration order, so a plain sequence number
+// suffices (and cannot collide or wrap, unlike packing virtual time with
+// a bounded sequence).
+func (d *driver) ts() int64 {
+	d.tsSeq++
+	return d.tsSeq
+}
+
+func (d *driver) fail(err error) {
+	if d.execErr == nil {
+		d.execErr = err
+	}
+}
+
+type client struct {
+	d    *driver
+	id   int
+	home int
+}
+
+// nextTxn draws a transaction from the mix and launches it under the
+// deployment's mode (closed loop: the next begins when this one commits).
+func (c *client) nextTxn() {
+	d := c.d
+	if d.execErr != nil || d.stopped {
+		return
+	}
+	m := d.cfg.Mix[pickWeighted(d.rng, d.cfg.Mix)]
+	txn := d.cfg.Program.Txn(m.Txn)
+	if txn == nil {
+		d.fail(fmt.Errorf("cluster: mix references unknown txn %q", m.Txn))
+		return
+	}
+	args := m.Args(d.rng, d.cfg.Scale)
+	start := d.sim.Now()
+	finish := func() {
+		if d.sim.Now() >= d.measureFrom && d.sim.Now() <= d.measureUntil {
+			d.committed++
+			d.lat.Add(time.Duration(d.sim.Now()-start) * time.Microsecond)
+		}
+		c.nextTxn()
+	}
+	sc := d.cfg.Mode == ModeSC || (d.cfg.Mode == ModeATSC && d.cfg.SerializableTxns[m.Txn])
+	if sc {
+		run := &txnRun{c: c, txn: txn, args: args}
+		run.start(finish)
+	} else {
+		c.runEC(txn, args, finish)
+	}
+}
+
+func pickWeighted(rng *rand.Rand, mix []benchmarks.MixEntry) int {
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	n := rng.Intn(total)
+	for i, m := range mix {
+		n -= m.Weight
+		if n < 0 {
+			return i
+		}
+	}
+	return len(mix) - 1
+}
+
+// runEC executes a transaction against the client's home replica: each
+// statement is one client-replica round trip plus service time; writes
+// apply locally and replicate asynchronously with LWW merging.
+func (c *client) runEC(txn *ast.Txn, args map[string]store.Value, finish func()) {
+	d := c.d
+	r := d.replicas[c.home]
+	e := NewTxnExec(d.cfg.Program, txn, args)
+	var step func()
+	step = func() {
+		if d.execErr != nil {
+			return
+		}
+		cmd, err := e.Advance(r.state)
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		if cmd == nil {
+			finish()
+			return
+		}
+		// Client → replica, queue, execute, reply.
+		d.sim.At(d.cfg.Topology.ClientRTT/2+d.cfg.StmtOverhead, func() {
+			done := r.station.serve(d.sim.Now(), d.cfg.StmtCost)
+			d.sim.At(done-d.sim.Now(), func() {
+				writes, err := e.Exec(r.state, d.uuid)
+				if err != nil {
+					d.fail(err)
+					return
+				}
+				ts := d.ts()
+				for _, w := range writes {
+					r.state.Apply(w, ts)
+				}
+				c.replicate(r.id, writes, ts)
+				d.sim.At(d.cfg.Topology.ClientRTT/2, step)
+			})
+		})
+	}
+	step()
+}
+
+// replicate ships writes to the other replicas asynchronously.
+func (c *client) replicate(from int, writes []WriteOp, ts int64) {
+	if len(writes) == 0 {
+		return
+	}
+	d := c.d
+	for j := 0; j < 3; j++ {
+		if j == from {
+			continue
+		}
+		target := d.replicas[j]
+		ws := writes
+		d.sim.At(d.cfg.Topology.RTT[from][j]/2, func() {
+			// Applying remote ops consumes service capacity but blocks
+			// no one.
+			target.station.serve(d.sim.Now(), d.cfg.StmtCost/2)
+			for _, w := range ws {
+				target.state.Apply(w, ts)
+			}
+		})
+	}
+}
+
+// txnRun is one SC transaction attempt: statements execute at the primary
+// under two-phase record locking with buffered writes; lock waits that
+// exceed the timeout abort and retry the whole transaction.
+type txnRun struct {
+	c         *client
+	txn       *ast.Txn
+	args      map[string]store.Value
+	e         *TxnExec
+	overlay   *Overlay
+	held      []lockKey
+	gen       int // invalidates stale wakeups/timeouts after abort
+	waitEpoch int // distinguishes successive waits within one attempt
+	waiting   bool
+	blockedOn *lockState // the lock this run is waiting for, if any
+	wake      func()
+	finish    func()
+}
+
+func (t *txnRun) start(finish func()) {
+	t.finish = finish
+	t.begin()
+}
+
+func (t *txnRun) begin() {
+	d := t.c.d
+	t.gen++
+	t.e = NewTxnExec(d.cfg.Program, t.txn, t.args)
+	t.overlay = NewOverlay(d.replicas[primary].state)
+	t.held = nil
+	// Client → primary.
+	rtt := d.cfg.Topology.ClientRTT
+	if t.c.home != primary {
+		rtt = d.cfg.Topology.RTT[t.c.home][primary]
+	}
+	d.sim.At(rtt/2, t.step)
+}
+
+// step advances one statement: footprint → locks → service → execute.
+func (t *txnRun) step() {
+	d := t.c.d
+	if d.execErr != nil {
+		return
+	}
+	cmd, err := t.e.Advance(t.overlay)
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	if cmd == nil {
+		t.commit()
+		return
+	}
+	table, keys, _, err := t.e.Footprint(t.overlay, d.uuid)
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	var want []lockKey
+	for _, k := range keys {
+		want = append(want, lockKey{table, k})
+	}
+	t.acquire(want, func() {
+		r := d.replicas[primary]
+		done := r.station.serve(d.sim.Now()+d.cfg.StmtOverhead, d.cfg.StmtCost)
+		d.sim.At(done-d.sim.Now(), func() {
+			writes, err := t.e.Exec(t.overlay, d.uuid)
+			if err != nil {
+				d.fail(err)
+				return
+			}
+			for _, w := range writes {
+				t.overlay.Buffer(w)
+			}
+			if len(writes) > 0 {
+				// Majority acknowledgement round trip per write statement.
+				d.sim.At(d.cfg.Topology.majorityRTT(primary), t.step)
+			} else {
+				t.step()
+			}
+		})
+	})
+}
+
+// acquire takes the locks (FIFO) or queues behind a holder; a timeout
+// aborts and retries the transaction.
+func (t *txnRun) acquire(want []lockKey, cont func()) {
+	d := t.c.d
+	for _, lk := range want {
+		ls := d.locks[lk]
+		if ls == nil {
+			ls = &lockState{}
+			d.locks[lk] = ls
+		}
+		if ls.owner == nil || ls.owner == t {
+			if ls.owner == nil {
+				ls.owner = t
+				t.held = append(t.held, lk)
+			}
+			continue
+		}
+		// Deadlock detection: walk the wait-for chain from the lock's
+		// owner; if it leads back to us, abort immediately (the requester
+		// is the victim, as in MongoDB's write-conflict aborts) instead of
+		// stalling until the timeout.
+		if t.wouldDeadlock(ls) {
+			t.abort()
+			return
+		}
+		// Blocked: wait on this lock, retry the full set on wake-up. The
+		// epoch ties the timeout to this particular wait, so a timer from
+		// an earlier wait that ended cannot abort a later one prematurely.
+		ls.waiters = append(ls.waiters, t)
+		t.waiting = true
+		t.blockedOn = ls
+		t.waitEpoch++
+		gen, epoch := t.gen, t.waitEpoch
+		t.wake = func() {
+			if t.gen != gen || !t.waiting {
+				return
+			}
+			t.waiting = false
+			t.blockedOn = nil
+			t.acquire(want, cont)
+		}
+		d.sim.At(d.cfg.LockTimeout, func() {
+			if t.gen == gen && t.waiting && t.waitEpoch == epoch {
+				t.abort()
+			}
+		})
+		return
+	}
+	cont()
+}
+
+// wouldDeadlock reports whether waiting on ls closes a wait-for cycle
+// through us.
+func (t *txnRun) wouldDeadlock(ls *lockState) bool {
+	cur := ls.owner
+	for hops := 0; cur != nil && hops < 64; hops++ {
+		if cur == t {
+			return true
+		}
+		if cur.blockedOn == nil {
+			return false
+		}
+		cur = cur.blockedOn.owner
+	}
+	return false
+}
+
+func (t *txnRun) abort() {
+	d := t.c.d
+	if d.sim.Now() >= d.measureFrom && d.sim.Now() <= d.measureUntil {
+		d.aborted++
+	}
+	t.waiting = false
+	t.blockedOn = nil
+	t.release()
+	t.gen++
+	// Retry after a short randomized backoff.
+	back := int64(d.rng.Intn(4000) + 500)
+	d.sim.At(back, t.begin)
+}
+
+func (t *txnRun) release() {
+	d := t.c.d
+	for _, lk := range t.held {
+		ls := d.locks[lk]
+		if ls == nil || ls.owner != t {
+			continue
+		}
+		ls.owner = nil
+		waiters := ls.waiters
+		ls.waiters = nil
+		for _, w := range waiters {
+			if w.wake != nil {
+				d.sim.At(0, w.wake)
+			}
+		}
+	}
+	t.held = nil
+}
+
+// commit applies the buffered writes at the primary, replicates them, and
+// replies to the client.
+func (t *txnRun) commit() {
+	d := t.c.d
+	writes := t.overlay.Writes()
+	ts := d.ts()
+	for _, w := range writes {
+		d.replicas[primary].state.Apply(w, ts)
+	}
+	t.c.replicate(primary, writes, ts)
+	t.release()
+	rtt := d.cfg.Topology.ClientRTT
+	if t.c.home != primary {
+		rtt = d.cfg.Topology.RTT[t.c.home][primary]
+	}
+	d.sim.At(rtt/2, t.finish)
+}

@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"atropos/internal/benchmarks"
+	"atropos/internal/store"
+)
+
+func smallbankConfig(t *testing.T, mode Mode, clients int, topo Topology) Config {
+	t.Helper()
+	b := benchmarks.SmallBank
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := benchmarks.Scale{Records: 50}
+	return Config{
+		Program:  prog,
+		Mix:      b.Mix,
+		Scale:    scale,
+		Rows:     b.Rows(scale),
+		Topology: topo,
+		Clients:  clients,
+		Duration: 5 * time.Second,
+		Warmup:   500 * time.Millisecond,
+		Seed:     7,
+		Mode:     mode,
+	}
+}
+
+func TestECFasterThanSCOnUSCluster(t *testing.T) {
+	ec, err := Run(smallbankConfig(t, ModeEC, 48, USCluster))
+	if err != nil {
+		t.Fatalf("EC run: %v", err)
+	}
+	sc, err := Run(smallbankConfig(t, ModeSC, 48, USCluster))
+	if err != nil {
+		t.Fatalf("SC run: %v", err)
+	}
+	if ec.Committed == 0 || sc.Committed == 0 {
+		t.Fatalf("no commits: ec=%d sc=%d", ec.Committed, sc.Committed)
+	}
+	if ec.Point.Throughput <= sc.Point.Throughput {
+		t.Errorf("EC throughput %.1f <= SC %.1f; coordination cost missing",
+			ec.Point.Throughput, sc.Point.Throughput)
+	}
+	if ec.Point.MeanMs >= sc.Point.MeanMs {
+		t.Errorf("EC latency %.2fms >= SC %.2fms", ec.Point.MeanMs, sc.Point.MeanMs)
+	}
+	t.Logf("EC: %.1f txn/s %.2f ms; SC: %.1f txn/s %.2f ms (aborts %d)",
+		ec.Point.Throughput, ec.Point.MeanMs, sc.Point.Throughput, sc.Point.MeanMs, sc.Aborted)
+}
+
+func TestSCCheaperOnLocalCluster(t *testing.T) {
+	va, err := Run(smallbankConfig(t, ModeSC, 32, VACluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := Run(smallbankConfig(t, ModeSC, 32, GlobalCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.Point.Throughput <= global.Point.Throughput {
+		t.Errorf("VA SC throughput %.1f <= Global %.1f; geography has no cost",
+			va.Point.Throughput, global.Point.Throughput)
+	}
+	if va.Point.MeanMs >= global.Point.MeanMs {
+		t.Errorf("VA SC latency %.2f >= Global %.2f", va.Point.MeanMs, global.Point.MeanMs)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := Run(smallbankConfig(t, ModeEC, 16, USCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallbankConfig(t, ModeEC, 16, USCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Committed != b.Committed || a.Point.MeanMs != b.Point.MeanMs {
+		t.Errorf("nondeterministic: %+v vs %+v", a.Point, b.Point)
+	}
+}
+
+func TestThroughputGrowsWithClientsUnderEC(t *testing.T) {
+	small, err := Run(smallbankConfig(t, ModeEC, 4, USCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(smallbankConfig(t, ModeEC, 64, USCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Point.Throughput <= small.Point.Throughput*2 {
+		t.Errorf("EC does not scale: 4 clients %.1f, 64 clients %.1f",
+			small.Point.Throughput, big.Point.Throughput)
+	}
+}
+
+func TestATSCBetweenECAndSC(t *testing.T) {
+	cfgEC := smallbankConfig(t, ModeEC, 48, USCluster)
+	cfgSC := smallbankConfig(t, ModeSC, 48, USCluster)
+	cfgAT := smallbankConfig(t, ModeATSC, 48, USCluster)
+	// Pretend half the transactions still need SC.
+	cfgAT.SerializableTxns = map[string]bool{"writeCheck": true, "amalgamate": true, "sendPayment": true}
+	ec, err := Run(cfgEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Run(cfgSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := Run(cfgAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(at.Point.Throughput > sc.Point.Throughput) {
+		t.Errorf("AT-SC %.1f not above SC %.1f", at.Point.Throughput, sc.Point.Throughput)
+	}
+	if !(at.Point.Throughput < ec.Point.Throughput) {
+		t.Errorf("AT-SC %.1f not below EC %.1f", at.Point.Throughput, ec.Point.Throughput)
+	}
+}
+
+func TestMatStoreLWW(t *testing.T) {
+	b := benchmarks.SmallBank
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMatStore(prog)
+	if err := ms.Load("CHECKING", store.Row{"chk_cust": store.IntV(1), "chk_bal": store.IntV(10)}); err != nil {
+		t.Fatal(err)
+	}
+	k := store.MakeKey(store.IntV(1))
+	w := WriteOp{Table: "CHECKING", Key: k, Field: "chk_bal", Val: store.IntV(99)}
+	ms.Apply(w, 100)
+	if got := ms.Read("CHECKING", k, "chk_bal"); !got.Equal(store.IntV(99)) {
+		t.Fatalf("read %v after apply", got)
+	}
+	// An older write must lose.
+	ms.Apply(WriteOp{Table: "CHECKING", Key: k, Field: "chk_bal", Val: store.IntV(1)}, 50)
+	if got := ms.Read("CHECKING", k, "chk_bal"); !got.Equal(store.IntV(99)) {
+		t.Fatalf("LWW violated: read %v", got)
+	}
+	// A newer write wins.
+	ms.Apply(WriteOp{Table: "CHECKING", Key: k, Field: "chk_bal", Val: store.IntV(7)}, 200)
+	if got := ms.Read("CHECKING", k, "chk_bal"); !got.Equal(store.IntV(7)) {
+		t.Fatalf("newer write lost: read %v", got)
+	}
+}
+
+func TestMatStoreCloneIsolated(t *testing.T) {
+	prog, _ := benchmarks.SmallBank.Program()
+	ms := NewMatStore(prog)
+	if err := ms.Load("CHECKING", store.Row{"chk_cust": store.IntV(1), "chk_bal": store.IntV(10)}); err != nil {
+		t.Fatal(err)
+	}
+	cp := ms.Clone()
+	k := store.MakeKey(store.IntV(1))
+	cp.Apply(WriteOp{Table: "CHECKING", Key: k, Field: "chk_bal", Val: store.IntV(42)}, 10)
+	if got := ms.Read("CHECKING", k, "chk_bal"); !got.Equal(store.IntV(10)) {
+		t.Fatalf("clone shares state: original reads %v", got)
+	}
+}
+
+func TestOverlayReadsOwnWrites(t *testing.T) {
+	prog, _ := benchmarks.SmallBank.Program()
+	ms := NewMatStore(prog)
+	if err := ms.Load("CHECKING", store.Row{"chk_cust": store.IntV(1), "chk_bal": store.IntV(10)}); err != nil {
+		t.Fatal(err)
+	}
+	k := store.MakeKey(store.IntV(1))
+	o := NewOverlay(ms)
+	o.Buffer(WriteOp{Table: "CHECKING", Key: k, Field: "chk_bal", Val: store.IntV(55)})
+	if got := o.Read("CHECKING", k, "chk_bal"); !got.Equal(store.IntV(55)) {
+		t.Fatalf("overlay read %v, want buffered 55", got)
+	}
+	if got := ms.Read("CHECKING", k, "chk_bal"); !got.Equal(store.IntV(10)) {
+		t.Fatalf("base mutated: %v", got)
+	}
+	// A fresh overlay key appears in Keys.
+	k2 := store.MakeKey(store.IntV(999))
+	o.Buffer(WriteOp{Table: "CHECKING", Key: k2, Field: "chk_bal", Val: store.IntV(1)})
+	found := false
+	for _, kk := range o.Keys("CHECKING") {
+		if kk == k2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("overlay-created key missing from Keys")
+	}
+	if len(o.Writes()) != 2 {
+		t.Errorf("Writes() = %d entries, want 2", len(o.Writes()))
+	}
+}
+
+func TestUUIDGenPeekTake(t *testing.T) {
+	g := &UUIDGen{}
+	p := g.Peek()
+	v := g.Take()
+	if !p.Equal(v) {
+		t.Fatalf("Peek %v != Take %v", p, v)
+	}
+	if g.Take().Equal(v) {
+		t.Fatal("Take repeated a value")
+	}
+}
+
+func TestTxnExecRunsSmallBank(t *testing.T) {
+	b := benchmarks.SmallBank
+	prog, _ := b.Program()
+	ms := NewMatStore(prog)
+	for _, r := range b.Rows(benchmarks.Scale{Records: 10}) {
+		if err := ms.Load(r.Table, r.Row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := &UUIDGen{}
+	e := NewTxnExec(prog, prog.Txn("depositChecking"), map[string]store.Value{
+		"cust": store.IntV(1), "amt": store.IntV(25),
+	})
+	steps := 0
+	for {
+		cmd, err := e.Advance(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmd == nil {
+			break
+		}
+		writes, err := e.Exec(ms, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range writes {
+			ms.Apply(w, int64(steps+1))
+		}
+		steps++
+	}
+	if steps != 2 {
+		t.Fatalf("depositChecking executed %d statements, want 2", steps)
+	}
+	k := store.MakeKey(store.IntV(1))
+	if got := ms.Read("CHECKING", k, "chk_bal"); !got.Equal(store.IntV(1025)) {
+		t.Fatalf("balance %v after deposit, want 1025", got)
+	}
+}
+
+func TestMajorityRTT(t *testing.T) {
+	if got := USCluster.majorityRTT(0); got != 11_000 {
+		t.Errorf("US majority RTT from primary = %d, want 11000 (Ohio)", got)
+	}
+	if got := GlobalCluster.majorityRTT(0); got != 75_000 {
+		t.Errorf("Global majority RTT = %d, want 75000 (London)", got)
+	}
+}

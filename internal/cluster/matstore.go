@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"atropos/internal/ast"
+	"atropos/internal/store"
+)
+
+// DBView is the read interface transactions execute against: a replica's
+// materialized state, optionally overlaid with a transaction's buffered
+// writes (SC mode reads-your-writes before commit).
+type DBView interface {
+	Schema(table string) *ast.Schema
+	Read(table string, key store.Key, field string) store.Value
+	Alive(table string, key store.Key) bool
+	Keys(table string) []store.Key
+}
+
+// WriteOp is one field write produced by a statement, applied by the
+// caller (immediately under EC, at commit under SC) and shipped to the
+// other replicas.
+type WriteOp struct {
+	Table string
+	Key   store.Key
+	Field string
+	Val   store.Value
+}
+
+// MatStore is a replica's materialized state: current field values with
+// per-field last-writer-wins timestamps for replication merging.
+type MatStore struct {
+	prog   *ast.Program
+	tables map[string]*matTable
+}
+
+type matTable struct {
+	rows map[store.Key]*matRow
+	keys []store.Key // sorted, for deterministic scans
+}
+
+type matRow struct {
+	fields store.Row
+	ts     map[string]int64
+}
+
+// NewMatStore creates an empty replica state for the program.
+func NewMatStore(prog *ast.Program) *MatStore {
+	ms := &MatStore{prog: prog, tables: map[string]*matTable{}}
+	for _, s := range prog.Schemas {
+		ms.tables[s.Name] = &matTable{rows: map[store.Key]*matRow{}}
+	}
+	return ms
+}
+
+// Load installs an initial record (alive, timestamp 0). Missing fields get
+// zero values; the key derives from the schema's primary-key fields.
+func (ms *MatStore) Load(table string, row store.Row) error {
+	s := ms.prog.Schema(table)
+	if s == nil {
+		return fmt.Errorf("cluster: unknown table %q", table)
+	}
+	t := ms.tables[table]
+	full := store.Row{}
+	for _, f := range s.Fields {
+		if v, ok := row[f.Name]; ok {
+			full[f.Name] = v
+		} else {
+			full[f.Name] = store.Zero(f.Type)
+		}
+	}
+	if v, ok := row[ast.AliveField]; ok {
+		full[ast.AliveField] = v
+	} else {
+		full[ast.AliveField] = store.BoolV(true)
+	}
+	var pk []store.Value
+	for _, f := range s.PrimaryKey() {
+		pk = append(pk, full[f.Name])
+	}
+	key := store.MakeKey(pk...)
+	if _, exists := t.rows[key]; !exists {
+		t.insertKey(key)
+	}
+	t.rows[key] = &matRow{fields: full, ts: map[string]int64{}}
+	return nil
+}
+
+// Clone copies the state (used to give each replica an identical start).
+func (ms *MatStore) Clone() *MatStore {
+	out := &MatStore{prog: ms.prog, tables: map[string]*matTable{}}
+	for name, t := range ms.tables {
+		nt := &matTable{rows: make(map[store.Key]*matRow, len(t.rows)), keys: append([]store.Key(nil), t.keys...)}
+		for k, r := range t.rows {
+			nr := &matRow{fields: r.fields.Clone(), ts: make(map[string]int64, len(r.ts))}
+			for f, ts := range r.ts {
+				nr.ts[f] = ts
+			}
+			nt.rows[k] = nr
+		}
+		out.tables[name] = nt
+	}
+	return out
+}
+
+func (t *matTable) insertKey(k store.Key) {
+	i := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= k })
+	t.keys = append(t.keys, "")
+	copy(t.keys[i+1:], t.keys[i:])
+	t.keys[i] = k
+}
+
+// Schema implements DBView.
+func (ms *MatStore) Schema(table string) *ast.Schema { return ms.prog.Schema(table) }
+
+// Read implements DBView; unknown records read zero values.
+func (ms *MatStore) Read(table string, key store.Key, field string) store.Value {
+	t := ms.tables[table]
+	if t != nil {
+		if r, ok := t.rows[key]; ok {
+			if v, ok := r.fields[field]; ok {
+				return v
+			}
+		}
+	}
+	if s := ms.prog.Schema(table); s != nil {
+		if f := s.Field(field); f != nil {
+			return store.Zero(f.Type)
+		}
+	}
+	return store.Value{}
+}
+
+// Alive implements DBView.
+func (ms *MatStore) Alive(table string, key store.Key) bool {
+	v := ms.Read(table, key, ast.AliveField)
+	return v.T == ast.TBool && v.B
+}
+
+// Keys implements DBView (sorted).
+func (ms *MatStore) Keys(table string) []store.Key {
+	t := ms.tables[table]
+	if t == nil {
+		return nil
+	}
+	return t.keys
+}
+
+// Apply merges one write with last-writer-wins semantics at the given
+// timestamp (timestamps must be unique across the run; the driver encodes
+// virtual time and a sequence number).
+func (ms *MatStore) Apply(w WriteOp, ts int64) {
+	t := ms.tables[w.Table]
+	if t == nil {
+		return
+	}
+	r, ok := t.rows[w.Key]
+	if !ok {
+		r = &matRow{fields: store.Row{}, ts: map[string]int64{}}
+		// Initialize declared fields to zero so reads are well-typed.
+		if s := ms.prog.Schema(w.Table); s != nil {
+			for _, f := range s.Fields {
+				r.fields[f.Name] = store.Zero(f.Type)
+			}
+			r.fields[ast.AliveField] = store.BoolV(false)
+		}
+		t.rows[w.Key] = r
+		t.insertKey(w.Key)
+	}
+	if ts >= r.ts[w.Field] {
+		r.fields[w.Field] = w.Val
+		r.ts[w.Field] = ts
+	}
+}
+
+// Overlay is a DBView layering a transaction's buffered writes over a
+// base state (SC transactions read their own uncommitted writes).
+type Overlay struct {
+	Base   DBView
+	writes map[string]map[store.Key]store.Row
+}
+
+// NewOverlay creates an empty overlay over base.
+func NewOverlay(base DBView) *Overlay {
+	return &Overlay{Base: base, writes: map[string]map[store.Key]store.Row{}}
+}
+
+// Buffer records a pending write.
+func (o *Overlay) Buffer(w WriteOp) {
+	t := o.writes[w.Table]
+	if t == nil {
+		t = map[store.Key]store.Row{}
+		o.writes[w.Table] = t
+	}
+	r := t[w.Key]
+	if r == nil {
+		r = store.Row{}
+		t[w.Key] = r
+	}
+	r[w.Field] = w.Val
+}
+
+// Writes returns the buffered writes in deterministic order.
+func (o *Overlay) Writes() []WriteOp {
+	var tables []string
+	for t := range o.writes {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	var out []WriteOp
+	for _, tn := range tables {
+		var keys []store.Key
+		for k := range o.writes[tn] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			row := o.writes[tn][k]
+			var fields []string
+			for f := range row {
+				fields = append(fields, f)
+			}
+			sort.Strings(fields)
+			for _, f := range fields {
+				out = append(out, WriteOp{Table: tn, Key: k, Field: f, Val: row[f]})
+			}
+		}
+	}
+	return out
+}
+
+// Schema implements DBView.
+func (o *Overlay) Schema(table string) *ast.Schema { return o.Base.Schema(table) }
+
+// Read implements DBView.
+func (o *Overlay) Read(table string, key store.Key, field string) store.Value {
+	if t, ok := o.writes[table]; ok {
+		if r, ok := t[key]; ok {
+			if v, ok := r[field]; ok {
+				return v
+			}
+		}
+	}
+	return o.Base.Read(table, key, field)
+}
+
+// Alive implements DBView.
+func (o *Overlay) Alive(table string, key store.Key) bool {
+	v := o.Read(table, key, ast.AliveField)
+	return v.T == ast.TBool && v.B
+}
+
+// Keys implements DBView: base keys plus overlay-created keys.
+func (o *Overlay) Keys(table string) []store.Key {
+	base := o.Base.Keys(table)
+	t, ok := o.writes[table]
+	if !ok {
+		return base
+	}
+	seen := map[store.Key]bool{}
+	for _, k := range base {
+		seen[k] = true
+	}
+	extra := false
+	for k := range t {
+		if !seen[k] {
+			extra = true
+		}
+	}
+	if !extra {
+		return base
+	}
+	out := append([]store.Key(nil), base...)
+	for k := range t {
+		if !seen[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,107 @@
+// Package cluster is a deterministic discrete-event simulator of a
+// three-replica geo-distributed document store, standing in for the
+// paper's MongoDB deployment on AWS (§7.2; see DESIGN.md §2 for the
+// substitution argument). It models:
+//
+//   - per-topology network round-trip times (VA / US / Global clusters);
+//   - per-replica service stations (statement execution costs queue);
+//   - EC mode: statements execute at the client's home replica and
+//     replicate asynchronously with last-writer-wins merging;
+//   - SC mode: transactions route to the primary, take record locks
+//     (two-phase locking), and each write waits for a majority
+//     acknowledgement round-trip — the coordination the paper blames for
+//     SC's cost;
+//   - AT-SC mode: only the transactions the repair left anomalous run SC,
+//     the rest run EC (the paper's ▲ AT-SC configuration).
+//
+// All state lives in one goroutine driven by a virtual-time event queue,
+// so runs are deterministic given a seed.
+package cluster
+
+import "container/heap"
+
+// Sim is a virtual-time discrete-event loop. Times are in microseconds.
+type Sim struct {
+	now   int64
+	seq   int64
+	queue eventHeap
+}
+
+type event struct {
+	at  int64
+	seq int64 // tie-breaker for determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Now returns the current virtual time in microseconds.
+func (s *Sim) Now() int64 { return s.now }
+
+// At schedules fn to run after delay microseconds (clamped to now).
+func (s *Sim) At(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.queue, event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run processes events until the queue drains or virtual time passes
+// until (microseconds).
+func (s *Sim) Run(until int64) {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(event)
+		if e.at > until {
+			s.now = until
+			return
+		}
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// station is a FIFO k-server queue modeled by per-server busy-until
+// horizons: a job arriving at t with cost c runs on the earliest-free
+// server and completes at max(t, horizon) + c.
+type station struct {
+	horizons []int64
+}
+
+func newStation(servers int) station {
+	if servers < 1 {
+		servers = 1
+	}
+	return station{horizons: make([]int64, servers)}
+}
+
+// serve returns the completion time of a job with the given cost arriving
+// now, and advances the chosen server's horizon.
+func (st *station) serve(now, cost int64) int64 {
+	if len(st.horizons) == 0 {
+		st.horizons = []int64{0}
+	}
+	best := 0
+	for i, h := range st.horizons {
+		if h < st.horizons[best] {
+			best = i
+		}
+	}
+	start := now
+	if st.horizons[best] > start {
+		start = st.horizons[best]
+	}
+	st.horizons[best] = start + cost
+	return st.horizons[best]
+}

@@ -1,0 +1,70 @@
+package cluster
+
+// Topology describes the three-node cluster's network geometry. RTT values
+// are microseconds for a full round trip between replicas.
+type Topology struct {
+	Name string
+	// RTT[i][j] is the round-trip time between replicas i and j.
+	RTT [3][3]int64
+	// ClientRTT is the round trip between a client and its home replica
+	// (clients are colocated with their region's replica).
+	ClientRTT int64
+}
+
+func symmetric(ab, ac, bc int64) [3][3]int64 {
+	return [3][3]int64{
+		{0, ab, ac},
+		{ab, 0, bc},
+		{ac, bc, 0},
+	}
+}
+
+// The paper's three deployments (§7.2, App. A.1): a single-datacenter
+// cluster in N. Virginia, a US-wide cluster (N. Virginia / Ohio / Oregon),
+// and a global cluster (N. Virginia / London / Tokyo). RTTs follow typical
+// inter-region measurements.
+var (
+	VACluster = Topology{
+		Name:      "VA",
+		RTT:       symmetric(400, 400, 400), // intra-datacenter: ~0.4 ms
+		ClientRTT: 250,
+	}
+	USCluster = Topology{
+		Name:      "US",
+		RTT:       symmetric(11_000, 75_000, 50_000), // VA-OH, VA-OR, OH-OR
+		ClientRTT: 250,
+	}
+	GlobalCluster = Topology{
+		Name:      "Global",
+		RTT:       symmetric(75_000, 170_000, 240_000), // VA-LON, VA-TYO, LON-TYO
+		ClientRTT: 250,
+	}
+)
+
+// Topologies lists the three clusters in paper order (Figs. 13–15).
+func Topologies() []Topology { return []Topology{VACluster, USCluster, GlobalCluster} }
+
+// TopologyByName returns the named topology; ok is false if unknown.
+func TopologyByName(name string) (Topology, bool) {
+	for _, t := range Topologies() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Topology{}, false
+}
+
+// majorityRTT is the round trip the primary needs for a majority ack: the
+// fastest of the two other replicas.
+func (t Topology) majorityRTT(primary int) int64 {
+	best := int64(-1)
+	for j := 0; j < 3; j++ {
+		if j == primary {
+			continue
+		}
+		if best == -1 || t.RTT[primary][j] < best {
+			best = t.RTT[primary][j]
+		}
+	}
+	return best
+}

@@ -1,0 +1,55 @@
+// Package core wires the Atropos pipeline together (paper Fig. 4): the
+// static anomaly detector feeds the preprocessing and refactoring engine,
+// whose output is post-processed and re-analyzed. It is the programmatic
+// entry point the CLI, the experiment harness, and the public root package
+// build on.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"atropos/internal/anomaly"
+	"atropos/internal/ast"
+	"atropos/internal/parser"
+	"atropos/internal/repair"
+	"atropos/internal/sema"
+)
+
+// Result is the outcome of one pipeline run.
+type Result struct {
+	// Repair carries the refactored program, the correspondences, and the
+	// before/after anomaly sets.
+	Repair *repair.Result
+	// Elapsed is the total analyze-and-repair wall time (the paper's
+	// "Time (s)" column of Table 1).
+	Elapsed time.Duration
+}
+
+// LoadProgram parses and semantically checks DSL source.
+func LoadProgram(src string) (*ast.Program, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := sema.Check(p); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return p, nil
+}
+
+// Run executes the full pipeline on a checked program under the given
+// consistency model.
+func Run(prog *ast.Program, model anomaly.Model) (*Result, error) {
+	start := time.Now()
+	rep, err := repair.Repair(prog, model)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Repair: rep, Elapsed: time.Since(start)}, nil
+}
+
+// Analyze runs only the anomaly oracle.
+func Analyze(prog *ast.Program, model anomaly.Model) (*anomaly.Report, error) {
+	return anomaly.Detect(prog, model)
+}

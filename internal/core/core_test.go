@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"atropos/internal/anomaly"
+)
+
+const src = `
+table T { id: int key, n: int, }
+txn bump(k: int) {
+  x := select n from T where id = k;
+  update T set n = x.n + 1 where id = k;
+}
+`
+
+func TestLoadProgram(t *testing.T) {
+	p, err := LoadProgram(src)
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	if p.Txn("bump") == nil {
+		t.Fatal("bump missing")
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	if _, err := LoadProgram("table T {"); err == nil || !strings.Contains(err.Error(), "core:") {
+		t.Errorf("parse error not wrapped: %v", err)
+	}
+	if _, err := LoadProgram("table T { n: int, }"); err == nil {
+		t.Error("sema error not surfaced")
+	}
+}
+
+func TestRunPipeline(t *testing.T) {
+	p, err := LoadProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, anomaly.EC)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not measured")
+	}
+	if len(res.Repair.Initial) == 0 {
+		t.Error("no anomalies detected")
+	}
+	if len(res.Repair.Remaining) != 0 {
+		t.Errorf("remaining: %v", res.Repair.Remaining)
+	}
+}
+
+func TestAnalyzeOnly(t *testing.T) {
+	p, err := LoadProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(p, anomaly.SC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count() != 0 {
+		t.Errorf("SC anomalies = %d, want 0", rep.Count())
+	}
+}

@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"atropos/internal/anomaly"
+	"atropos/internal/ast"
+	"atropos/internal/benchmarks"
+	"atropos/internal/cluster"
+	"atropos/internal/metrics"
+	"atropos/internal/refactor"
+	"atropos/internal/repair"
+	"atropos/internal/store"
+)
+
+// PerfConfig drives one Fig. 12/13/14/15 panel: one benchmark on one
+// topology across a range of client counts, measuring the four deployments
+// (EC, AT-EC, SC, AT-SC).
+type PerfConfig struct {
+	Benchmark    *benchmarks.Benchmark
+	Topology     cluster.Topology
+	ClientCounts []int
+	Duration     time.Duration // per point; the paper uses 90 s
+	Warmup       time.Duration
+	Scale        benchmarks.Scale
+	Seed         int64
+}
+
+// PerfResult bundles the four measured curves of one panel.
+type PerfResult struct {
+	Benchmark string
+	Topology  string
+	// Series order: EC, AT-EC, SC, AT-SC (the paper's legend).
+	Series []metrics.Series
+}
+
+// Perf runs one panel. The AT variants run the repaired program on an
+// initial state produced by the schema migration; AT-SC serializes exactly
+// the transactions the repair left anomalous.
+func Perf(cfg PerfConfig) (*PerfResult, error) {
+	b := cfg.Benchmark
+	prog, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 90 * time.Second
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 2 * time.Second
+	}
+	if len(cfg.ClientCounts) == 0 {
+		cfg.ClientCounts = []int{10, 25, 50, 100, 150, 200, 250}
+	}
+	rep, err := repair.Repair(prog, anomaly.EC)
+	if err != nil {
+		return nil, err
+	}
+	rows := b.Rows(cfg.Scale)
+	atRows, err := MigrateRows(prog, rep.Program, rep.Corrs, rows)
+	if err != nil {
+		return nil, err
+	}
+	serializable := map[string]bool{}
+	for _, t := range rep.SerializableTxns {
+		serializable[t] = true
+	}
+	allSerializable := map[string]bool{}
+	for _, t := range prog.Txns {
+		allSerializable[t.Name] = true
+	}
+
+	variants := []struct {
+		label   string
+		prog    *ast.Program
+		rows    []benchmarks.TableRow
+		mode    cluster.Mode
+		serTxns map[string]bool
+	}{
+		{"EC", prog, rows, cluster.ModeEC, nil},
+		{"AT-EC", rep.Program, atRows, cluster.ModeEC, nil},
+		{"SC", prog, rows, cluster.ModeSC, allSerializable},
+		{"AT-SC", rep.Program, atRows, cluster.ModeATSC, serializable},
+	}
+	out := &PerfResult{Benchmark: b.Name, Topology: cfg.Topology.Name}
+	for _, v := range variants {
+		series := metrics.Series{Label: v.label}
+		for _, clients := range cfg.ClientCounts {
+			run, err := cluster.Run(cluster.Config{
+				Program:          v.prog,
+				Mix:              b.Mix,
+				Scale:            cfg.Scale,
+				Rows:             v.rows,
+				Topology:         cfg.Topology,
+				Clients:          clients,
+				Duration:         cfg.Duration,
+				Warmup:           cfg.Warmup,
+				Seed:             cfg.Seed + int64(clients),
+				Mode:             v.mode,
+				SerializableTxns: v.serTxns,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("perf: %s %s %d clients: %w", b.Name, v.label, clients, err)
+			}
+			series.Points = append(series.Points, run.Point)
+		}
+		out.Series = append(out.Series, series)
+	}
+	return out, nil
+}
+
+// MigrateRows converts a benchmark's initial rows into the refactored
+// program's initial state via the recorded value correspondences.
+func MigrateRows(orig, refactored *ast.Program, corrs []refactor.ValueCorr, rows []benchmarks.TableRow) ([]benchmarks.TableRow, error) {
+	db := store.NewDB(orig)
+	for _, r := range rows {
+		if _, err := db.Load(r.Table, r.Row); err != nil {
+			return nil, err
+		}
+	}
+	mdb, err := refactor.Migrate(db, orig, refactored, corrs)
+	if err != nil {
+		return nil, err
+	}
+	return DumpRows(mdb, refactored), nil
+}
+
+// DumpRows materializes a store's full view as loadable rows.
+func DumpRows(db *store.DB, prog *ast.Program) []benchmarks.TableRow {
+	view := db.FullView()
+	var out []benchmarks.TableRow
+	for _, s := range prog.Schemas {
+		for _, k := range view.Keys(s.Name) {
+			if !view.Alive(s.Name, k) {
+				continue
+			}
+			out = append(out, benchmarks.TableRow{Table: s.Name, Row: view.Row(s.Name, k)})
+		}
+	}
+	return out
+}
+
+// Format renders the panel: throughput and latency per series, matching
+// the two stacked plots of each figure.
+func (r *PerfResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s on %s cluster ===\n", r.Benchmark, r.Topology)
+	for _, s := range r.Series {
+		b.WriteString(s.Format())
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+// Package exp implements the experiment harness: one entry point per table
+// and figure of the paper's evaluation (§7, Appendix A), each returning the
+// data series the paper plots and a formatter producing the corresponding
+// rows. DESIGN.md §5 maps every experiment to these functions.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"atropos/internal/anomaly"
+	"atropos/internal/benchmarks"
+	"atropos/internal/core"
+)
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Benchmark  string
+	Txns       int
+	TablesOrig int
+	TablesRef  int
+	EC         int // anomalous access pairs under eventual consistency
+	AT         int // remaining after Atropos repair
+	CC         int // under causal consistency
+	RR         int // under repeatable read
+	Time       time.Duration
+}
+
+// Table1 reproduces Table 1: statically identified anomalous access pairs
+// in the original and refactored programs, per consistency model, plus
+// analysis+repair time.
+func Table1(benches []*benchmarks.Benchmark) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, b := range benches {
+		prog, err := b.Program()
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := core.Run(prog, anomaly.EC)
+		if err != nil {
+			return nil, fmt.Errorf("table1: %s: %w", b.Name, err)
+		}
+		cc, err := core.Analyze(prog, anomaly.CC)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := core.Analyze(prog, anomaly.RR)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Benchmark:  b.Name,
+			Txns:       len(prog.Txns),
+			TablesOrig: len(prog.Schemas),
+			TablesRef:  len(res.Repair.Program.Schemas),
+			EC:         len(res.Repair.Initial),
+			AT:         len(res.Repair.Remaining),
+			CC:         cc.Count(),
+			RR:         rr.Count(),
+			Time:       time.Since(start),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %8s %5s %5s %5s %5s %9s\n",
+		"Benchmark", "#Txns", "#Tables", "EC", "AT", "CC", "RR", "Time(s)")
+	totalEC, totalAT := 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6d %4d,%3d %5d %5d %5d %5d %9.1f\n",
+			r.Benchmark, r.Txns, r.TablesOrig, r.TablesRef, r.EC, r.AT, r.CC, r.RR, r.Time.Seconds())
+		totalEC += r.EC
+		totalAT += r.AT
+	}
+	if totalEC > 0 {
+		fmt.Fprintf(&b, "repaired: %d/%d anomalous access pairs (%.0f%%)\n",
+			totalEC-totalAT, totalEC, 100*float64(totalEC-totalAT)/float64(totalEC))
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"atropos/internal/ast"
+	"atropos/internal/store"
+)
+
+// Call names a transaction invocation for the exploration harness.
+type Call struct {
+	Txn  string
+	Args map[string]store.Value
+}
+
+// RunSerial executes the calls one after another under full views: a
+// serializable reference execution. It returns the per-call results.
+func RunSerial(prog *ast.Program, db *store.DB, calls []Call) ([]store.Value, error) {
+	var results []store.Value
+	pol := SerializablePolicy{}
+	for i, c := range calls {
+		txn := prog.Txn(c.Txn)
+		if txn == nil {
+			return nil, fmt.Errorf("interp: unknown transaction %q", c.Txn)
+		}
+		in, err := NewInstance(i, prog, txn, c.Args)
+		if err != nil {
+			return nil, err
+		}
+		if err := in.Run(db, pol); err != nil {
+			return nil, err
+		}
+		v, _ := in.Result()
+		results = append(results, v)
+	}
+	return results, nil
+}
+
+// RunConcurrent interleaves the calls under the given view policy with a
+// uniformly random scheduler: at each step a random unfinished instance
+// executes one database command. It returns the finished instances.
+func RunConcurrent(prog *ast.Program, db *store.DB, policy ViewPolicy, calls []Call, rng *rand.Rand) ([]*Instance, error) {
+	instances := make([]*Instance, len(calls))
+	for i, c := range calls {
+		txn := prog.Txn(c.Txn)
+		if txn == nil {
+			return nil, fmt.Errorf("interp: unknown transaction %q", c.Txn)
+		}
+		in, err := NewInstance(i, prog, txn, c.Args)
+		if err != nil {
+			return nil, err
+		}
+		instances[i] = in
+	}
+	live := make([]*Instance, len(instances))
+	copy(live, instances)
+	for len(live) > 0 {
+		i := rng.Intn(len(live))
+		in := live[i]
+		_, err := in.Step(db, policy)
+		if err != nil {
+			return nil, err
+		}
+		if in.Done() {
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return instances, nil
+}

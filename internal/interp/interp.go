@@ -1,0 +1,524 @@
+// Package interp executes transactions against the event store following the
+// paper's operational semantics (Fig. 6). Execution is small-step at the
+// granularity of database commands: Step runs local control flow silently
+// and performs exactly one SELECT/UPDATE/INSERT, so an external scheduler
+// can interleave concurrent transaction instances arbitrarily. Each command
+// observes a local view of the store supplied by a ViewPolicy — this is how
+// weak consistency models (EC, causal, repeatable read) are realized.
+package interp
+
+import (
+	"fmt"
+
+	"atropos/internal/ast"
+	"atropos/internal/store"
+)
+
+// Instance is a running transaction instance: the tuple (continuation,
+// return expression, local store Δ) of the semantics.
+type Instance struct {
+	ID   int
+	Txn  *ast.Txn
+	Args map[string]store.Value
+
+	prog    *ast.Program
+	env     map[string]store.ResultSet
+	envTab  map[string]string // var -> table, for typing empty results
+	frames  []*frame
+	done    bool
+	retVal  store.Value
+	hasRet  bool
+	uuidSeq int64
+	// OwnBatches are the IDs of batches this instance committed, in order.
+	OwnBatches []int
+	// SeenBatches accumulates every batch ID this instance has observed
+	// through any of its local views (used by session-aware policies).
+	SeenBatches map[int]bool
+	// started marks that the first command has executed (snapshot policies).
+	started bool
+}
+
+type frame struct {
+	stmts []ast.Stmt
+	idx   int
+	// iterate bookkeeping: when body completes, restart until iterIdx ==
+	// iterCount. iterIdx is 1-based during execution, matching at₁.
+	isIter    bool
+	iterCount int64
+	iterIdx   int64
+}
+
+// NewInstance prepares an instance of txn with the given arguments
+// (txn-invoke of Fig. 6). Arguments are checked against the parameter list.
+func NewInstance(id int, prog *ast.Program, txn *ast.Txn, args map[string]store.Value) (*Instance, error) {
+	if len(args) != len(txn.Params) {
+		return nil, fmt.Errorf("interp: %s expects %d args, got %d", txn.Name, len(txn.Params), len(args))
+	}
+	for _, p := range txn.Params {
+		v, ok := args[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("interp: %s: missing argument %q", txn.Name, p.Name)
+		}
+		if v.T != p.Type {
+			return nil, fmt.Errorf("interp: %s: argument %q has type %v, want %v", txn.Name, p.Name, v.T, p.Type)
+		}
+	}
+	return &Instance{
+		ID:          id,
+		Txn:         txn,
+		Args:        args,
+		prog:        prog,
+		env:         map[string]store.ResultSet{},
+		envTab:      map[string]string{},
+		frames:      []*frame{{stmts: txn.Body}},
+		SeenBatches: map[int]bool{},
+	}, nil
+}
+
+// Done reports whether the instance has finished executing.
+func (in *Instance) Done() bool { return in.done }
+
+// Result returns the transaction's return value; ok is false if the
+// transaction has no return expression or has not finished.
+func (in *Instance) Result() (store.Value, bool) { return in.retVal, in.hasRet && in.done }
+
+// Started reports whether the instance has executed at least one command.
+func (in *Instance) Started() bool { return in.started }
+
+// ViewPolicy supplies the local view each database command executes under,
+// realizing a consistency model.
+type ViewPolicy interface {
+	// View returns the local view for the instance's next command.
+	View(db *store.DB, in *Instance) *store.View
+	// Committed notifies the policy that the instance committed a batch.
+	Committed(in *Instance, batchID int)
+}
+
+// Step advances the instance until it has executed exactly one database
+// command (or finished). It returns true if the instance is still running.
+func (in *Instance) Step(db *store.DB, policy ViewPolicy) (bool, error) {
+	if in.done {
+		return false, nil
+	}
+	for {
+		if len(in.frames) == 0 {
+			// Body exhausted: evaluate the return expression (txn-ret).
+			if in.Txn.Ret != nil {
+				v, err := in.eval(in.Txn.Ret, nil, db)
+				if err != nil {
+					return false, fmt.Errorf("interp: %s: return: %w", in.Txn.Name, err)
+				}
+				in.retVal, in.hasRet = v, true
+			}
+			in.done = true
+			return false, nil
+		}
+		f := in.frames[len(in.frames)-1]
+		if f.idx >= len(f.stmts) {
+			if f.isIter && f.iterIdx < f.iterCount {
+				f.iterIdx++
+				f.idx = 0
+				continue
+			}
+			in.frames = in.frames[:len(in.frames)-1]
+			continue
+		}
+		s := f.stmts[f.idx]
+		f.idx++
+		switch x := s.(type) {
+		case *ast.Skip:
+			continue
+		case *ast.If:
+			v, err := in.eval(x.Cond, nil, db)
+			if err != nil {
+				return false, in.cmdErr("if", err)
+			}
+			if v.T == ast.TBool && v.B {
+				in.frames = append(in.frames, &frame{stmts: x.Then})
+			}
+			continue
+		case *ast.Iterate:
+			v, err := in.eval(x.Count, nil, db)
+			if err != nil {
+				return false, in.cmdErr("iterate", err)
+			}
+			if v.T == ast.TInt && v.I > 0 {
+				in.frames = append(in.frames, &frame{stmts: x.Body, isIter: true, iterCount: v.I, iterIdx: 1})
+			}
+			continue
+		case *ast.Select:
+			if err := in.execSelect(x, db, policy); err != nil {
+				return false, err
+			}
+			return true, nil
+		case *ast.Update:
+			if err := in.execUpdate(x, db, policy); err != nil {
+				return false, err
+			}
+			return true, nil
+		case *ast.Insert:
+			if err := in.execInsert(x, db, policy); err != nil {
+				return false, err
+			}
+			return true, nil
+		default:
+			return false, fmt.Errorf("interp: %s: unknown statement %T", in.Txn.Name, s)
+		}
+	}
+}
+
+// Run drives the instance to completion (serial execution of the rest of
+// the transaction).
+func (in *Instance) Run(db *store.DB, policy ViewPolicy) error {
+	for {
+		more, err := in.Step(db, policy)
+		if err != nil {
+			return err
+		}
+		if !more && in.done {
+			return nil
+		}
+	}
+}
+
+func (in *Instance) cmdErr(label string, err error) error {
+	return fmt.Errorf("interp: %s.%s: %w", in.Txn.Name, label, err)
+}
+
+func (in *Instance) qualified(label string) string {
+	return in.Txn.Name + "." + label
+}
+
+func (in *Instance) observe(view *store.View) {
+	for _, id := range view.VisibleIDs() {
+		in.SeenBatches[id] = true
+	}
+}
+
+func (in *Instance) execSelect(x *ast.Select, db *store.DB, policy ViewPolicy) error {
+	view := policy.View(db, in)
+	in.started = true
+	in.observe(view)
+	ts := db.NextTS()
+	schema := db.Schema(x.Table)
+	if schema == nil {
+		return in.cmdErr(x.Label, fmt.Errorf("unknown table %q", x.Table))
+	}
+	var fields []string
+	if x.Star {
+		for _, f := range schema.Fields {
+			fields = append(fields, f.Name)
+		}
+	} else {
+		fields = x.Fields
+	}
+	var rs store.ResultSet
+	for _, key := range view.Keys(x.Table) {
+		if !view.Alive(x.Table, key) {
+			continue
+		}
+		row := view.Row(x.Table, key)
+		match, err := in.evalWhere(x.Where, row, db)
+		if err != nil {
+			return in.cmdErr(x.Label, err)
+		}
+		if !match {
+			continue
+		}
+		out := store.Row{}
+		for _, fn := range fields {
+			val, from := view.Read(x.Table, key, fn)
+			out[fn] = val
+			db.RecordRead(store.ReadEvent{
+				TS: ts, TxnID: in.ID, Cmd: in.qualified(x.Label),
+				Table: x.Table, Rec: key, Field: fn, Val: val, FromBatch: from,
+			})
+		}
+		rs = append(rs, store.ResultRow{Key: key, Fields: out})
+	}
+	in.env[x.Var] = rs
+	in.envTab[x.Var] = x.Table
+	return nil
+}
+
+func (in *Instance) execUpdate(x *ast.Update, db *store.DB, policy ViewPolicy) error {
+	view := policy.View(db, in)
+	in.started = true
+	in.observe(view)
+	ts := db.NextTS()
+	// Evaluate the assigned expressions once (they cannot reference this.f).
+	vals := make([]store.Value, len(x.Sets))
+	for i, a := range x.Sets {
+		v, err := in.eval(a.Expr, nil, db)
+		if err != nil {
+			return in.cmdErr(x.Label, err)
+		}
+		vals[i] = v
+	}
+	b := &store.Batch{TS: ts, TxnID: in.ID, Cmd: in.qualified(x.Label), Deps: view.VisibleIDs()}
+	for _, key := range view.Keys(x.Table) {
+		if !view.Alive(x.Table, key) {
+			continue
+		}
+		row := view.Row(x.Table, key)
+		match, err := in.evalWhere(x.Where, row, db)
+		if err != nil {
+			return in.cmdErr(x.Label, err)
+		}
+		if !match {
+			continue
+		}
+		for i, a := range x.Sets {
+			b.Writes = append(b.Writes, store.Write{Table: x.Table, Rec: key, Field: a.Field, Val: vals[i]})
+		}
+	}
+	if len(b.Writes) > 0 {
+		id := db.Commit(b)
+		in.OwnBatches = append(in.OwnBatches, id)
+		policy.Committed(in, id)
+	}
+	return nil
+}
+
+func (in *Instance) execInsert(x *ast.Insert, db *store.DB, policy ViewPolicy) error {
+	view := policy.View(db, in)
+	in.started = true
+	in.observe(view)
+	ts := db.NextTS()
+	schema := db.Schema(x.Table)
+	if schema == nil {
+		return in.cmdErr(x.Label, fmt.Errorf("unknown table %q", x.Table))
+	}
+	row := store.Row{}
+	for _, a := range x.Values {
+		v, err := in.eval(a.Expr, nil, db)
+		if err != nil {
+			return in.cmdErr(x.Label, err)
+		}
+		row[a.Field] = v
+	}
+	var pkVals []store.Value
+	for _, pk := range schema.PrimaryKey() {
+		v, ok := row[pk.Name]
+		if !ok {
+			return in.cmdErr(x.Label, fmt.Errorf("insert misses primary-key field %q", pk.Name))
+		}
+		pkVals = append(pkVals, v)
+	}
+	key := store.MakeKey(pkVals...)
+	b := &store.Batch{TS: ts, TxnID: in.ID, Cmd: in.qualified(x.Label), Deps: view.VisibleIDs()}
+	for f, v := range row {
+		b.Writes = append(b.Writes, store.Write{Table: x.Table, Rec: key, Field: f, Val: v})
+	}
+	b.Writes = append(b.Writes, store.Write{Table: x.Table, Rec: key, Field: ast.AliveField, Val: store.BoolV(true)})
+	id := db.Commit(b)
+	in.OwnBatches = append(in.OwnBatches, id)
+	policy.Committed(in, id)
+	return nil
+}
+
+// evalWhere evaluates φ with this bound to row.
+func (in *Instance) evalWhere(w ast.Expr, row store.Row, db *store.DB) (bool, error) {
+	if w == nil {
+		return false, fmt.Errorf("missing where clause")
+	}
+	v, err := in.evalIn(w, row, nil, db)
+	if err != nil {
+		return false, err
+	}
+	return v.T == ast.TBool && v.B, nil
+}
+
+// eval evaluates e outside a where clause.
+func (in *Instance) eval(e ast.Expr, this store.Row, db *store.DB) (store.Value, error) {
+	return in.evalIn(e, this, nil, db)
+}
+
+func (in *Instance) evalIn(e ast.Expr, this store.Row, _ any, db *store.DB) (store.Value, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return store.IntV(x.Val), nil
+	case *ast.BoolLit:
+		return store.BoolV(x.Val), nil
+	case *ast.StringLit:
+		return store.StringV(x.Val), nil
+	case *ast.UUID:
+		// uuid() values are scoped per transaction instance so that
+		// corresponding executions of an original and a refactored program
+		// (same instance IDs, same schedule) draw identical identifiers —
+		// the renaming-free refinement the containment checker compares.
+		in.uuidSeq++
+		return store.IntV(-(int64(in.ID+1)<<20 + in.uuidSeq)), nil
+	case *ast.Arg:
+		v, ok := in.Args[x.Name]
+		if !ok {
+			return store.Value{}, fmt.Errorf("unknown argument %q", x.Name)
+		}
+		return v, nil
+	case *ast.IterVar:
+		for i := len(in.frames) - 1; i >= 0; i-- {
+			if in.frames[i].isIter {
+				return store.IntV(in.frames[i].iterIdx), nil
+			}
+		}
+		return store.Value{}, fmt.Errorf("iter outside iterate")
+	case *ast.ThisField:
+		if this == nil {
+			return store.Value{}, fmt.Errorf("this.%s outside where clause", x.Field)
+		}
+		v, ok := this[x.Field]
+		if !ok {
+			return store.Value{}, fmt.Errorf("record has no field %q", x.Field)
+		}
+		return v, nil
+	case *ast.FieldAt:
+		rs := in.env[x.Var]
+		idx := int64(1)
+		if x.Index != nil {
+			iv, err := in.evalIn(x.Index, this, nil, db)
+			if err != nil {
+				return store.Value{}, err
+			}
+			if iv.T != ast.TInt {
+				return store.Value{}, fmt.Errorf("at-index is not an int")
+			}
+			idx = iv.I
+		}
+		if idx < 1 || idx > int64(len(rs)) {
+			return in.zeroOf(x.Var, x.Field, db)
+		}
+		v, ok := rs[idx-1].Fields[x.Field]
+		if !ok {
+			return store.Value{}, fmt.Errorf("result %q has no field %q", x.Var, x.Field)
+		}
+		return v, nil
+	case *ast.Agg:
+		return in.evalAgg(x, db)
+	case *ast.Binary:
+		return in.evalBinary(x, this, db)
+	default:
+		return store.Value{}, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+// zeroOf returns the zero value of the field's declared type when an at
+// access misses (empty result set): the semantics of reading a record that
+// conceptually exists with default field values.
+func (in *Instance) zeroOf(varName, field string, db *store.DB) (store.Value, error) {
+	tab := in.envTab[varName]
+	if tab == "" {
+		return store.Value{}, fmt.Errorf("unknown variable %q", varName)
+	}
+	s := db.Schema(tab)
+	if s == nil {
+		return store.Value{}, fmt.Errorf("unknown table %q", tab)
+	}
+	f := s.Field(field)
+	if f == nil {
+		return store.Value{}, fmt.Errorf("table %s has no field %q", tab, field)
+	}
+	return store.Zero(f.Type), nil
+}
+
+func (in *Instance) evalAgg(x *ast.Agg, db *store.DB) (store.Value, error) {
+	rs, ok := in.env[x.Var]
+	if !ok {
+		if _, bound := in.envTab[x.Var]; !bound {
+			return store.Value{}, fmt.Errorf("unknown variable %q", x.Var)
+		}
+	}
+	if x.Fn == ast.AggCount {
+		return store.IntV(int64(len(rs))), nil
+	}
+	if len(rs) == 0 {
+		if x.Fn == ast.AggSum {
+			return store.IntV(0), nil
+		}
+		return in.zeroOf(x.Var, x.Field, db)
+	}
+	first, ok := rs[0].Fields[x.Field]
+	if !ok {
+		return store.Value{}, fmt.Errorf("result %q has no field %q", x.Var, x.Field)
+	}
+	switch x.Fn {
+	case ast.AggAny:
+		return first, nil
+	case ast.AggSum:
+		var total int64
+		for _, r := range rs {
+			total += r.Fields[x.Field].I
+		}
+		return store.IntV(total), nil
+	case ast.AggMin, ast.AggMax:
+		best := first
+		for _, r := range rs[1:] {
+			v := r.Fields[x.Field]
+			if (x.Fn == ast.AggMin && v.Less(best)) || (x.Fn == ast.AggMax && best.Less(v)) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return store.Value{}, fmt.Errorf("unknown aggregator %v", x.Fn)
+	}
+}
+
+func (in *Instance) evalBinary(x *ast.Binary, this store.Row, db *store.DB) (store.Value, error) {
+	l, err := in.evalIn(x.L, this, nil, db)
+	if err != nil {
+		return store.Value{}, err
+	}
+	// Short-circuit logical operators.
+	if x.Op == ast.OpAnd && l.T == ast.TBool && !l.B {
+		return store.BoolV(false), nil
+	}
+	if x.Op == ast.OpOr && l.T == ast.TBool && l.B {
+		return store.BoolV(true), nil
+	}
+	r, err := in.evalIn(x.R, this, nil, db)
+	if err != nil {
+		return store.Value{}, err
+	}
+	switch {
+	case x.Op.IsArith():
+		if l.T != ast.TInt || r.T != ast.TInt {
+			return store.Value{}, fmt.Errorf("arithmetic %s on non-int operands", x.Op)
+		}
+		switch x.Op {
+		case ast.OpAdd:
+			return store.IntV(l.I + r.I), nil
+		case ast.OpSub:
+			return store.IntV(l.I - r.I), nil
+		case ast.OpMul:
+			return store.IntV(l.I * r.I), nil
+		default:
+			if r.I == 0 {
+				return store.Value{}, fmt.Errorf("division by zero")
+			}
+			return store.IntV(l.I / r.I), nil
+		}
+	case x.Op.IsComparison():
+		switch x.Op {
+		case ast.OpEq:
+			return store.BoolV(l.Equal(r)), nil
+		case ast.OpNe:
+			return store.BoolV(!l.Equal(r)), nil
+		case ast.OpLt:
+			return store.BoolV(l.Less(r)), nil
+		case ast.OpLe:
+			return store.BoolV(l.Less(r) || l.Equal(r)), nil
+		case ast.OpGt:
+			return store.BoolV(r.Less(l)), nil
+		default:
+			return store.BoolV(r.Less(l) || l.Equal(r)), nil
+		}
+	default:
+		if l.T != ast.TBool || r.T != ast.TBool {
+			return store.Value{}, fmt.Errorf("logical %s on non-bool operands", x.Op)
+		}
+		if x.Op == ast.OpAnd {
+			return store.BoolV(l.B && r.B), nil
+		}
+		return store.BoolV(l.B || r.B), nil
+	}
+}

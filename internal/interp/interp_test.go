@@ -1,0 +1,398 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+
+	"atropos/internal/ast"
+	"atropos/internal/parser"
+	"atropos/internal/sema"
+	"atropos/internal/store"
+)
+
+const bankSrc = `
+table ACC { id: int key, bal: int, }
+
+txn deposit(k: int, amt: int) {
+  x := select bal from ACC where id = k;
+  update ACC set bal = x.bal + amt where id = k;
+  return x.bal + amt;
+}
+
+txn balance(k: int) {
+  x := select bal from ACC where id = k;
+  return x.bal;
+}
+
+txn openAcc(k: int) {
+  insert into ACC values (id = k, bal = 0);
+}
+`
+
+func mustProg(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := sema.Check(p); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return p
+}
+
+func TestSerialDeposit(t *testing.T) {
+	prog := mustProg(t, bankSrc)
+	db := store.NewDB(prog)
+	if _, err := db.Load("ACC", store.Row{"id": store.IntV(1), "bal": store.IntV(100)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSerial(prog, db, []Call{
+		{Txn: "deposit", Args: map[string]store.Value{"k": store.IntV(1), "amt": store.IntV(50)}},
+		{Txn: "balance", Args: map[string]store.Value{"k": store.IntV(1)}},
+	})
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	if !res[0].Equal(store.IntV(150)) {
+		t.Errorf("deposit returned %v, want 150", res[0])
+	}
+	if !res[1].Equal(store.IntV(150)) {
+		t.Errorf("balance returned %v, want 150", res[1])
+	}
+}
+
+func TestInsertThenSelect(t *testing.T) {
+	prog := mustProg(t, bankSrc)
+	db := store.NewDB(prog)
+	_, err := RunSerial(prog, db, []Call{
+		{Txn: "openAcc", Args: map[string]store.Value{"k": store.IntV(7)}},
+		{Txn: "deposit", Args: map[string]store.Value{"k": store.IntV(7), "amt": store.IntV(5)}},
+	})
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	res, err := RunSerial(prog, db, []Call{{Txn: "balance", Args: map[string]store.Value{"k": store.IntV(7)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Equal(store.IntV(5)) {
+		t.Errorf("balance = %v, want 5", res[0])
+	}
+}
+
+func TestLostUpdateUnderEC(t *testing.T) {
+	// Two concurrent deposits under EC must, for some seed, both read the
+	// initial balance and overwrite one another — the lost-update anomaly of
+	// Fig. 2 (right). Under serial execution the total is always preserved.
+	prog := mustProg(t, bankSrc)
+	lost := false
+	for seed := int64(0); seed < 40 && !lost; seed++ {
+		db := store.NewDB(prog)
+		if _, err := db.Load("ACC", store.Row{"id": store.IntV(1), "bal": store.IntV(0)}); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		policy := &ECPolicy{Rng: rng}
+		_, err := RunConcurrent(prog, db, policy, []Call{
+			{Txn: "deposit", Args: map[string]store.Value{"k": store.IntV(1), "amt": store.IntV(10)}},
+			{Txn: "deposit", Args: map[string]store.Value{"k": store.IntV(1), "amt": store.IntV(10)}},
+		}, rng)
+		if err != nil {
+			t.Fatalf("RunConcurrent: %v", err)
+		}
+		v, _ := db.FullView().Read("ACC", store.MakeKey(store.IntV(1)), "bal")
+		if v.I < 20 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Error("no lost update observed under EC across 40 seeds; policy too strong")
+	}
+}
+
+func TestSerialNeverLosesUpdates(t *testing.T) {
+	prog := mustProg(t, bankSrc)
+	db := store.NewDB(prog)
+	if _, err := db.Load("ACC", store.Row{"id": store.IntV(1), "bal": store.IntV(0)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := RunSerial(prog, db, []Call{
+			{Txn: "deposit", Args: map[string]store.Value{"k": store.IntV(1), "amt": store.IntV(10)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _ := db.FullView().Read("ACC", store.MakeKey(store.IntV(1)), "bal")
+	if v.I != 100 {
+		t.Errorf("balance = %d, want 100", v.I)
+	}
+}
+
+func TestIterateAndIf(t *testing.T) {
+	src := `
+table T { id: int key, n: int, }
+txn fill(base: int, cnt: int) {
+  iterate (cnt) {
+    insert into T values (id = base + iter, n = iter);
+  }
+}
+txn sumAll(lo: int, hi: int) {
+  x := select n from T where id >= lo && id <= hi;
+  if (count(x.n) > 0) {
+    update T set n = 0 where id = lo + 1;
+  }
+  return sum(x.n);
+}
+`
+	prog := mustProg(t, src)
+	db := store.NewDB(prog)
+	res, err := RunSerial(prog, db, []Call{
+		{Txn: "fill", Args: map[string]store.Value{"base": store.IntV(100), "cnt": store.IntV(4)}},
+		{Txn: "sumAll", Args: map[string]store.Value{"lo": store.IntV(100), "hi": store.IntV(200)}},
+	})
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	// iter is 1-based: records n=1..4, sum=10.
+	if !res[1].Equal(store.IntV(10)) {
+		t.Errorf("sum = %v, want 10", res[1])
+	}
+	// The if's update fired: record 101's n is zero now.
+	v, _ := db.FullView().Read("T", store.MakeKey(store.IntV(101)), "n")
+	if v.I != 0 {
+		t.Errorf("n(101) = %d, want 0", v.I)
+	}
+}
+
+func TestAtIndexAccess(t *testing.T) {
+	src := `
+table T { id: int key, n: int, }
+txn second(lo: int) {
+  x := select n from T where id >= lo;
+  return x.n[2];
+}
+`
+	prog := mustProg(t, src)
+	db := store.NewDB(prog)
+	for i := int64(1); i <= 3; i++ {
+		if _, err := db.Load("T", store.Row{"id": store.IntV(i), "n": store.IntV(i * 11)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := RunSerial(prog, db, []Call{{Txn: "second", Args: map[string]store.Value{"lo": store.IntV(0)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Equal(store.IntV(22)) {
+		t.Errorf("x.n[2] = %v, want 22 (keys sorted)", res[0])
+	}
+}
+
+func TestEmptyResultReadsZero(t *testing.T) {
+	prog := mustProg(t, bankSrc)
+	db := store.NewDB(prog)
+	res, err := RunSerial(prog, db, []Call{{Txn: "balance", Args: map[string]store.Value{"k": store.IntV(99)}}})
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	if !res[0].Equal(store.IntV(0)) {
+		t.Errorf("balance of missing account = %v, want 0", res[0])
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	src := `
+table T { id: int key, n: int, }
+txn stats(lo: int) {
+  x := select n from T where id >= lo;
+  return min(x.n) + max(x.n) * 1000 + count(x.n) * 1000000;
+}
+`
+	prog := mustProg(t, src)
+	db := store.NewDB(prog)
+	for i, n := range []int64{5, 2, 9} {
+		if _, err := db.Load("T", store.Row{"id": store.IntV(int64(i)), "n": store.IntV(n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := RunSerial(prog, db, []Call{{Txn: "stats", Args: map[string]store.Value{"lo": store.IntV(0)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2 + 9*1000 + 3*1000000)
+	if res[0].I != want {
+		t.Errorf("stats = %d, want %d", res[0].I, want)
+	}
+}
+
+func TestUUIDInsertFreshRows(t *testing.T) {
+	src := `
+table LOG { k: int key, lid: int key, v: int, }
+txn log(k: int, v: int) {
+  insert into LOG values (k = k, lid = uuid(), v = v);
+}
+txn total(k: int) {
+  x := select v from LOG where k = k;
+  return sum(x.v);
+}
+`
+	prog := mustProg(t, src)
+	db := store.NewDB(prog)
+	calls := []Call{
+		{Txn: "log", Args: map[string]store.Value{"k": store.IntV(1), "v": store.IntV(3)}},
+		{Txn: "log", Args: map[string]store.Value{"k": store.IntV(1), "v": store.IntV(4)}},
+		{Txn: "total", Args: map[string]store.Value{"k": store.IntV(1)}},
+	}
+	res, err := RunSerial(prog, db, calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[2].Equal(store.IntV(7)) {
+		t.Errorf("total = %v, want 7 (two distinct log rows)", res[2])
+	}
+}
+
+func TestInstanceArgChecking(t *testing.T) {
+	prog := mustProg(t, bankSrc)
+	txn := prog.Txn("deposit")
+	if _, err := NewInstance(0, prog, txn, map[string]store.Value{"k": store.IntV(1)}); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if _, err := NewInstance(0, prog, txn, map[string]store.Value{"k": store.IntV(1), "amt": store.StringV("x")}); err == nil {
+		t.Error("mistyped argument accepted")
+	}
+}
+
+func TestRRPolicySnapshotStable(t *testing.T) {
+	// Under RR, a transaction that reads the same record twice sees the same
+	// value even if another transaction commits in between.
+	src := `
+table T { id: int key, n: int, }
+txn readTwice(k: int) {
+  x := select n from T where id = k;
+  y := select n from T where id = k;
+  return x.n * 1000 + y.n;
+}
+txn bump(k: int) {
+  update T set n = 99 where id = k;
+}
+`
+	prog := mustProg(t, src)
+	db := store.NewDB(prog)
+	if _, err := db.Load("T", store.Row{"id": store.IntV(1), "n": store.IntV(7)}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pol := &RRPolicy{Rng: rng}
+	reader, err := NewInstance(0, prog, prog.Txn("readTwice"), map[string]store.Value{"k": store.IntV(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First read fixes the snapshot.
+	if _, err := reader.Step(db, pol); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent bump commits.
+	bumper, err := NewInstance(1, prog, prog.Txn("bump"), map[string]store.Value{"k": store.IntV(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bumper.Run(db, SerializablePolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	// Second read must not see it.
+	if err := reader.Run(db, pol); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := reader.Result()
+	if v.I != 7007 {
+		t.Errorf("readTwice = %d, want 7007 (same value twice)", v.I)
+	}
+}
+
+func TestCausalPolicyClosesDeps(t *testing.T) {
+	// A causal view that includes a dependent batch must include its
+	// dependencies: with P=0 nothing foreign is visible unless pulled in by
+	// session monotonicity; with P=1 everything is.
+	prog := mustProg(t, bankSrc)
+	db := store.NewDB(prog)
+	if _, err := db.Load("ACC", store.Row{"id": store.IntV(1), "bal": store.IntV(0)}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RunConcurrent(prog, db, &CausalPolicy{Rng: rng, P: 1.0}, []Call{
+		{Txn: "deposit", Args: map[string]store.Value{"k": store.IntV(1), "amt": store.IntV(10)}},
+		{Txn: "deposit", Args: map[string]store.Value{"k": store.IntV(1), "amt": store.IntV(10)}},
+	}, rng); err != nil {
+		t.Fatal(err)
+	}
+	// With P=1 every command saw everything committed so far; the outcome
+	// depends on interleaving but the store must remain well formed.
+	if db.NumBatches() != 2 {
+		t.Fatalf("batches = %d, want 2", db.NumBatches())
+	}
+	for _, b := range db.Batches() {
+		for _, d := range b.Deps {
+			if d >= b.ID {
+				t.Errorf("batch %d depends on later batch %d", b.ID, d)
+			}
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	src := `
+table T { id: int key, n: int, }
+txn div(k: int) {
+  x := select n from T where id = k;
+  return 10 / x.n;
+}
+`
+	prog := mustProg(t, src)
+	db := store.NewDB(prog)
+	if _, err := db.Load("T", store.Row{"id": store.IntV(1), "n": store.IntV(0)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunSerial(prog, db, []Call{{Txn: "div", Args: map[string]store.Value{"k": store.IntV(1)}}})
+	if err == nil {
+		t.Error("division by zero not reported")
+	}
+}
+
+func TestDeleteHidesRecords(t *testing.T) {
+	src := `
+table T { id: int key, n: int, }
+txn drop(k: int) {
+  delete from T where id = k;
+}
+txn countAll(lo: int) {
+  x := select n from T where id >= lo;
+  return count(x.n);
+}
+txn revive(k: int, v: int) {
+  insert into T values (id = k, n = v);
+}
+`
+	prog := mustProg(t, src)
+	db := store.NewDB(prog)
+	for i := int64(0); i < 3; i++ {
+		if _, err := db.Load("T", store.Row{"id": store.IntV(i), "n": store.IntV(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := RunSerial(prog, db, []Call{
+		{Txn: "countAll", Args: map[string]store.Value{"lo": store.IntV(0)}},
+		{Txn: "drop", Args: map[string]store.Value{"k": store.IntV(1)}},
+		{Txn: "countAll", Args: map[string]store.Value{"lo": store.IntV(0)}},
+		{Txn: "revive", Args: map[string]store.Value{"k": store.IntV(1), "v": store.IntV(42)}},
+		{Txn: "countAll", Args: map[string]store.Value{"lo": store.IntV(0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I != 3 || res[2].I != 2 || res[4].I != 3 {
+		t.Fatalf("counts = %d, %d, %d; want 3, 2, 3 (delete then re-insert)", res[0].I, res[2].I, res[4].I)
+	}
+}

@@ -1,0 +1,139 @@
+package interp
+
+import (
+	"math/rand"
+
+	"atropos/internal/store"
+)
+
+// This file defines the local-view policies that realize the consistency
+// models of the paper's evaluation: SC (serializable/full views), EC
+// (arbitrary subsets of committed batches — the ConstructView relation with
+// no further constraints), CC (causally closed subsets), and RR (a snapshot
+// fixed at the transaction's first command).
+//
+// All weak policies always include the instance's own committed batches:
+// losing one's own session writes makes essentially every program
+// vacuously anomalous and is not exhibited by real EC stores (they are
+// sticky-available). The adversarial choice is over *other* transactions'
+// batches.
+
+// SerializablePolicy gives every command the full, up-to-date view. Combined
+// with a serial (non-interleaved) schedule this yields serializable
+// executions; interleaved it models single-copy linearizable reads.
+type SerializablePolicy struct{}
+
+// View implements ViewPolicy.
+func (SerializablePolicy) View(db *store.DB, _ *Instance) *store.View { return db.FullView() }
+
+// Committed implements ViewPolicy.
+func (SerializablePolicy) Committed(*Instance, int) {}
+
+// ECPolicy models eventual consistency: each command sees an arbitrary
+// subset of committed batches, chosen at random with probability P per
+// batch (plus the instance's own batches).
+type ECPolicy struct {
+	Rng *rand.Rand
+	// P is the probability a foreign batch is visible; 0 defaults to 0.5.
+	P float64
+}
+
+// View implements ViewPolicy.
+func (p *ECPolicy) View(db *store.DB, in *Instance) *store.View {
+	prob := p.P
+	if prob == 0 {
+		prob = 0.5
+	}
+	visible := map[int]bool{}
+	for _, b := range db.Batches() {
+		if b.TxnID == in.ID || p.Rng.Float64() < prob {
+			visible[b.ID] = true
+		}
+	}
+	return db.NewView(visible)
+}
+
+// Committed implements ViewPolicy.
+func (p *ECPolicy) Committed(*Instance, int) {}
+
+// CausalPolicy models causal consistency: views are random subsets closed
+// under the batches' dependency edges (a batch is visible only if everything
+// it causally depends on is visible), and monotonically growing per session:
+// once an instance has seen a batch, later commands keep seeing it.
+type CausalPolicy struct {
+	Rng *rand.Rand
+	P   float64
+}
+
+// View implements ViewPolicy.
+func (p *CausalPolicy) View(db *store.DB, in *Instance) *store.View {
+	prob := p.P
+	if prob == 0 {
+		prob = 0.5
+	}
+	visible := map[int]bool{}
+	for _, b := range db.Batches() {
+		if b.TxnID == in.ID || in.SeenBatches[b.ID] || p.Rng.Float64() < prob {
+			visible[b.ID] = true
+		}
+	}
+	// Close under dependencies: iterate until fixpoint (dependencies have
+	// smaller IDs, so one backward pass suffices).
+	batches := db.Batches()
+	for i := len(batches) - 1; i >= 0; i-- {
+		if !visible[i] {
+			continue
+		}
+		for _, d := range batches[i].Deps {
+			visible[d] = true
+		}
+	}
+	return db.NewView(visible)
+}
+
+// Committed implements ViewPolicy.
+func (p *CausalPolicy) Committed(*Instance, int) {}
+
+// RRPolicy models the paper's repeatable read: results of transactions that
+// commit after an executing transaction has begun reading do not become
+// visible to it. The first command fixes a random snapshot; subsequent
+// commands reuse it (extended only with the instance's own batches).
+type RRPolicy struct {
+	Rng *rand.Rand
+	P   float64
+
+	snapshots map[int]map[int]bool
+}
+
+// View implements ViewPolicy.
+func (p *RRPolicy) View(db *store.DB, in *Instance) *store.View {
+	if p.snapshots == nil {
+		p.snapshots = map[int]map[int]bool{}
+	}
+	snap, ok := p.snapshots[in.ID]
+	if !ok {
+		prob := p.P
+		if prob == 0 {
+			prob = 0.5
+		}
+		snap = map[int]bool{}
+		for _, b := range db.Batches() {
+			if b.TxnID == in.ID || p.Rng.Float64() < prob {
+				snap[b.ID] = true
+			}
+		}
+		p.snapshots[in.ID] = snap
+	}
+	// Own batches committed since the snapshot are always visible.
+	visible := map[int]bool{}
+	for id := range snap {
+		visible[id] = true
+	}
+	for _, id := range in.OwnBatches {
+		visible[id] = true
+	}
+	return db.NewView(visible)
+}
+
+// Committed implements ViewPolicy.
+func (p *RRPolicy) Committed(*Instance, int) {}

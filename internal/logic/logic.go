@@ -1,0 +1,303 @@
+// Package logic provides a propositional formula layer over the CDCL SAT
+// solver: named propositions, the usual connectives, Tseitin CNF
+// conversion, and axiom helpers for relational encodings (strict total
+// orders, transitivity) used by the anomaly detector's bounded FOL
+// encoding.
+package logic
+
+import (
+	"fmt"
+
+	"atropos/internal/sat"
+)
+
+// Formula is a propositional formula tree.
+type Formula interface{ isFormula() }
+
+// Prop is a named proposition.
+type Prop struct{ Name string }
+
+// Not is logical negation.
+type Not struct{ F Formula }
+
+// And is n-ary conjunction (empty = true).
+type And struct{ Fs []Formula }
+
+// Or is n-ary disjunction (empty = false).
+type Or struct{ Fs []Formula }
+
+// Implies is material implication.
+type Implies struct{ A, B Formula }
+
+// Iff is logical equivalence.
+type Iff struct{ A, B Formula }
+
+// Const is a boolean constant.
+type Const struct{ Val bool }
+
+func (*Prop) isFormula()    {}
+func (*Not) isFormula()     {}
+func (*And) isFormula()     {}
+func (*Or) isFormula()      {}
+func (*Implies) isFormula() {}
+func (*Iff) isFormula()     {}
+func (*Const) isFormula()   {}
+
+// P makes a named proposition.
+func P(format string, args ...any) *Prop {
+	if len(args) == 0 {
+		return &Prop{Name: format}
+	}
+	return &Prop{Name: fmt.Sprintf(format, args...)}
+}
+
+// NotF negates a formula.
+func NotF(f Formula) Formula { return &Not{F: f} }
+
+// AndF conjoins formulas.
+func AndF(fs ...Formula) Formula { return &And{Fs: fs} }
+
+// OrF disjoins formulas.
+func OrF(fs ...Formula) Formula { return &Or{Fs: fs} }
+
+// ImpliesF builds a → b.
+func ImpliesF(a, b Formula) Formula { return &Implies{A: a, B: b} }
+
+// IffF builds a ↔ b.
+func IffF(a, b Formula) Formula { return &Iff{A: a, B: b} }
+
+// True and False are the boolean constants.
+var (
+	True  Formula = &Const{Val: true}
+	False Formula = &Const{Val: false}
+)
+
+// Eval evaluates a formula under an assignment of proposition names;
+// missing propositions read false.
+func Eval(f Formula, m map[string]bool) bool {
+	switch x := f.(type) {
+	case *Prop:
+		return m[x.Name]
+	case *Const:
+		return x.Val
+	case *Not:
+		return !Eval(x.F, m)
+	case *And:
+		for _, g := range x.Fs {
+			if !Eval(g, m) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, g := range x.Fs {
+			if Eval(g, m) {
+				return true
+			}
+		}
+		return false
+	case *Implies:
+		return !Eval(x.A, m) || Eval(x.B, m)
+	case *Iff:
+		return Eval(x.A, m) == Eval(x.B, m)
+	default:
+		return false
+	}
+}
+
+// Encoder lowers formulas into a SAT solver via Tseitin transformation,
+// interning proposition names as solver variables.
+type Encoder struct {
+	S     *sat.Solver
+	names map[string]int
+	order []string
+	// trueVar is a variable asserted true, used for constants.
+	trueVar int
+}
+
+// NewEncoder creates an encoder over a fresh solver.
+func NewEncoder() *Encoder {
+	e := &Encoder{S: sat.New(), names: map[string]int{}}
+	e.trueVar = e.S.NewVar()
+	e.S.AddClause(sat.NewLit(e.trueVar, false))
+	return e
+}
+
+// Var interns a proposition name as a solver variable.
+func (e *Encoder) Var(name string) int {
+	if v, ok := e.names[name]; ok {
+		return v
+	}
+	v := e.S.NewVar()
+	e.names[name] = v
+	e.order = append(e.order, name)
+	return v
+}
+
+// Lit returns the literal for a named proposition.
+func (e *Encoder) Lit(name string, neg bool) sat.Lit {
+	return sat.NewLit(e.Var(name), neg)
+}
+
+// Assert adds f as a hard constraint.
+func (e *Encoder) Assert(f Formula) {
+	l := e.encode(f)
+	e.S.AddClause(l)
+}
+
+// encode returns a literal equivalent to f, adding Tseitin definition
+// clauses as needed.
+func (e *Encoder) encode(f Formula) sat.Lit {
+	switch x := f.(type) {
+	case *Prop:
+		return sat.NewLit(e.Var(x.Name), false)
+	case *Const:
+		return sat.NewLit(e.trueVar, !x.Val)
+	case *Not:
+		return e.encode(x.F).Neg()
+	case *And:
+		if len(x.Fs) == 0 {
+			return sat.NewLit(e.trueVar, false)
+		}
+		if len(x.Fs) == 1 {
+			return e.encode(x.Fs[0])
+		}
+		lits := make([]sat.Lit, len(x.Fs))
+		for i, g := range x.Fs {
+			lits[i] = e.encode(g)
+		}
+		y := sat.NewLit(e.S.NewVar(), false)
+		// y → l_i
+		long := make([]sat.Lit, 0, len(lits)+1)
+		for _, l := range lits {
+			e.S.AddClause(y.Neg(), l)
+			long = append(long, l.Neg())
+		}
+		// (∧ l_i) → y
+		long = append(long, y)
+		e.S.AddClause(long...)
+		return y
+	case *Or:
+		if len(x.Fs) == 0 {
+			return sat.NewLit(e.trueVar, true)
+		}
+		if len(x.Fs) == 1 {
+			return e.encode(x.Fs[0])
+		}
+		lits := make([]sat.Lit, len(x.Fs))
+		for i, g := range x.Fs {
+			lits[i] = e.encode(g)
+		}
+		y := sat.NewLit(e.S.NewVar(), false)
+		// l_i → y
+		long := make([]sat.Lit, 0, len(lits)+1)
+		for _, l := range lits {
+			e.S.AddClause(l.Neg(), y)
+			long = append(long, l)
+		}
+		// y → (∨ l_i)
+		long = append(long, y.Neg())
+		e.S.AddClause(long...)
+		return y
+	case *Implies:
+		return e.encode(&Or{Fs: []Formula{&Not{F: x.A}, x.B}})
+	case *Iff:
+		a := e.encode(x.A)
+		b := e.encode(x.B)
+		y := sat.NewLit(e.S.NewVar(), false)
+		e.S.AddClause(y.Neg(), a.Neg(), b)
+		e.S.AddClause(y.Neg(), a, b.Neg())
+		e.S.AddClause(y, a, b)
+		e.S.AddClause(y, a.Neg(), b.Neg())
+		return y
+	default:
+		panic(fmt.Sprintf("logic: unknown formula %T", f))
+	}
+}
+
+// Solve checks satisfiability of the asserted constraints.
+func (e *Encoder) Solve() bool { return e.S.Solve() }
+
+// SolveAssuming checks satisfiability with extra assumption propositions
+// (name, negated) that hold only for this query.
+func (e *Encoder) SolveAssuming(assumps ...sat.Lit) bool { return e.S.Solve(assumps...) }
+
+// Value reads a proposition's model value after a satisfiable Solve.
+func (e *Encoder) Value(name string) bool {
+	v, ok := e.names[name]
+	return ok && e.S.Value(v)
+}
+
+// ModelProps returns the names of all interned propositions that are true
+// in the current model, in interning order.
+func (e *Encoder) ModelProps() []string {
+	var out []string
+	for _, n := range e.order {
+		if e.S.Value(e.names[n]) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// AssertStrictTotalOrder axiomatizes the propositions name(i,j), i≠j, as a
+// strict total order over n items: exactly one of name(i,j), name(j,i)
+// holds, and the relation is transitive.
+func (e *Encoder) AssertStrictTotalOrder(n int, name func(i, j int) string) {
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			e.Assert(IffF(P(name(i, j)), NotF(P(name(j, i)))))
+		}
+	}
+	e.AssertTransitive(n, name)
+}
+
+// AssertTransitive adds r(i,j) ∧ r(j,k) → r(i,k) for all distinct i,j,k.
+func (e *Encoder) AssertTransitive(n int, name func(i, j int) string) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				e.Assert(ImpliesF(AndF(P(name(i, j)), P(name(j, k))), P(name(i, k))))
+			}
+		}
+	}
+}
+
+// String renders a formula for diagnostics.
+func String(f Formula) string {
+	switch x := f.(type) {
+	case *Prop:
+		return x.Name
+	case *Const:
+		return fmt.Sprintf("%t", x.Val)
+	case *Not:
+		return "!" + String(x.F)
+	case *And:
+		return nary("&", x.Fs)
+	case *Or:
+		return nary("|", x.Fs)
+	case *Implies:
+		return "(" + String(x.A) + " -> " + String(x.B) + ")"
+	case *Iff:
+		return "(" + String(x.A) + " <-> " + String(x.B) + ")"
+	default:
+		return "?"
+	}
+}
+
+func nary(op string, fs []Formula) string {
+	s := "("
+	for i, f := range fs {
+		if i > 0 {
+			s += " " + op + " "
+		}
+		s += String(f)
+	}
+	return s + ")"
+}

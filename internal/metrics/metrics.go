@@ -1,0 +1,89 @@
+// Package metrics provides the latency/throughput aggregation used by the
+// performance experiments: streaming mean, percentiles over a bounded
+// reservoir, and formatted series output matching the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Latencies aggregates latency samples with a fixed-size reservoir for
+// percentile estimation.
+type Latencies struct {
+	count     int64
+	sum       time.Duration
+	reservoir []time.Duration
+	cap       int
+	rng       *rand.Rand
+}
+
+// NewLatencies creates an aggregator keeping at most cap samples for
+// percentiles (reservoir sampling).
+func NewLatencies(cap int, seed int64) *Latencies {
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &Latencies{cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add records one sample.
+func (l *Latencies) Add(d time.Duration) {
+	l.count++
+	l.sum += d
+	if len(l.reservoir) < l.cap {
+		l.reservoir = append(l.reservoir, d)
+		return
+	}
+	if i := l.rng.Int63n(l.count); i < int64(l.cap) {
+		l.reservoir[i] = d
+	}
+}
+
+// Count returns the number of samples recorded.
+func (l *Latencies) Count() int64 { return l.count }
+
+// Mean returns the average latency (0 when empty).
+func (l *Latencies) Mean() time.Duration {
+	if l.count == 0 {
+		return 0
+	}
+	return time.Duration(int64(l.sum) / l.count)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) from the reservoir.
+func (l *Latencies) Percentile(p float64) time.Duration {
+	if len(l.reservoir) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.reservoir...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Point is one measurement of a throughput/latency curve.
+type Point struct {
+	Clients    int
+	Throughput float64 // transactions per second
+	MeanMs     float64 // mean latency in milliseconds
+	P95Ms      float64
+}
+
+// Series is a labelled performance curve (one line in Figs. 12–15).
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Format renders the series as an aligned table, one row per point.
+func (s Series) Format() string {
+	out := fmt.Sprintf("%s:\n", s.Label)
+	out += fmt.Sprintf("  %8s %14s %12s %10s\n", "clients", "txn/s", "mean-ms", "p95-ms")
+	for _, p := range s.Points {
+		out += fmt.Sprintf("  %8d %14.1f %12.2f %10.2f\n", p.Clients, p.Throughput, p.MeanMs, p.P95Ms)
+	}
+	return out
+}

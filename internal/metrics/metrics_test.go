@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeanAndCount(t *testing.T) {
+	l := NewLatencies(100, 1)
+	for _, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		l.Add(d)
+	}
+	if l.Count() != 3 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if got := l.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("mean = %v, want 20ms", got)
+	}
+}
+
+func TestEmptyAggregator(t *testing.T) {
+	l := NewLatencies(10, 1)
+	if l.Mean() != 0 || l.Percentile(95) != 0 || l.Count() != 0 {
+		t.Fatal("empty aggregator not zero-valued")
+	}
+}
+
+func TestPercentileOrdering(t *testing.T) {
+	l := NewLatencies(1000, 1)
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	p50 := l.Percentile(50)
+	p95 := l.Percentile(95)
+	p100 := l.Percentile(100)
+	if !(p50 <= p95 && p95 <= p100) {
+		t.Fatalf("percentiles not monotone: p50=%v p95=%v p100=%v", p50, p95, p100)
+	}
+	if p100 != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", p100)
+	}
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Fatalf("p50 = %v, want ≈50ms", p50)
+	}
+}
+
+// TestReservoirBounded is a property test: however many samples arrive,
+// the reservoir never exceeds its capacity and mean stays within the
+// sample range.
+func TestReservoirBounded(t *testing.T) {
+	f := func(samples []uint16) bool {
+		l := NewLatencies(64, 7)
+		var min, max time.Duration
+		for i, s := range samples {
+			d := time.Duration(s) * time.Microsecond
+			l.Add(d)
+			if i == 0 || d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if len(l.reservoir) > 64 {
+			return false
+		}
+		if len(samples) == 0 {
+			return l.Mean() == 0
+		}
+		m := l.Mean()
+		return m >= min && m <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesFormat(t *testing.T) {
+	s := Series{Label: "EC", Points: []Point{
+		{Clients: 10, Throughput: 123.4, MeanMs: 5.6, P95Ms: 9.9},
+	}}
+	out := s.Format()
+	if !strings.Contains(out, "EC:") || !strings.Contains(out, "123.4") {
+		t.Fatalf("Format output malformed:\n%s", out)
+	}
+}

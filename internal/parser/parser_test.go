@@ -1,0 +1,280 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"atropos/internal/ast"
+)
+
+// courseware is the paper's running example (Fig. 1).
+const courseware = `
+table COURSE {
+  co_id: int key,
+  co_avail: bool,
+  co_st_cnt: int,
+}
+
+table EMAIL {
+  em_id: int key,
+  em_addr: string,
+}
+
+table STUDENT {
+  st_id: int key,
+  st_name: string,
+  st_em_id: int,
+  st_co_id: int,
+  st_reg: bool,
+}
+
+txn getSt(id: int) {
+  x := select * from STUDENT where st_id = id;
+  y := select em_addr from EMAIL where em_id = x.st_em_id;
+  z := select co_avail from COURSE where co_id = x.st_co_id;
+  return y.em_addr;
+}
+
+txn setSt(id: int, name: string, email: string) {
+  x := select st_em_id from STUDENT where st_id = id;
+  update STUDENT set st_name = name where st_id = id;
+  update EMAIL set em_addr = email where em_id = x.st_em_id;
+}
+
+txn regSt(id: int, course: int) {
+  update STUDENT set st_co_id = course, st_reg = true where st_id = id;
+  x := select co_st_cnt from COURSE where co_id = course;
+  update COURSE set co_st_cnt = x.co_st_cnt + 1, co_avail = true where co_id = course;
+}
+`
+
+func TestParseCourseware(t *testing.T) {
+	p, err := Parse(courseware)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := len(p.Schemas); got != 3 {
+		t.Fatalf("schemas = %d, want 3", got)
+	}
+	if got := len(p.Txns); got != 3 {
+		t.Fatalf("txns = %d, want 3", got)
+	}
+	st := p.Schema("STUDENT")
+	if st == nil {
+		t.Fatal("missing STUDENT schema")
+	}
+	if pk := st.PrimaryKey(); len(pk) != 1 || pk[0].Name != "st_id" {
+		t.Fatalf("STUDENT pk = %v", pk)
+	}
+	getSt := p.Txn("getSt")
+	if getSt == nil {
+		t.Fatal("missing getSt")
+	}
+	if len(getSt.Params) != 1 || getSt.Params[0].Name != "id" || getSt.Params[0].Type != ast.TInt {
+		t.Fatalf("getSt params = %+v", getSt.Params)
+	}
+	if getSt.Ret == nil {
+		t.Fatal("getSt has no return expression")
+	}
+	cmds := ast.Commands(getSt.Body)
+	if len(cmds) != 3 {
+		t.Fatalf("getSt commands = %d, want 3", len(cmds))
+	}
+	wantLabels := []string{"S1", "S2", "S3"}
+	for i, c := range cmds {
+		if c.CmdLabel() != wantLabels[i] {
+			t.Errorf("command %d label = %q, want %q", i, c.CmdLabel(), wantLabels[i])
+		}
+	}
+}
+
+func TestParseLabelsMixed(t *testing.T) {
+	p := MustParse(courseware)
+	cmds := ast.Commands(p.Txn("regSt").Body)
+	want := []string{"U1", "S1", "U2"}
+	for i, c := range cmds {
+		if c.CmdLabel() != want[i] {
+			t.Errorf("regSt command %d label = %q, want %q", i, c.CmdLabel(), want[i])
+		}
+	}
+}
+
+func TestWhereThisResolution(t *testing.T) {
+	p := MustParse(courseware)
+	sel := ast.Commands(p.Txn("getSt").Body)[0].(*ast.Select)
+	eqs, ok := ast.WhereEqualities(sel.Where)
+	if !ok {
+		t.Fatalf("where clause not an equality conjunction: %s", ast.ExprString(sel.Where))
+	}
+	if len(eqs) != 1 || eqs[0].Field != "st_id" {
+		t.Fatalf("eqs = %+v", eqs)
+	}
+	if _, isArg := eqs[0].Expr.(*ast.Arg); !isArg {
+		t.Fatalf("pin expr = %T, want *ast.Arg", eqs[0].Expr)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p1, err := Parse(courseware)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	text := ast.Format(p1)
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse of formatted output failed: %v\n%s", err, text)
+	}
+	if ast.Format(p2) != text {
+		t.Fatalf("format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", text, ast.Format(p2))
+	}
+}
+
+func TestParseControlAndInsert(t *testing.T) {
+	src := `
+table T { id: int key, n: int, }
+txn bump(k: int, times: int) {
+  iterate (times) {
+    x := select n from T where id = k;
+    if (x.n < 10) {
+      update T set n = x.n + 1 where id = k;
+    }
+  }
+  insert into T values (id = uuid(), n = iter);
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	body := p.Txn("bump").Body
+	it, ok := body[0].(*ast.Iterate)
+	if !ok {
+		t.Fatalf("stmt 0 = %T, want *ast.Iterate", body[0])
+	}
+	if len(it.Body) != 2 {
+		t.Fatalf("iterate body = %d stmts", len(it.Body))
+	}
+	if _, ok := it.Body[1].(*ast.If); !ok {
+		t.Fatalf("iterate body[1] = %T, want *ast.If", it.Body[1])
+	}
+	ins, ok := body[1].(*ast.Insert)
+	if !ok {
+		t.Fatalf("stmt 1 = %T, want *ast.Insert", body[1])
+	}
+	if ins.Label != "U2" {
+		t.Errorf("insert label = %q, want U2 (if inside control counts as U1)", ins.Label)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing semi", `table T { id: int key, } txn a() { x := select * from T where id = 1 }`, "expected ';'"},
+		{"unknown table", `txn a() { x := select * from T where id = 1; }`, "unknown table"},
+		{"bad char", `table T { id: int key, } txn a() { x := select * from T where id = #1; }`, "unexpected character"},
+		{"dup table", `table T { id: int key, } table T { id: int key, }`, "duplicate table"},
+		{"dup txn", `txn a() { skip; } txn a() { skip; }`, "duplicate transaction"},
+		{"bad type", `table T { id: float key, }`, "unknown type"},
+		{"return not last", `table T { id: int key, } txn a() { return 1; skip; }`, "final statement"},
+		{"unterminated string", `table T { id: int key, } txn a(s: string) { update T set id = 1 where id = 1; return "abc; }`, "unterminated string"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	src := `
+table T { id: int key, n: int, }
+txn a(x: int, y: int) {
+  update T set n = x + y * 2 where id = x && n > 1 || n < 0;
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	u := ast.Commands(p.Txn("a").Body)[0].(*ast.Update)
+	// x + y*2 parses with * binding tighter.
+	set := u.Sets[0].Expr.(*ast.Binary)
+	if set.Op != ast.OpAdd {
+		t.Fatalf("top op = %v, want +", set.Op)
+	}
+	if r, ok := set.R.(*ast.Binary); !ok || r.Op != ast.OpMul {
+		t.Fatalf("rhs = %s, want multiplication", ast.ExprString(set.R))
+	}
+	// where parses as (id=x && n>1) || (n<0).
+	w := u.Where.(*ast.Binary)
+	if w.Op != ast.OpOr {
+		t.Fatalf("where top op = %v, want ||", w.Op)
+	}
+}
+
+func TestAggAndUUIDParsing(t *testing.T) {
+	src := `
+table LOG { id: int key, log_id: int key, v: int, }
+txn read(k: int) {
+  x := select v from LOG where id = k;
+  return sum(x.v);
+}
+txn write(k: int, amt: int) {
+  insert into LOG values (id = k, log_id = uuid(), v = amt);
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	agg, ok := p.Txn("read").Ret.(*ast.Agg)
+	if !ok || agg.Fn != ast.AggSum || agg.Var != "x" || agg.Field != "v" {
+		t.Fatalf("return = %s", ast.ExprString(p.Txn("read").Ret))
+	}
+	ins := ast.Commands(p.Txn("write").Body)[0].(*ast.Insert)
+	if _, ok := ins.Values[1].Expr.(*ast.UUID); !ok {
+		t.Fatalf("log_id value = %T, want *ast.UUID", ins.Values[1].Expr)
+	}
+}
+
+func TestDeleteSugar(t *testing.T) {
+	src := `
+table T { id: int key, n: int, }
+txn drop(k: int) {
+  delete from T where id = k;
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cmds := ast.Commands(p.Txn("drop").Body)
+	u, ok := cmds[0].(*ast.Update)
+	if !ok {
+		t.Fatalf("delete desugared to %T, want *ast.Update", cmds[0])
+	}
+	if len(u.Sets) != 1 || u.Sets[0].Field != ast.AliveField {
+		t.Fatalf("delete sets %v, want alive=false", u.Sets)
+	}
+	// Printing re-sugars and the output round-trips.
+	text := ast.Format(p)
+	if !strings.Contains(text, "delete from T where") {
+		t.Fatalf("delete not re-sugared:\n%s", text)
+	}
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !ast.EqualStmt(p.Txns[0].Body[0], p2.Txns[0].Body[0]) {
+		t.Fatal("delete round trip differs")
+	}
+}

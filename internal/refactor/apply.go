@@ -1,0 +1,442 @@
+package refactor
+
+import (
+	"fmt"
+
+	"atropos/internal/ast"
+)
+
+// Error describes why a refactoring rule does not apply.
+type Error struct {
+	Rule string
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("refactor: %s: %s", e.Rule, e.Msg) }
+
+func errf(rule, format string, args ...any) *Error {
+	return &Error{Rule: rule, Msg: fmt.Sprintf(format, args...)}
+}
+
+// IntroSchema implements the (intro ρ) rule: add a fresh, empty schema.
+// The returned program is a copy; p is not modified.
+func IntroSchema(p *ast.Program, name string) (*ast.Program, error) {
+	if p.Schema(name) != nil {
+		return nil, errf("intro-schema", "schema %q already exists", name)
+	}
+	out := ast.CloneProgram(p)
+	out.Schemas = append(out.Schemas, &ast.Schema{Name: name})
+	return out, nil
+}
+
+// IntroField implements the (intro ρ.f) rule: add a fresh field to an
+// existing schema. The returned program is a copy.
+func IntroField(p *ast.Program, table string, field ast.Field) (*ast.Program, error) {
+	s := p.Schema(table)
+	if s == nil {
+		return nil, errf("intro-field", "unknown schema %q", table)
+	}
+	if s.HasField(field.Name) {
+		return nil, errf("intro-field", "schema %s already has field %q", table, field.Name)
+	}
+	out := ast.CloneProgram(p)
+	cp := field
+	out.Schema(table).Fields = append(out.Schema(table).Fields, &cp)
+	return out, nil
+}
+
+// ApplyCorr implements the (intro v) rule: rewrite every access to
+// (v.SrcTable, v.SrcField) to use (v.DstTable, v.DstField) per the
+// redirect rule (Agg = any) or logger rule (Agg = sum, Logging = true) of
+// Fig. 17. It validates the rule's side conditions (R1–R3 preconditions)
+// and returns a rewritten copy of the program, or an error describing the
+// failing condition.
+func ApplyCorr(p *ast.Program, v ValueCorr) (*ast.Program, error) {
+	src := p.Schema(v.SrcTable)
+	if src == nil {
+		return nil, errf("intro-v", "unknown source schema %q", v.SrcTable)
+	}
+	if src.Field(v.SrcField) == nil {
+		return nil, errf("intro-v", "unknown source field %s.%s", v.SrcTable, v.SrcField)
+	}
+	dst := p.Schema(v.DstTable)
+	if dst == nil {
+		return nil, errf("intro-v", "unknown destination schema %q", v.DstTable)
+	}
+	if dst.Field(v.DstField) == nil {
+		return nil, errf("intro-v", "unknown destination field %s.%s", v.DstTable, v.DstField)
+	}
+	for _, pk := range src.PrimaryKey() {
+		g, ok := v.Theta[pk.Name]
+		if !ok {
+			return nil, errf("intro-v", "θ̂ does not map primary-key field %s.%s", v.SrcTable, pk.Name)
+		}
+		if dst.Field(g) == nil {
+			return nil, errf("intro-v", "θ̂ maps %s to unknown field %s.%s", pk.Name, v.DstTable, g)
+		}
+	}
+	if v.Logging && v.Agg != ast.AggSum {
+		return nil, errf("intro-v", "logger rule requires the sum aggregator")
+	}
+	if !v.Logging && v.Agg != ast.AggAny {
+		return nil, errf("intro-v", "redirect rule requires the any aggregator")
+	}
+
+	out := ast.CloneProgram(p)
+	for _, t := range out.Txns {
+		if err := rewriteTxn(out, t, v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// rewriteTxn applies [[·]]_v to one transaction in place.
+func rewriteTxn(p *ast.Program, t *ast.Txn, v ValueCorr) error {
+	src := p.Schema(v.SrcTable)
+
+	// Pass 1: find the variables bound by selects that will be redirected,
+	// and validate that every access to (SrcTable, SrcField) is rewritable.
+	redirected := map[string]bool{}
+	var failure error
+	ast.WalkStmts(t.Body, func(s ast.Stmt) bool {
+		if failure != nil {
+			return false
+		}
+		c, ok := s.(ast.DBCommand)
+		if !ok || c.TableName() != v.SrcTable {
+			return true
+		}
+		acc := ast.CommandAccess(c, src)
+		touches := false
+		for _, f := range append(append([]string(nil), acc.Reads...), acc.Writes...) {
+			if f == v.SrcField {
+				touches = true
+			}
+		}
+		if !touches {
+			return true
+		}
+		switch x := c.(type) {
+		case *ast.Select:
+			if x.Star {
+				failure = errf("intro-v", "%s.%s: cannot redirect SELECT * (narrow the selection first)", t.Name, x.Label)
+				return false
+			}
+			if len(x.Fields) != 1 {
+				failure = errf("intro-v", "%s.%s: select accesses %v; split so it accesses only %s", t.Name, x.Label, x.Fields, v.SrcField)
+				return false
+			}
+			if !whereRedirectable(x.Where, src, v) {
+				failure = errf("intro-v", "%s.%s: where clause is not redirectable through θ̂", t.Name, x.Label)
+				return false
+			}
+			redirected[x.Var] = true
+		case *ast.Update:
+			if len(x.Sets) != 1 || x.Sets[0].Field != v.SrcField {
+				failure = errf("intro-v", "%s.%s: update sets multiple fields; split first", t.Name, x.Label)
+				return false
+			}
+			if !whereRedirectable(x.Where, src, v) {
+				failure = errf("intro-v", "%s.%s: where clause is not redirectable through θ̂", t.Name, x.Label)
+				return false
+			}
+			for _, f := range ast.WhereFields(x.Where) {
+				if f == v.SrcField {
+					failure = errf("intro-v", "%s.%s: where clause reads the moved field", t.Name, x.Label)
+					return false
+				}
+			}
+		case *ast.Insert:
+			failure = errf("intro-v", "%s.%s: inserts into the source schema are not redirectable", t.Name, x.Label)
+			return false
+		}
+		return true
+	})
+	if failure != nil {
+		return failure
+	}
+
+	// Pass 2: rewrite the commands.
+	var rerr error
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		if rerr != nil {
+			return []ast.Stmt{s}
+		}
+		c, ok := s.(ast.DBCommand)
+		if !ok || c.TableName() != v.SrcTable {
+			return []ast.Stmt{s}
+		}
+		switch x := c.(type) {
+		case *ast.Select:
+			if len(x.Fields) != 1 || x.Fields[0] != v.SrcField {
+				return []ast.Stmt{s}
+			}
+			nw, err := redirectWhere(x.Where, src, v)
+			if err != nil {
+				rerr = err
+				return []ast.Stmt{s}
+			}
+			return []ast.Stmt{&ast.Select{
+				Label: x.Label, Var: x.Var,
+				Fields: []string{v.DstField},
+				Table:  v.DstTable,
+				Where:  nw,
+			}}
+		case *ast.Update:
+			if len(x.Sets) != 1 || x.Sets[0].Field != v.SrcField {
+				return []ast.Stmt{s}
+			}
+			ns, err := rewriteUpdate(x, src, v, t)
+			if err != nil {
+				rerr = err
+				return []ast.Stmt{s}
+			}
+			return []ast.Stmt{ns}
+		default:
+			return []ast.Stmt{s}
+		}
+	})
+	if rerr != nil {
+		return rerr
+	}
+
+	// Pass 3: rewrite accesses through redirected variables everywhere
+	// (commands' embedded expressions and the return expression): R2.
+	rewriteExpr := func(e ast.Expr) ast.Expr {
+		return ast.MapExpr(e, func(x ast.Expr) ast.Expr {
+			switch fa := x.(type) {
+			case *ast.FieldAt:
+				if redirected[fa.Var] && fa.Field == v.SrcField {
+					if v.Logging {
+						if fa.Index != nil {
+							rerr = errf("intro-v", "%s: indexed access %s cannot be rewritten under the logger rule", t.Name, ast.ExprString(fa))
+							return x
+						}
+						return &ast.Agg{Fn: ast.AggSum, Var: fa.Var, Field: v.DstField}
+					}
+					return &ast.FieldAt{Var: fa.Var, Field: v.DstField, Index: fa.Index}
+				}
+			case *ast.Agg:
+				if redirected[fa.Var] && fa.Field == v.SrcField {
+					// Under logging only sum survives: one source record maps
+					// to many log rows, so count/min/max/any would aggregate
+					// over log entries rather than records.
+					if v.Logging && fa.Fn != ast.AggSum {
+						rerr = errf("intro-v", "%s: %s aggregation cannot be rewritten under the logger rule", t.Name, ast.ExprString(fa))
+						return x
+					}
+					return &ast.Agg{Fn: fa.Fn, Var: fa.Var, Field: v.DstField}
+				}
+			}
+			return x
+		})
+	}
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		switch x := s.(type) {
+		case *ast.Select:
+			x.Where = rewriteExpr(x.Where)
+		case *ast.Update:
+			x.Where = rewriteExpr(x.Where)
+			for i := range x.Sets {
+				x.Sets[i].Expr = rewriteExpr(x.Sets[i].Expr)
+			}
+		case *ast.Insert:
+			for i := range x.Values {
+				x.Values[i].Expr = rewriteExpr(x.Values[i].Expr)
+			}
+		case *ast.If:
+			x.Cond = rewriteExpr(x.Cond)
+		case *ast.Iterate:
+			x.Count = rewriteExpr(x.Count)
+		}
+		return []ast.Stmt{s}
+	})
+	t.Ret = rewriteExpr(t.Ret)
+	return rerr
+}
+
+// redirectWhere implements redirect(φ, θ̂) (§4.2.1): the well-formed where
+// clause's primary-key equalities become equalities on the θ̂-image fields.
+// As a generalization, a clause that is not a full key-equality conjunction
+// (e.g. a range scan) is still redirectable when every field it references
+// is θ̂-mapped: each this.f is replaced by this.θ̂(f).
+func redirectWhere(w ast.Expr, src *ast.Schema, v ValueCorr) (ast.Expr, error) {
+	if pins, ok := ast.WellFormedWhere(w, src); ok {
+		var out ast.Expr
+		for _, pk := range src.PrimaryKey() {
+			conj := &ast.Binary{
+				Op: ast.OpEq,
+				L:  &ast.ThisField{Field: v.Theta[pk.Name]},
+				R:  ast.CloneExpr(pins[pk.Name]),
+			}
+			if out == nil {
+				out = conj
+			} else {
+				out = &ast.Binary{Op: ast.OpAnd, L: out, R: conj}
+			}
+		}
+		return out, nil
+	}
+	for _, f := range ast.WhereFields(w) {
+		if _, ok := v.Theta[f]; !ok {
+			return nil, errf("intro-v", "where clause %q references un-mapped field %q", ast.ExprString(w), f)
+		}
+	}
+	out := ast.MapExpr(ast.CloneExpr(w), func(e ast.Expr) ast.Expr {
+		if tf, ok := e.(*ast.ThisField); ok {
+			return &ast.ThisField{Field: v.Theta[tf.Field]}
+		}
+		return e
+	})
+	return out, nil
+}
+
+// whereRedirectable reports whether a where clause can be translated by
+// redirectWhere: either well-formed (full key-equality conjunction) or
+// referencing only θ̂-mapped fields.
+func whereRedirectable(w ast.Expr, src *ast.Schema, v ValueCorr) bool {
+	if _, ok := ast.WellFormedWhere(w, src); ok {
+		return true
+	}
+	for _, f := range ast.WhereFields(w) {
+		if _, ok := v.Theta[f]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// rewriteUpdate rewrites an update of the moved field: the redirect rule
+// retargets it; the logger rule turns increment-shaped updates into inserts
+// (Fig. 11: U4.1 becomes an insert into COURSE_CO_ST_CNT_LOG).
+func rewriteUpdate(x *ast.Update, src *ast.Schema, v ValueCorr, t *ast.Txn) (ast.Stmt, error) {
+	if !v.Logging {
+		nw, err := redirectWhere(x.Where, src, v)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Update{
+			Label: x.Label, Table: v.DstTable,
+			Sets:  []ast.Assign{{Field: v.DstField, Expr: ast.CloneExpr(x.Sets[0].Expr)}},
+			Where: nw,
+		}, nil
+	}
+	delta, err := incrementDelta(x, v, t)
+	if err != nil {
+		return nil, err
+	}
+	pins, ok := ast.WellFormedWhere(x.Where, src)
+	if !ok {
+		return nil, errf("intro-v", "%s: where clause is not a primary-key equality conjunction", x.Label)
+	}
+	values := []ast.Assign{}
+	for _, pk := range src.PrimaryKey() {
+		values = append(values, ast.Assign{Field: v.Theta[pk.Name], Expr: ast.CloneExpr(pins[pk.Name])})
+	}
+	values = append(values,
+		ast.Assign{Field: ast.LogIDField, Expr: &ast.UUID{}},
+		ast.Assign{Field: v.DstField, Expr: delta},
+	)
+	return &ast.Insert{Label: x.Label, Table: v.DstTable, Values: values}, nil
+}
+
+// incrementDelta recognizes the increment shapes f = e + at1(x.f),
+// f = at1(x.f) + e, and f = at1(x.f) - e, where x was selected from the
+// same record (equal where clause), and returns the logged delta.
+func incrementDelta(x *ast.Update, v ValueCorr, t *ast.Txn) (ast.Expr, error) {
+	bin, ok := x.Sets[0].Expr.(*ast.Binary)
+	if !ok || (bin.Op != ast.OpAdd && bin.Op != ast.OpSub) {
+		return nil, errf("intro-v", "%s: assignment %q is not increment-shaped", x.Label, ast.ExprString(x.Sets[0].Expr))
+	}
+	isSelfRead := func(e ast.Expr) (string, bool) {
+		fa, ok := e.(*ast.FieldAt)
+		if !ok || fa.Index != nil || fa.Field != v.SrcField {
+			return "", false
+		}
+		return fa.Var, true
+	}
+	var varName string
+	var delta ast.Expr
+	neg := false
+	if vn, ok := isSelfRead(bin.L); ok {
+		varName, delta = vn, bin.R
+		neg = bin.Op == ast.OpSub
+	} else if vn, ok := isSelfRead(bin.R); ok && bin.Op == ast.OpAdd {
+		varName, delta = vn, bin.L
+	} else {
+		return nil, errf("intro-v", "%s: assignment %q is not increment-shaped", x.Label, ast.ExprString(x.Sets[0].Expr))
+	}
+	// The self-read variable must come from a select on the same record.
+	sel := findSelect(t, varName)
+	if sel == nil || sel.Table != v.SrcTable || !ast.EqualExpr(sel.Where, x.Where) {
+		return nil, errf("intro-v", "%s: %s.%s is not a read of the updated record", x.Label, varName, v.SrcField)
+	}
+	// The delta may read the moved field (through this or other selects):
+	// those accesses are values at insert time, and the expression-rewrite
+	// pass redirects them to log sums. Only the top-level occurrence is
+	// consumed by the increment shape.
+	delta = ast.CloneExpr(delta)
+	if neg {
+		delta = &ast.Binary{Op: ast.OpSub, L: &ast.IntLit{Val: 0}, R: delta}
+	}
+	return delta, nil
+}
+
+// findSelect locates the select binding a variable in a transaction.
+func findSelect(t *ast.Txn, varName string) *ast.Select {
+	var found *ast.Select
+	ast.WalkStmts(t.Body, func(s ast.Stmt) bool {
+		if sel, ok := s.(*ast.Select); ok && sel.Var == varName {
+			found = sel
+		}
+		return true
+	})
+	return found
+}
+
+// BuildLoggerSchema introduces the logging schema for (srcTable, srcField)
+// per §4.2.2 — primary key = source primary key + log_id, single value
+// field — and returns the extended program together with the logger
+// correspondence.
+func BuildLoggerSchema(p *ast.Program, srcTable, srcField string) (*ast.Program, ValueCorr, error) {
+	src := p.Schema(srcTable)
+	if src == nil {
+		return nil, ValueCorr{}, errf("intro-schema", "unknown schema %q", srcTable)
+	}
+	f := src.Field(srcField)
+	if f == nil {
+		return nil, ValueCorr{}, errf("intro-schema", "unknown field %s.%s", srcTable, srcField)
+	}
+	if f.Type != ast.TInt {
+		return nil, ValueCorr{}, errf("intro-schema", "logger rule requires an int field, %s.%s is %s", srcTable, srcField, f.Type)
+	}
+	logName := LogTableName(p, srcTable, srcField)
+	out, err := IntroSchema(p, logName)
+	if err != nil {
+		return nil, ValueCorr{}, err
+	}
+	theta := map[string]string{}
+	for _, pk := range src.PrimaryKey() {
+		out, err = IntroField(out, logName, ast.Field{Name: pk.Name, Type: pk.Type, PK: true})
+		if err != nil {
+			return nil, ValueCorr{}, err
+		}
+		theta[pk.Name] = pk.Name
+	}
+	out, err = IntroField(out, logName, ast.Field{Name: ast.LogIDField, Type: ast.TInt, PK: true})
+	if err != nil {
+		return nil, ValueCorr{}, err
+	}
+	valField := LogFieldName(srcField)
+	out, err = IntroField(out, logName, ast.Field{Name: valField, Type: ast.TInt})
+	if err != nil {
+		return nil, ValueCorr{}, err
+	}
+	corr := ValueCorr{
+		SrcTable: srcTable, SrcField: srcField,
+		DstTable: logName, DstField: valField,
+		Theta: theta, Agg: ast.AggSum, Logging: true,
+	}
+	return out, corr, nil
+}

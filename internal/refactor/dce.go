@@ -1,0 +1,132 @@
+package refactor
+
+import (
+	"atropos/internal/ast"
+)
+
+// This file implements the post-processing cleanups (§5): dead select
+// elimination (a select whose variable is never read is obsolete — the key
+// enabling condition for the logger rule) and garbage collection of schemas
+// and fields the refactored program no longer accesses (Fig. 3 drops the
+// COURSE and EMAIL tables entirely).
+
+// DeadSelects returns the labels of selects in t whose bound variable is
+// never read by a later expression or the return expression.
+func DeadSelects(t *ast.Txn) []string {
+	used := map[string]bool{}
+	for _, e := range ast.ExprsInTxn(t) {
+		for v := range ast.VarsRead(e) {
+			used[v] = true
+		}
+	}
+	var dead []string
+	ast.WalkStmts(t.Body, func(s ast.Stmt) bool {
+		if sel, ok := s.(*ast.Select); ok && !used[sel.Var] {
+			dead = append(dead, sel.Label)
+		}
+		return true
+	})
+	return dead
+}
+
+// RemoveDeadSelects deletes unused selects from every transaction,
+// iterating to a fixpoint (removing a select can orphan the selects that
+// fed its where clause). The input program is modified in place.
+func RemoveDeadSelects(p *ast.Program) int {
+	removed := 0
+	for {
+		changed := false
+		for _, t := range p.Txns {
+			for _, label := range DeadSelects(t) {
+				removeCommand(t, label)
+				removed++
+				changed = true
+			}
+		}
+		if !changed {
+			return removed
+		}
+	}
+}
+
+// IsDeadSelect reports whether the select labelled label in txn is dead
+// code (used by try_logging to validate the repair).
+func IsDeadSelect(p *ast.Program, txn, label string) bool {
+	t := p.Txn(txn)
+	if t == nil {
+		return false
+	}
+	for _, d := range DeadSelects(t) {
+		if d == label {
+			return true
+		}
+	}
+	return false
+}
+
+// accessedFields computes every (table, field) the program touches,
+// treating SELECT * as touching all of the table's declared fields.
+func accessedFields(p *ast.Program) map[string]map[string]bool {
+	acc := map[string]map[string]bool{}
+	touch := func(table, field string) {
+		if acc[table] == nil {
+			acc[table] = map[string]bool{}
+		}
+		acc[table][field] = true
+	}
+	for _, t := range p.Txns {
+		for _, c := range ast.Commands(t.Body) {
+			schema := p.Schema(c.TableName())
+			a := ast.CommandAccess(c, schema)
+			for _, f := range a.Reads {
+				touch(c.TableName(), f)
+			}
+			for _, f := range a.Writes {
+				touch(c.TableName(), f)
+			}
+			if acc[c.TableName()] == nil {
+				acc[c.TableName()] = map[string]bool{}
+			}
+		}
+	}
+	return acc
+}
+
+// GCSchemas removes the schemas and fields the refactoring made obsolete:
+// a field is dropped only when no command accesses it AND its data moved
+// elsewhere (it is the source of one of the correspondences in moved —
+// maps table name to the set of moved field names); a table is dropped
+// only when no command accesses it and at least one of its fields moved
+// (Fig. 3 drops COURSE and EMAIL). Fields and tables that are merely
+// unread keep their data: dropping them would lose information and break
+// the containment relation. Returns the removed table names. The program
+// is modified in place.
+func GCSchemas(p *ast.Program, moved map[string]map[string]bool) []string {
+	acc := accessedFields(p)
+	var kept []*ast.Schema
+	var removedTables []string
+	for _, s := range p.Schemas {
+		fields, used := acc[s.Name]
+		movedHere := moved[s.Name]
+		allMoved := len(movedHere) > 0
+		for _, f := range s.NonKeyFields() {
+			if !movedHere[f.Name] {
+				allMoved = false
+			}
+		}
+		if !used && allMoved {
+			removedTables = append(removedTables, s.Name)
+			continue
+		}
+		var keptFields []*ast.Field
+		for _, f := range s.Fields {
+			if f.PK || fields[f.Name] || !movedHere[f.Name] {
+				keptFields = append(keptFields, f)
+			}
+		}
+		s.Fields = keptFields
+		kept = append(kept, s)
+	}
+	p.Schemas = kept
+	return removedTables
+}

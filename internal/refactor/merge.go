@@ -1,0 +1,504 @@
+package refactor
+
+import (
+	"fmt"
+
+	"atropos/internal/ast"
+)
+
+// This file implements the command splitting used by repair's preprocessing
+// (§5: "database commands are split into multiple commands such that each
+// command is involved in at most one anomalous access pair") and the
+// merging strategy of try_merge, including the same-records analysis that
+// decides when two where clauses always select the same records (condition
+// R1 of §4.2).
+
+// SplitUpdate splits the update labelled label in transaction txn into one
+// update per field group, labelled label.1, label.2, ... (Fig. 11: U4
+// becomes U4.1 and U4.2). Groups must partition the update's set fields.
+func SplitUpdate(p *ast.Program, txn, label string, groups [][]string) (*ast.Program, error) {
+	out := ast.CloneProgram(p)
+	t := out.Txn(txn)
+	if t == nil {
+		return nil, errf("split", "unknown transaction %q", txn)
+	}
+	var serr error
+	found := false
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		u, ok := s.(*ast.Update)
+		if !ok || u.Label != label {
+			return []ast.Stmt{s}
+		}
+		found = true
+		byField := map[string]ast.Assign{}
+		for _, a := range u.Sets {
+			byField[a.Field] = a
+		}
+		var parts []ast.Stmt
+		covered := 0
+		for i, g := range groups {
+			nu := &ast.Update{
+				Label: fmt.Sprintf("%s.%d", label, i+1),
+				Table: u.Table,
+				Where: ast.CloneExpr(u.Where),
+			}
+			for _, f := range g {
+				a, ok := byField[f]
+				if !ok {
+					serr = errf("split", "%s.%s does not set field %q", txn, label, f)
+					return []ast.Stmt{s}
+				}
+				nu.Sets = append(nu.Sets, ast.Assign{Field: f, Expr: ast.CloneExpr(a.Expr)})
+				covered++
+			}
+			parts = append(parts, nu)
+		}
+		if covered != len(u.Sets) {
+			serr = errf("split", "%s.%s: groups cover %d of %d set fields", txn, label, covered, len(u.Sets))
+			return []ast.Stmt{s}
+		}
+		return parts
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	if !found {
+		return nil, errf("split", "no update labelled %q in %s", label, txn)
+	}
+	return out, nil
+}
+
+// SplitSelect splits the select labelled label into one select per field
+// group with fresh variables, rewriting downstream accesses accordingly.
+func SplitSelect(p *ast.Program, txn, label string, groups [][]string) (*ast.Program, error) {
+	out := ast.CloneProgram(p)
+	t := out.Txn(txn)
+	if t == nil {
+		return nil, errf("split", "unknown transaction %q", txn)
+	}
+	var serr error
+	found := false
+	fieldVar := map[string]string{} // field -> new variable
+	var oldVar string
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		sel, ok := s.(*ast.Select)
+		if !ok || sel.Label != label {
+			return []ast.Stmt{s}
+		}
+		if sel.Star {
+			serr = errf("split", "%s.%s: cannot split SELECT *", txn, label)
+			return []ast.Stmt{s}
+		}
+		found = true
+		oldVar = sel.Var
+		have := map[string]bool{}
+		for _, f := range sel.Fields {
+			have[f] = true
+		}
+		var parts []ast.Stmt
+		covered := 0
+		for i, g := range groups {
+			nv := fmt.Sprintf("%s_%d", sel.Var, i+1)
+			ns := &ast.Select{
+				Label: fmt.Sprintf("%s.%d", label, i+1),
+				Var:   nv,
+				Table: sel.Table,
+				Where: ast.CloneExpr(sel.Where),
+			}
+			for _, f := range g {
+				if !have[f] {
+					serr = errf("split", "%s.%s does not select field %q", txn, label, f)
+					return []ast.Stmt{s}
+				}
+				ns.Fields = append(ns.Fields, f)
+				fieldVar[f] = nv
+				covered++
+			}
+			parts = append(parts, ns)
+		}
+		if covered != len(sel.Fields) {
+			serr = errf("split", "%s.%s: groups cover %d of %d fields", txn, label, covered, len(sel.Fields))
+			return []ast.Stmt{s}
+		}
+		return parts
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	if !found {
+		return nil, errf("split", "no select labelled %q in %s", label, txn)
+	}
+	// Rewrite accesses x.f to the new variable holding f.
+	rewrite := func(e ast.Expr) ast.Expr {
+		return ast.MapExpr(e, func(x ast.Expr) ast.Expr {
+			switch fa := x.(type) {
+			case *ast.FieldAt:
+				if fa.Var == oldVar {
+					if nv, ok := fieldVar[fa.Field]; ok {
+						return &ast.FieldAt{Var: nv, Field: fa.Field, Index: fa.Index}
+					}
+				}
+			case *ast.Agg:
+				if fa.Var == oldVar {
+					if nv, ok := fieldVar[fa.Field]; ok {
+						return &ast.Agg{Fn: fa.Fn, Var: nv, Field: fa.Field}
+					}
+				}
+			}
+			return x
+		})
+	}
+	rewriteTxnExprs(t, rewrite)
+	return out, nil
+}
+
+// rewriteTxnExprs applies an expression rewriter to every expression in the
+// transaction.
+func rewriteTxnExprs(t *ast.Txn, rewrite func(ast.Expr) ast.Expr) {
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		switch x := s.(type) {
+		case *ast.Select:
+			x.Where = rewrite(x.Where)
+		case *ast.Update:
+			x.Where = rewrite(x.Where)
+			for i := range x.Sets {
+				x.Sets[i].Expr = rewrite(x.Sets[i].Expr)
+			}
+		case *ast.Insert:
+			for i := range x.Values {
+				x.Values[i].Expr = rewrite(x.Values[i].Expr)
+			}
+		case *ast.If:
+			x.Cond = rewrite(x.Cond)
+		case *ast.Iterate:
+			x.Count = rewrite(x.Count)
+		}
+		return []ast.Stmt{s}
+	})
+	t.Ret = rewrite(t.Ret)
+}
+
+// SameRecords decides whether two commands of one transaction always select
+// the same set of records (try_merge's R1 condition). Three patterns are
+// recognized, mirroring the paper's examples (§5):
+//
+//  1. syntactically equal where clauses;
+//  2. the lookup pattern: one clause pins this.g = x.g where x was selected
+//     from the same table by the other clause (Fig. 9's st_em_id lookup);
+//  3. the pinned-by-set pattern: one command's update sets g = e and the
+//     other clause is this.g = e (Fig. 11's st_co_id = course).
+//
+// It returns the where clause the merged command should keep.
+func SameRecords(t *ast.Txn, c1, c2 ast.DBCommand) (ast.Expr, bool) {
+	w1 := whereOf(c1)
+	w2 := whereOf(c2)
+	if w1 == nil || w2 == nil {
+		return nil, false
+	}
+	if ast.EqualExpr(w1, w2) {
+		return w1, true
+	}
+	if samePinMaps(w1, w2) {
+		return w1, true
+	}
+	if lookupPattern(t, c1.TableName(), w1, w2) {
+		return w1, true
+	}
+	if lookupPattern(t, c2.TableName(), w2, w1) {
+		return w2, true
+	}
+	if pinnedBySet(t, c1, w1, w2) {
+		return w1, true
+	}
+	if pinnedBySet(t, c2, w2, w1) {
+		return w2, true
+	}
+	return nil, false
+}
+
+// samePinMaps reports equality of two equality-conjunction clauses up to
+// conjunct reordering.
+func samePinMaps(w1, w2 ast.Expr) bool {
+	e1, ok1 := ast.WhereEqualities(w1)
+	e2, ok2 := ast.WhereEqualities(w2)
+	if !ok1 || !ok2 || len(e1) != len(e2) {
+		return false
+	}
+	m1 := map[string]ast.Expr{}
+	for _, q := range e1 {
+		m1[q.Field] = q.Expr
+	}
+	for _, q := range e2 {
+		e, ok := m1[q.Field]
+		if !ok || !ast.EqualExpr(e, q.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+func whereOf(c ast.DBCommand) ast.Expr {
+	switch x := c.(type) {
+	case *ast.Select:
+		return x.Where
+	case *ast.Update:
+		return x.Where
+	default:
+		return nil
+	}
+}
+
+// lookupPattern reports whether wLookup has the shape this.g = x.g where x
+// was bound by a select on table whose where clause equals wAnchor: the
+// looked-up record is the anchored record itself.
+func lookupPattern(t *ast.Txn, table string, wAnchor, wLookup ast.Expr) bool {
+	bin, ok := wLookup.(*ast.Binary)
+	if !ok || bin.Op != ast.OpEq {
+		return false
+	}
+	tf, ok := bin.L.(*ast.ThisField)
+	if !ok {
+		return false
+	}
+	fa, ok := bin.R.(*ast.FieldAt)
+	if !ok || fa.Index != nil || fa.Field != tf.Field {
+		return false
+	}
+	sel := findSelect(t, fa.Var)
+	return sel != nil && sel.Table == table && ast.EqualExpr(sel.Where, wAnchor)
+}
+
+// pinnedBySet reports whether every equality conjunct this.g = e of w is
+// justified by the anchor command c: either c's update sets g = e (after c
+// runs its target records satisfy the conjunct — Fig. 11's st_co_id =
+// course) or c's own where clause pins g to the same expression.
+func pinnedBySet(t *ast.Txn, c ast.DBCommand, wAnchor, w ast.Expr) bool {
+	pins, ok := ast.WhereEqualities(w)
+	if !ok || len(pins) == 0 {
+		return false
+	}
+	anchorPins := map[string]ast.Expr{}
+	if eqs, ok := ast.WhereEqualities(wAnchor); ok {
+		for _, q := range eqs {
+			anchorPins[q.Field] = q.Expr
+		}
+	}
+	u, isUpdate := c.(*ast.Update)
+	for _, q := range pins {
+		justified := false
+		if isUpdate {
+			for _, a := range u.Sets {
+				if a.Field == q.Field && ast.EqualExpr(a.Expr, q.Expr) {
+					justified = true
+					break
+				}
+			}
+		}
+		if !justified {
+			if e, ok := anchorPins[q.Field]; ok && ast.EqualExpr(e, q.Expr) {
+				justified = true
+			}
+		}
+		if !justified && lookupConjunct(t, c.TableName(), wAnchor, q) {
+			justified = true
+		}
+		if !justified {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupConjunct reports whether the conjunct this.g = x.g reads g from the
+// record selected by wAnchor on the same table.
+func lookupConjunct(t *ast.Txn, table string, wAnchor ast.Expr, q ast.WhereEquality) bool {
+	fa, ok := q.Expr.(*ast.FieldAt)
+	if !ok || fa.Index != nil || fa.Field != q.Field {
+		return false
+	}
+	sel := findSelect(t, fa.Var)
+	return sel != nil && sel.Table == table && ast.EqualExpr(sel.Where, wAnchor)
+}
+
+// Merge merges command c2 into c1 within transaction txn (both identified
+// by label): the merged command takes c1's position, and uses of c2's
+// variable are rewritten to c1's. It fails unless the commands are the same
+// kind, on the same table, provably select the same records, and no
+// conflicting command sits between them.
+func Merge(p *ast.Program, txn, label1, label2 string) (*ast.Program, error) {
+	out := ast.CloneProgram(p)
+	t := out.Txn(txn)
+	if t == nil {
+		return nil, errf("merge", "unknown transaction %q", txn)
+	}
+	c1 := findCommand(t, label1)
+	c2 := findCommand(t, label2)
+	if c1 == nil || c2 == nil {
+		return nil, errf("merge", "%s: commands %q/%q not found", txn, label1, label2)
+	}
+	if c1.TableName() != c2.TableName() {
+		return nil, errf("merge", "%s: %s and %s target different tables", txn, label1, label2)
+	}
+	mergedWhere, ok := SameRecords(t, c1, c2)
+	if !ok {
+		return nil, errf("merge", "%s: cannot prove %s and %s select the same records", txn, label1, label2)
+	}
+	if err := checkNoConflictBetween(t, c1, c2); err != nil {
+		return nil, err
+	}
+
+	switch x1 := c1.(type) {
+	case *ast.Select:
+		x2, ok := c2.(*ast.Select)
+		if !ok {
+			return nil, errf("merge", "%s: %s and %s are different kinds", txn, label1, label2)
+		}
+		merged := &ast.Select{Label: x1.Label, Var: x1.Var, Table: x1.Table, Where: ast.CloneExpr(mergedWhere)}
+		if x1.Star || x2.Star {
+			merged.Star = true
+		} else {
+			seen := map[string]bool{}
+			for _, f := range append(append([]string(nil), x1.Fields...), x2.Fields...) {
+				if !seen[f] {
+					seen[f] = true
+					merged.Fields = append(merged.Fields, f)
+				}
+			}
+		}
+		replaceCommand(t, label1, merged)
+		removeCommand(t, label2)
+		// Uses of c2's variable now read from the merged select.
+		old, nw := x2.Var, x1.Var
+		rewriteTxnExprs(t, func(e ast.Expr) ast.Expr {
+			return ast.MapExpr(e, func(x ast.Expr) ast.Expr {
+				switch fa := x.(type) {
+				case *ast.FieldAt:
+					if fa.Var == old {
+						return &ast.FieldAt{Var: nw, Field: fa.Field, Index: fa.Index}
+					}
+				case *ast.Agg:
+					if fa.Var == old {
+						return &ast.Agg{Fn: fa.Fn, Var: nw, Field: fa.Field}
+					}
+				}
+				return x
+			})
+		})
+	case *ast.Update:
+		x2, ok := c2.(*ast.Update)
+		if !ok {
+			return nil, errf("merge", "%s: %s and %s are different kinds", txn, label1, label2)
+		}
+		merged := &ast.Update{Label: x1.Label, Table: x1.Table, Where: ast.CloneExpr(mergedWhere)}
+		merged.Sets = append(merged.Sets, cloneAssignsList(x1.Sets)...)
+		for _, a := range x2.Sets {
+			dup := false
+			for _, b := range x1.Sets {
+				if b.Field == a.Field {
+					if !ast.EqualExpr(a.Expr, b.Expr) {
+						return nil, errf("merge", "%s: %s and %s set %q to different values", txn, label1, label2, a.Field)
+					}
+					dup = true
+				}
+			}
+			if !dup {
+				merged.Sets = append(merged.Sets, ast.Assign{Field: a.Field, Expr: ast.CloneExpr(a.Expr)})
+			}
+		}
+		replaceCommand(t, label1, merged)
+		removeCommand(t, label2)
+	default:
+		return nil, errf("merge", "%s: %s is not mergeable (inserts are already atomic)", txn, label1)
+	}
+	return out, nil
+}
+
+func cloneAssignsList(as []ast.Assign) []ast.Assign {
+	out := make([]ast.Assign, len(as))
+	for i, a := range as {
+		out[i] = ast.Assign{Field: a.Field, Expr: ast.CloneExpr(a.Expr)}
+	}
+	return out
+}
+
+// checkNoConflictBetween refuses the merge when a command between c1 and c2
+// could observe or disturb the effect of moving c2 up to c1's position.
+func checkNoConflictBetween(t *ast.Txn, c1, c2 ast.DBCommand) error {
+	cmds := ast.Commands(t.Body)
+	i1, i2 := -1, -1
+	for i, c := range cmds {
+		if c.CmdLabel() == c1.CmdLabel() {
+			i1 = i
+		}
+		if c.CmdLabel() == c2.CmdLabel() {
+			i2 = i
+		}
+	}
+	if i1 < 0 || i2 < 0 {
+		return errf("merge", "%s: commands not found", t.Name)
+	}
+	if i1 > i2 {
+		i1, i2 = i2, i1
+	}
+	_, c2IsSelect := c2.(*ast.Select)
+	var between []ast.DBCommand
+	for _, c := range cmds[i1+1 : i2] {
+		between = append(between, c)
+	}
+	for _, c := range between {
+		if c.TableName() != c2.TableName() {
+			continue
+		}
+		if _, isSel := c.(*ast.Select); isSel && c2IsSelect {
+			continue // reads commute with reads
+		}
+		return errf("merge", "%s: command %s between %s and %s conflicts with the merge",
+			t.Name, c.CmdLabel(), c1.CmdLabel(), c2.CmdLabel())
+	}
+	// Moving c2 up must not break def-use: its expressions may not read
+	// variables bound between the two commands.
+	needed := map[string]bool{}
+	for _, e := range ast.StmtExprs(c2) {
+		for v := range ast.VarsRead(e) {
+			needed[v] = true
+		}
+	}
+	for _, c := range between {
+		if sel, ok := c.(*ast.Select); ok && needed[sel.Var] {
+			return errf("merge", "%s: %s reads %q bound between the merge points", t.Name, c2.CmdLabel(), sel.Var)
+		}
+	}
+	return nil
+}
+
+// findCommand locates a database command by label.
+func findCommand(t *ast.Txn, label string) ast.DBCommand {
+	var found ast.DBCommand
+	ast.WalkStmts(t.Body, func(s ast.Stmt) bool {
+		if c, ok := s.(ast.DBCommand); ok && c.CmdLabel() == label {
+			found = c
+		}
+		return true
+	})
+	return found
+}
+
+// replaceCommand swaps the command with the given label for a new statement.
+func replaceCommand(t *ast.Txn, label string, repl ast.Stmt) {
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		if c, ok := s.(ast.DBCommand); ok && c.CmdLabel() == label {
+			return []ast.Stmt{repl}
+		}
+		return []ast.Stmt{s}
+	})
+}
+
+// removeCommand deletes the command with the given label.
+func removeCommand(t *ast.Txn, label string) {
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		if c, ok := s.(ast.DBCommand); ok && c.CmdLabel() == label {
+			return nil
+		}
+		return []ast.Stmt{s}
+	})
+}

@@ -1,0 +1,578 @@
+// Package repair implements the paper's repair procedure (§5, Fig. 10):
+// given a program and a consistency model, it detects anomalous access
+// pairs with the oracle, preprocesses the program (splitting commands so
+// each participates in at most one pair), attempts to eliminate each pair
+// by merging (after redirecting through a freshly introduced value
+// correspondence when the commands live on different schemas) or by
+// translating read-modify-write updates into logging-table inserts, and
+// finally post-processes (dead-code elimination, opportunistic merging,
+// schema garbage collection).
+package repair
+
+import (
+	"fmt"
+
+	"atropos/internal/anomaly"
+	"atropos/internal/ast"
+	"atropos/internal/refactor"
+)
+
+// Result is the outcome of a repair run.
+type Result struct {
+	// Program is the repaired program.
+	Program *ast.Program
+	// Corrs are the value correspondences introduced, in application order.
+	Corrs []refactor.ValueCorr
+	// Initial and Remaining are the anomalous access pairs before and
+	// after repair (under the same consistency model).
+	Initial   []anomaly.AccessPair
+	Remaining []anomaly.AccessPair
+	// Steps is a human-readable log of the refactorings applied.
+	Steps []string
+	// SerializableTxns are the transactions still involved in at least one
+	// anomaly: the AT-SC deployment runs exactly these under SC (§7.2).
+	SerializableTxns []string
+}
+
+// RepairedCount returns how many of the initial pairs were eliminated.
+func (r *Result) RepairedCount() int { return len(r.Initial) - len(r.Remaining) }
+
+// Repair runs the full pipeline of Fig. 10 under the given model.
+func Repair(prog *ast.Program, model anomaly.Model) (*Result, error) {
+	res := &Result{}
+	initial, err := anomaly.Detect(prog, model)
+	if err != nil {
+		return nil, err
+	}
+	res.Initial = initial.Pairs
+
+	p := ast.CloneProgram(prog)
+	p = preprocess(p, initial.Pairs, res)
+
+	// Re-detect: preprocessing changed command labels (U4 → U4.1, U4.2).
+	rep, err := anomaly.Detect(p, model)
+	if err != nil {
+		return nil, err
+	}
+	for _, pair := range rep.Pairs {
+		if p2, desc, ok := tryRepair(p, pair, res); ok {
+			p = p2
+			res.Steps = append(res.Steps, fmt.Sprintf("repaired %s: %s", pair, desc))
+		} else {
+			res.Steps = append(res.Steps, fmt.Sprintf("unrepaired %s: %s", pair, desc))
+		}
+	}
+
+	moved := map[string]map[string]bool{}
+	for _, c := range res.Corrs {
+		if moved[c.SrcTable] == nil {
+			moved[c.SrcTable] = map[string]bool{}
+		}
+		moved[c.SrcTable][c.SrcField] = true
+	}
+	postprocess(p, res, moved)
+
+	final, err := anomaly.Detect(p, model)
+	if err != nil {
+		return nil, err
+	}
+	res.Program = p
+	res.Remaining = final.Pairs
+	seen := map[string]bool{}
+	for _, pair := range final.Pairs {
+		if !seen[pair.Txn] {
+			seen[pair.Txn] = true
+			res.SerializableTxns = append(res.SerializableTxns, pair.Txn)
+		}
+	}
+	return res, nil
+}
+
+// preprocess splits multi-field commands so that each database command is
+// involved in at most one anomalous access pair, provided the split fields
+// are not accessed together elsewhere in the program (§5).
+func preprocess(p *ast.Program, pairs []anomaly.AccessPair, res *Result) *ast.Program {
+	groups := map[cmdKey][][]string{}
+	for _, pair := range pairs {
+		if len(pair.F1) > 0 {
+			k := cmdKey{pair.Txn, pair.C1}
+			groups[k] = append(groups[k], pair.F1)
+		}
+		if len(pair.F2) > 0 {
+			k := cmdKey{pair.Txn, pair.C2}
+			groups[k] = append(groups[k], pair.F2)
+		}
+	}
+	// First compute a split plan for every candidate command, then apply
+	// the plans whose field groups are not co-accessed by any command that
+	// is not itself being split compatibly.
+	plans := map[cmdKey][][]string{}
+	for k, sets := range groups {
+		t := p.Txn(k.txn)
+		if t == nil {
+			continue
+		}
+		c := findCommand(t, k.label)
+		if c == nil {
+			continue
+		}
+		var own []string
+		switch x := c.(type) {
+		case *ast.Update:
+			for _, a := range x.Sets {
+				own = append(own, a.Field)
+			}
+		case *ast.Select:
+			if x.Star {
+				continue
+			}
+			own = x.Fields
+		default:
+			continue
+		}
+		if len(own) < 2 {
+			continue
+		}
+		partition := buildPartition(own, sets)
+		if len(partition) >= 2 {
+			plans[k] = partition
+		}
+	}
+	for k, partition := range plans {
+		t := p.Txn(k.txn)
+		c := findCommand(t, k.label)
+		if c == nil {
+			continue
+		}
+		if coAccessedElsewhere(p, k.txn, k.label, c.TableName(), partition, plans) {
+			continue
+		}
+		var err error
+		var np *ast.Program
+		switch c.(type) {
+		case *ast.Update:
+			np, err = refactor.SplitUpdate(p, k.txn, k.label, partition)
+		case *ast.Select:
+			np, err = refactor.SplitSelect(p, k.txn, k.label, partition)
+		}
+		if err == nil {
+			p = np
+			res.Steps = append(res.Steps, fmt.Sprintf("split %s.%s into %d commands %v", k.txn, k.label, len(partition), partition))
+		}
+	}
+	return p
+}
+
+type cmdKey struct{ txn, label string }
+
+// buildPartition groups a command's fields: fields named together by some
+// access pair stay together, overlapping groups are unioned, and leftover
+// fields form one final group.
+func buildPartition(own []string, sets [][]string) [][]string {
+	ownSet := map[string]bool{}
+	for _, f := range own {
+		ownSet[f] = true
+	}
+	var parts []map[string]bool
+	for _, s := range sets {
+		g := map[string]bool{}
+		for _, f := range s {
+			if ownSet[f] {
+				g[f] = true
+			}
+		}
+		if len(g) == 0 {
+			continue
+		}
+		// Union with any overlapping existing group.
+		merged := g
+		var next []map[string]bool
+		for _, existing := range parts {
+			if overlaps(existing, merged) {
+				for f := range existing {
+					merged[f] = true
+				}
+			} else {
+				next = append(next, existing)
+			}
+		}
+		parts = append(next, merged)
+	}
+	covered := map[string]bool{}
+	for _, g := range parts {
+		for f := range g {
+			covered[f] = true
+		}
+	}
+	var leftover []string
+	for _, f := range own {
+		if !covered[f] {
+			leftover = append(leftover, f)
+		}
+	}
+	var out [][]string
+	for _, g := range parts {
+		var fs []string
+		for _, f := range own { // preserve declaration order
+			if g[f] {
+				fs = append(fs, f)
+			}
+		}
+		out = append(out, fs)
+	}
+	if len(leftover) > 0 {
+		out = append(out, leftover)
+	}
+	return out
+}
+
+func overlaps(a, b map[string]bool) bool {
+	for f := range a {
+		if b[f] {
+			return true
+		}
+	}
+	return false
+}
+
+// coAccessedElsewhere reports whether any other command accesses fields
+// from two different groups of the partition — splitting would then risk
+// introducing new anomalies (§5). A command that is itself planned to be
+// split with a compatible partition (each of its groups intersects at most
+// one of ours) does not block: after both splits no command co-accesses
+// the separated fields.
+func coAccessedElsewhere(p *ast.Program, txn, label, table string, partition [][]string, plans map[cmdKey][][]string) bool {
+	groupOf := map[string]int{}
+	for i, g := range partition {
+		for _, f := range g {
+			groupOf[f] = i
+		}
+	}
+	for _, t := range p.Txns {
+		for _, c := range ast.Commands(t.Body) {
+			if t.Name == txn && c.CmdLabel() == label {
+				continue
+			}
+			if c.TableName() != table {
+				continue
+			}
+			if other, ok := plans[cmdKey{t.Name, c.CmdLabel()}]; ok && refines(other, groupOf) {
+				continue
+			}
+			acc := ast.CommandAccess(c, p.Schema(table))
+			seen := -1
+			for _, f := range append(append([]string(nil), acc.Reads...), acc.Writes...) {
+				g, ok := groupOf[f]
+				if !ok {
+					continue
+				}
+				if seen >= 0 && g != seen {
+					return true
+				}
+				seen = g
+			}
+		}
+	}
+	return false
+}
+
+// refines reports whether each group of the other command's partition
+// touches at most one of our groups.
+func refines(other [][]string, groupOf map[string]int) bool {
+	for _, g := range other {
+		seen := -1
+		for _, f := range g {
+			gi, ok := groupOf[f]
+			if !ok {
+				continue
+			}
+			if seen >= 0 && gi != seen {
+				return false
+			}
+			seen = gi
+		}
+	}
+	return true
+}
+
+// tryRepair implements try_repair of Fig. 10. It returns the repaired
+// program, a description of what happened, and whether it succeeded.
+func tryRepair(p *ast.Program, pair anomaly.AccessPair, res *Result) (*ast.Program, string, bool) {
+	t := p.Txn(pair.Txn)
+	if t == nil {
+		return p, "transaction vanished", false
+	}
+	c1 := findCommand(t, pair.C1)
+	c2 := findCommand(t, pair.C2)
+	if c1 == nil || c2 == nil {
+		return p, "already repaired (command merged away)", true
+	}
+	if sameKind(c1, c2) {
+		if c1.TableName() == c2.TableName() {
+			if np, err := refactor.Merge(p, pair.Txn, pair.C1, pair.C2); err == nil {
+				return np, fmt.Sprintf("merged %s and %s", pair.C1, pair.C2), true
+			} else {
+				return tryLogging(p, pair, fmt.Sprintf("merge failed (%v)", err), res)
+			}
+		}
+		if np, corr, err := tryRedirect(p, t, c1, c2); err == nil {
+			if np2, err2 := refactor.Merge(np, pair.Txn, pair.C1, pair.C2); err2 == nil {
+				res.Corrs = append(res.Corrs, corr)
+				return np2, fmt.Sprintf("redirected via %s then merged", corr), true
+			} else {
+				return tryLogging(p, pair, fmt.Sprintf("post-redirect merge failed (%v)", err2), res)
+			}
+		}
+	}
+	return tryLogging(p, pair, "commands not mergeable", res)
+}
+
+func sameKind(a, b ast.DBCommand) bool {
+	switch a.(type) {
+	case *ast.Select:
+		_, ok := b.(*ast.Select)
+		return ok
+	case *ast.Update:
+		_, ok := b.(*ast.Update)
+		return ok
+	case *ast.Insert:
+		_, ok := b.(*ast.Insert)
+		return ok
+	}
+	return false
+}
+
+// tryRedirect implements the redirect attempt of Fig. 10 line 5: introduce
+// a value correspondence moving c2's field into c1's schema, deriving the
+// record correspondence θ̂ from the commands' where clauses (§5: "by
+// analyzing the commands' where clauses and identifying equivalent
+// expressions used in their constraints").
+func tryRedirect(p *ast.Program, t *ast.Txn, c1, c2 ast.DBCommand) (*ast.Program, refactor.ValueCorr, error) {
+	srcTable := c2.TableName()
+	dstTable := c1.TableName()
+	srcSchema := p.Schema(srcTable)
+	dstSchema := p.Schema(dstTable)
+	if srcSchema == nil || dstSchema == nil {
+		return nil, refactor.ValueCorr{}, fmt.Errorf("repair: unknown schema")
+	}
+	srcField, err := singleField(c2)
+	if err != nil {
+		return nil, refactor.ValueCorr{}, err
+	}
+	theta, err := deriveTheta(p, t, c1, c2, srcSchema, dstSchema)
+	if err != nil {
+		return nil, refactor.ValueCorr{}, err
+	}
+	f := srcSchema.Field(srcField)
+	dstField := refactor.DstFieldName(dstSchema, srcField)
+	np, err := refactor.IntroField(p, dstTable, ast.Field{Name: dstField, Type: f.Type})
+	if err != nil {
+		return nil, refactor.ValueCorr{}, err
+	}
+	corr := refactor.ValueCorr{
+		SrcTable: srcTable, SrcField: srcField,
+		DstTable: dstTable, DstField: dstField,
+		Theta: theta, Agg: ast.AggAny,
+	}
+	np, err = refactor.ApplyCorr(np, corr)
+	if err != nil {
+		return nil, refactor.ValueCorr{}, err
+	}
+	return np, corr, nil
+}
+
+// singleField returns the unique field a (post-preprocessing) command
+// accesses, or an error if the command touches several.
+func singleField(c ast.DBCommand) (string, error) {
+	switch x := c.(type) {
+	case *ast.Select:
+		if x.Star || len(x.Fields) != 1 {
+			return "", fmt.Errorf("repair: %s accesses multiple fields", x.Label)
+		}
+		return x.Fields[0], nil
+	case *ast.Update:
+		if len(x.Sets) != 1 {
+			return "", fmt.Errorf("repair: %s sets multiple fields", x.Label)
+		}
+		return x.Sets[0].Field, nil
+	default:
+		return "", fmt.Errorf("repair: %s is not redirectable", c.CmdLabel())
+	}
+}
+
+// deriveTheta maps each primary-key field of c2's schema to a field of
+// c1's schema carrying the same value, using three equivalence patterns:
+//
+//	(a) the pin is x.g where x was selected from c1's table — θ̂(f) = g;
+//	(b) c1 is an update setting g = e and the pin equals e — θ̂(f) = g;
+//	(c) c1's where pins its own key field g to the same expression — θ̂(f) = g.
+func deriveTheta(p *ast.Program, t *ast.Txn, c1, c2 ast.DBCommand, srcSchema, dstSchema *ast.Schema) (map[string]string, error) {
+	pins, ok := ast.WellFormedWhere(whereOf(c2), srcSchema)
+	if !ok {
+		return nil, fmt.Errorf("repair: %s: where clause is not a primary-key equality conjunction", c2.CmdLabel())
+	}
+	theta := map[string]string{}
+	for _, pk := range srcSchema.PrimaryKey() {
+		pin := pins[pk.Name]
+		g := ""
+		// (a) lookup through a select on the destination table.
+		if fa, isFA := pin.(*ast.FieldAt); isFA && fa.Index == nil {
+			if sel := findSelectVar(t, fa.Var); sel != nil && sel.Table == dstSchema.Name {
+				g = fa.Field
+			}
+		}
+		// (b) pinned by one of c1's own assignments.
+		if g == "" {
+			if u, isU := c1.(*ast.Update); isU {
+				for _, a := range u.Sets {
+					if ast.EqualExpr(a.Expr, pin) {
+						g = a.Field
+						break
+					}
+				}
+			}
+		}
+		// (c) c1 pins one of its key fields to the same expression.
+		if g == "" {
+			if dstPins, ok := ast.WellFormedWhere(whereOf(c1), dstSchema); ok {
+				for gf, ge := range dstPins {
+					if ast.EqualExpr(ge, pin) {
+						g = gf
+						break
+					}
+				}
+			}
+		}
+		if g == "" {
+			return nil, fmt.Errorf("repair: cannot relate %s.%s to a field of %s", srcSchema.Name, pk.Name, dstSchema.Name)
+		}
+		if dstSchema.Field(g) == nil {
+			return nil, fmt.Errorf("repair: derived θ̂ field %s.%s does not exist", dstSchema.Name, g)
+		}
+		theta[pk.Name] = g
+	}
+	return theta, nil
+}
+
+// tryLogging implements try_logging of Fig. 10: translate the pair's
+// update into an insert on a fresh logging schema; succeed only if the
+// pair's select becomes dead code (§5). The introduced correspondence is
+// recorded in res for containment checking and data migration.
+func tryLogging(p *ast.Program, pair anomaly.AccessPair, prevFailure string, res *Result) (*ast.Program, string, bool) {
+	t := p.Txn(pair.Txn)
+	c1 := findCommand(t, pair.C1)
+	c2 := findCommand(t, pair.C2)
+	var sel *ast.Select
+	var upd *ast.Update
+	for _, c := range []ast.DBCommand{c1, c2} {
+		switch x := c.(type) {
+		case *ast.Select:
+			sel = x
+		case *ast.Update:
+			upd = x
+		}
+	}
+	if sel == nil || upd == nil {
+		return p, prevFailure + "; logging needs a select/update pair", false
+	}
+	if len(upd.Sets) != 1 {
+		return p, prevFailure + "; update sets multiple fields", false
+	}
+	field := upd.Sets[0].Field
+	np, corr, err := refactor.BuildLoggerSchema(p, upd.Table, field)
+	if err != nil {
+		return p, fmt.Sprintf("%s; logging failed (%v)", prevFailure, err), false
+	}
+	np, err = refactor.ApplyCorr(np, corr)
+	if err != nil {
+		return p, fmt.Sprintf("%s; logging failed (%v)", prevFailure, err), false
+	}
+	if !refactor.IsDeadSelect(np, pair.Txn, sel.Label) {
+		return p, prevFailure + "; logging left the select live", false
+	}
+	res.Corrs = append(res.Corrs, corr)
+	return np, fmt.Sprintf("logged %s.%s via %s", upd.Table, field, corr.DstTable), true
+}
+
+func whereOf(c ast.DBCommand) ast.Expr {
+	switch x := c.(type) {
+	case *ast.Select:
+		return x.Where
+	case *ast.Update:
+		return x.Where
+	default:
+		return nil
+	}
+}
+
+func findCommand(t *ast.Txn, label string) ast.DBCommand {
+	var found ast.DBCommand
+	ast.WalkStmts(t.Body, func(s ast.Stmt) bool {
+		if c, ok := s.(ast.DBCommand); ok && c.CmdLabel() == label {
+			found = c
+		}
+		return true
+	})
+	return found
+}
+
+func findSelectVar(t *ast.Txn, v string) *ast.Select {
+	var found *ast.Select
+	ast.WalkStmts(t.Body, func(s ast.Stmt) bool {
+		if sel, ok := s.(*ast.Select); ok && sel.Var == v {
+			found = sel
+		}
+		return true
+	})
+	return found
+}
+
+// postprocess removes dead code, merges whatever became mergeable, and
+// garbage-collects the schemas and fields the refactoring obsoleted
+// (Fig. 10 post_process).
+func postprocess(p *ast.Program, res *Result, moved map[string]map[string]bool) {
+	if n := refactor.RemoveDeadSelects(p); n > 0 {
+		res.Steps = append(res.Steps, fmt.Sprintf("removed %d dead selects", n))
+	}
+	merged := mergeAll(p)
+	if merged > 0 {
+		res.Steps = append(res.Steps, fmt.Sprintf("merged %d command pairs in post-processing", merged))
+	}
+	if n := refactor.RemoveDeadSelects(p); n > 0 {
+		res.Steps = append(res.Steps, fmt.Sprintf("removed %d dead selects", n))
+	}
+	if removed := refactor.GCSchemas(p, moved); len(removed) > 0 {
+		res.Steps = append(res.Steps, fmt.Sprintf("dropped obsolete tables %v", removed))
+	}
+}
+
+// mergeAll exhaustively merges same-kind commands that provably select the
+// same records.
+func mergeAll(p *ast.Program) int {
+	merged := 0
+	for _, t := range p.Txns {
+		for {
+			cmds := ast.Commands(t.Body)
+			done := true
+		search:
+			for i := 0; i < len(cmds); i++ {
+				for j := i + 1; j < len(cmds); j++ {
+					if cmds[i].TableName() != cmds[j].TableName() || !sameKind(cmds[i], cmds[j]) {
+						continue
+					}
+					if np, err := refactor.Merge(p, t.Name, cmds[i].CmdLabel(), cmds[j].CmdLabel()); err == nil {
+						// Merge clones the program; splice the merged txn back.
+						*t = *np.Txn(t.Name)
+						merged++
+						done = false
+						break search
+					}
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+	return merged
+}

@@ -1,0 +1,503 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver in the MiniSat style: two-watched-literal propagation, first-UIP
+// conflict analysis, VSIDS variable activity, phase saving, and Luby
+// restarts. It is the satisfiability backend for the anomaly-detection
+// oracle (the paper uses Z3; the bounded FOL encoding used for anomaly
+// detection reduces to propositional SAT, see internal/anomaly).
+package sat
+
+// Lit is a literal: variable v has positive literal 2v and negative literal
+// 2v+1.
+type Lit int32
+
+// NewLit builds the literal for variable v, negated when neg is true.
+func NewLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) neg() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	default:
+		return lUndef
+	}
+}
+
+type clause struct {
+	lits   []Lit
+	learnt bool
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; construct with
+// New.
+type Solver struct {
+	clauses  []*clause
+	learnts  []*clause
+	watches  [][]*clause // indexed by literal
+	assigns  []lbool     // indexed by variable
+	polarity []bool      // saved phase, indexed by variable
+	level    []int
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     *varHeap
+
+	ok    bool    // false once a top-level conflict is found
+	model []lbool // assignment saved at the last satisfiable Solve
+
+	// Stats
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+}
+
+// New creates an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1.0, ok: true}
+	s.heap = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar introduces a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.polarity = append(s.polarity, true) // default phase: false
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.push(v)
+	return v
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+func (s *Solver) valueLit(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if l.Sign() {
+		return v.neg()
+	}
+	return v
+}
+
+// AddClause adds a clause over the given literals. It returns false if the
+// solver is already in an unsatisfiable state (empty clause derived).
+// Must be called before Solve, at decision level 0.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Simplify: drop false literals and duplicates; detect tautologies.
+	seen := map[Lit]bool{}
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch {
+		case s.valueLit(l) == lTrue || seen[l.Neg()]:
+			return true // clause already satisfied / tautology
+		case s.valueLit(l) == lFalse || seen[l]:
+			continue
+		default:
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		falseLit := p.Neg()
+		ws := s.watches[falseLit]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			if conflict != nil {
+				kept = append(kept, c)
+				continue
+			}
+			// Normalize: watched false literal at position 1.
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// Satisfied by the other watcher?
+			if s.valueLit(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a replacement watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Unit or conflicting.
+			kept = append(kept, c)
+			if s.valueLit(c.lits[0]) == lFalse {
+				conflict = c
+				s.qhead = len(s.trail)
+			} else {
+				s.uncheckedEnqueue(c.lits[0], c)
+			}
+		}
+		s.watches[falseLit] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	seen := make([]bool, len(s.assigns))
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !seen[v] && s.level[v] > 0 {
+				seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] == s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find next literal on the trail to resolve on.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	// Backtrack level: highest level among the non-asserting literals.
+	bt := 0
+	for i := 1; i < len(learnt); i++ {
+		if l := s.level[learnt[i].Var()]; l > bt {
+			bt = l
+		}
+	}
+	// Move a literal of the backtrack level to position 1 (watch invariant).
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+	}
+	return learnt, bt
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) decayVarActivity() { s.varInc /= 0.95 }
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.trail[i].Sign()
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.heap.push(v)
+	}
+	s.trail = s.trail[:s.trailLim[level]]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() int {
+	for s.heap.len() > 0 {
+		v := s.heap.pop()
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby computes the Luby restart sequence element for index i (1-based):
+// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+func luby(i int64) int64 {
+	x := i - 1
+	var size, seq int64
+	for size, seq = 1, 0; size < x+1; seq, size = seq+1, 2*size+1 {
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << uint(seq)
+}
+
+// Solve determines satisfiability under the given assumptions. On a
+// satisfiable result, the model is available through Value.
+func (s *Solver) Solve(assumptions ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	defer s.cancelUntil(0)
+
+	restartBase := int64(100)
+	var restartCount int64
+	conflictsUntilRestart := restartBase * luby(1)
+	var conflictsSinceRestart int64
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflictsSinceRestart++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return false
+			}
+			learnt, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayVarActivity()
+			continue
+		}
+		if conflictsSinceRestart >= conflictsUntilRestart {
+			restartCount++
+			conflictsSinceRestart = 0
+			conflictsUntilRestart = restartBase * luby(restartCount+1)
+			s.cancelUntil(0)
+			continue
+		}
+		// Apply assumptions as pseudo-decisions below real decisions.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.valueLit(a) {
+			case lTrue:
+				// Already satisfied: open an empty decision level.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				// Assumptions conflict with the formula.
+				return false
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.uncheckedEnqueue(a, nil)
+				continue
+			}
+		}
+		v := s.pickBranchVar()
+		if v == -1 {
+			// All variables assigned: save the model (the deferred
+			// cancelUntil(0) will unwind the trail).
+			s.model = append(s.model[:0], s.assigns...)
+			return true
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(NewLit(v, s.polarity[v]), nil)
+	}
+}
+
+// Value returns variable v's value in the model saved by the most recent
+// satisfiable Solve. Variables created after that Solve read false.
+func (s *Solver) Value(v int) bool { return v < len(s.model) && s.model[v] == lTrue }
+
+// Model returns a copy of the saved model as a bool slice indexed by
+// variable.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.model))
+	for v := range s.model {
+		m[v] = s.model[v] == lTrue
+	}
+	return m
+}
+
+// varHeap is a max-heap over variable activities with lazy rebuilds.
+type varHeap struct {
+	act     *[]float64
+	heap    []int
+	indices []int
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) len() int { return len(h.heap) }
+
+func (h *varHeap) less(i, j int) bool {
+	return (*h.act)[h.heap[i]] > (*h.act)[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.indices[h.heap[i]] = i
+	h.indices[h.heap[j]] = j
+}
+
+func (h *varHeap) push(v int) {
+	for v >= len(h.indices) {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return // already present
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	h.swap(0, len(h.heap)-1)
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[v] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.indices) && h.indices[v] >= 0 {
+		h.up(h.indices[v])
+	}
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

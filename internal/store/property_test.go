@@ -1,0 +1,91 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atropos/internal/parser"
+)
+
+// TestViewReadIsMaxVisibleTS is a property test over random write
+// histories: for any subset view, Read returns the value of the
+// greatest-timestamp visible write to that location, falling back to the
+// initial value when nothing is visible — the reconstruction function
+// Σ'(r.f) of §3.1.
+func TestViewReadIsMaxVisibleTS(t *testing.T) {
+	prog := parser.MustParse(`table T { id: int key, n: int, }`)
+	f := func(writes []uint8, visBits uint32, seed int64) bool {
+		if len(writes) > 24 {
+			writes = writes[:24]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDB(prog)
+		k, err := db.Load("T", Row{"id": IntV(1), "n": IntV(-7)})
+		if err != nil {
+			return false
+		}
+		// Commit one batch per write, each to the same location with a
+		// random-but-recorded value.
+		vals := make([]int64, len(writes))
+		for i, w := range writes {
+			vals[i] = int64(w) + rng.Int63n(3)
+			db.Commit(&Batch{
+				TS: db.NextTS(), TxnID: i, Cmd: "t.U1",
+				Writes: []Write{{Table: "T", Rec: k, Field: "n", Val: IntV(vals[i])}},
+			})
+		}
+		visible := map[int]bool{}
+		for i := range writes {
+			if visBits>>uint(i)&1 == 1 {
+				visible[i] = true
+			}
+		}
+		got, from := db.NewView(visible).Read("T", k, "n")
+		// Reference implementation: max-TS visible write (batch IDs are
+		// commit-ordered, and TS increases with ID here).
+		want := int64(-7)
+		wantFrom := -1
+		for i := range writes {
+			if visible[i] {
+				want = vals[i]
+				wantFrom = i
+			}
+		}
+		return got.Equal(IntV(want)) && from == wantFrom
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeysMonotoneInView: growing the visible set never removes keys.
+func TestKeysMonotoneInView(t *testing.T) {
+	prog := parser.MustParse(`table T { id: int key, n: int, }`)
+	db := NewDB(prog)
+	for i := 0; i < 10; i++ {
+		db.Commit(&Batch{
+			TS: db.NextTS(), TxnID: i, Cmd: "t.U1",
+			Writes: []Write{
+				{Table: "T", Rec: MakeKey(IntV(int64(i))), Field: "n", Val: IntV(1)},
+				{Table: "T", Rec: MakeKey(IntV(int64(i))), Field: "alive", Val: BoolV(true)},
+			},
+		})
+	}
+	small := map[int]bool{1: true, 3: true}
+	big := map[int]bool{1: true, 3: true, 5: true, 7: true}
+	ks := db.NewView(small).Keys("T")
+	kb := db.NewView(big).Keys("T")
+	if len(ks) >= len(kb) {
+		t.Fatalf("keys not monotone: %d vs %d", len(ks), len(kb))
+	}
+	seen := map[Key]bool{}
+	for _, k := range kb {
+		seen[k] = true
+	}
+	for _, k := range ks {
+		if !seen[k] {
+			t.Fatalf("key %v lost when view grew", k)
+		}
+	}
+}

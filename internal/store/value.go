@@ -1,0 +1,123 @@
+// Package store implements the paper's data-store semantics (§3.1): database
+// states are histories of timestamped read/write events together with a
+// visibility relation. Writes are grouped into record-atomic batches (all
+// writes a command performs share one execution-counter value, so other
+// transactions either see all of a command's writes to a record or none —
+// the paper's record-level atomicity). Local views (the ⊵ relation of
+// ConstructView) are subsets of committed batches; consistency models are
+// expressed as view policies in package interp.
+package store
+
+import (
+	"fmt"
+	"strings"
+
+	"atropos/internal/ast"
+)
+
+// Value is a runtime value of the DSL: int, bool, or string.
+type Value struct {
+	T ast.Type
+	I int64
+	B bool
+	S string
+}
+
+// IntV makes an int value.
+func IntV(i int64) Value { return Value{T: ast.TInt, I: i} }
+
+// BoolV makes a bool value.
+func BoolV(b bool) Value { return Value{T: ast.TBool, B: b} }
+
+// StringV makes a string value.
+func StringV(s string) Value { return Value{T: ast.TString, S: s} }
+
+// Zero returns the zero value of a type.
+func Zero(t ast.Type) Value { return Value{T: t} }
+
+// Equal reports value equality (values of different types are unequal).
+func (v Value) Equal(o Value) bool {
+	if v.T != o.T {
+		return false
+	}
+	switch v.T {
+	case ast.TInt:
+		return v.I == o.I
+	case ast.TBool:
+		return v.B == o.B
+	case ast.TString:
+		return v.S == o.S
+	default:
+		return true
+	}
+}
+
+// Less orders two values of the same type (bools: false < true).
+func (v Value) Less(o Value) bool {
+	switch v.T {
+	case ast.TInt:
+		return v.I < o.I
+	case ast.TBool:
+		return !v.B && o.B
+	case ast.TString:
+		return v.S < o.S
+	default:
+		return false
+	}
+}
+
+func (v Value) String() string {
+	switch v.T {
+	case ast.TInt:
+		return fmt.Sprintf("%d", v.I)
+	case ast.TBool:
+		return fmt.Sprintf("%t", v.B)
+	case ast.TString:
+		return fmt.Sprintf("%q", v.S)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Key is an encoded primary-key value tuple identifying a record within a
+// table (an element of R_id).
+type Key string
+
+// MakeKey encodes a tuple of primary-key values.
+func MakeKey(vals ...Value) Key {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		switch v.T {
+		case ast.TInt:
+			parts[i] = fmt.Sprintf("i%d", v.I)
+		case ast.TBool:
+			parts[i] = fmt.Sprintf("b%t", v.B)
+		case ast.TString:
+			parts[i] = "s" + v.S
+		default:
+			parts[i] = "?"
+		}
+	}
+	return Key(strings.Join(parts, "\x1f"))
+}
+
+// Row is a record's field valuation (including the implicit alive field).
+type Row map[string]Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// ResultRow pairs a record key with the fields a query retrieved.
+type ResultRow struct {
+	Key    Key
+	Fields Row
+}
+
+// ResultSet is an ordered query result bound to a local variable.
+type ResultSet []ResultRow
