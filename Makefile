@@ -1,0 +1,29 @@
+# Atropos-Go development targets. `make ci` is the full gate mirrored by
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench baseline
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every experiment benchmark — a smoke test that each
+# table/figure driver still runs, not a measurement.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate the committed perf snapshot (see EXPERIMENTS.md §Baselines).
+baseline:
+	$(GO) run ./cmd/atropos-exp -exp baseline -duration 2 -out BENCH_baseline.json

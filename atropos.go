@@ -132,16 +132,26 @@ func Simulate(cfg ClusterConfig) (ClusterResult, error) { return cluster.Run(cfg
 
 // Experiment drivers (one per table/figure; see DESIGN.md §5).
 type (
-	// PerfConfig drives one Fig. 12-15 panel.
+	// PerfConfig drives one Fig. 12-15 panel; its Parallelism field bounds
+	// how many deployment simulations run concurrently (0 = GOMAXPROCS).
 	PerfConfig = exp.PerfConfig
 	// PerfResult holds its four measured curves.
 	PerfResult = exp.PerfResult
 	// Table1Row is one row of Table 1.
 	Table1Row = exp.Table1Row
+	// Option configures an experiment driver (see WithParallelism).
+	Option = exp.Option
 )
 
-// Table1 regenerates Table 1 over the given benchmarks.
-func Table1(benches []*Benchmark) ([]Table1Row, error) { return exp.Table1(benches) }
+// WithParallelism bounds the worker goroutines an experiment driver may
+// use; n <= 0 selects GOMAXPROCS (the default).
+func WithParallelism(n int) Option { return exp.WithParallelism(n) }
+
+// Table1 regenerates Table 1 over the given benchmarks, fanning the
+// benchmark × consistency-model grid out on a bounded worker pool.
+func Table1(benches []*Benchmark, opts ...Option) ([]Table1Row, error) {
+	return exp.Table1(benches, opts...)
+}
 
 // FormatTable1 renders Table 1 rows.
 func FormatTable1(rows []Table1Row) string { return exp.FormatTable1(rows) }

@@ -41,6 +41,31 @@ func BenchmarkTable1_SIBench(b *testing.B)    { benchTable1(b, "SIBench") }
 func BenchmarkTable1_Wikipedia(b *testing.B)  { benchTable1(b, "Wikipedia") }
 func BenchmarkTable1_Killrchat(b *testing.B)  { benchTable1(b, "Killrchat") }
 
+// --- Table 1 corpus pipeline: sequential vs parallel engine ---
+//
+// BENCH_baseline.json records both wall clocks; on a multi-core machine
+// the parallel engine's advantage approaches min(GOMAXPROCS, ~3x) for the
+// 9-benchmark x 3-model grid (the TPC-C column dominates the critical
+// path). On a single-core machine they coincide.
+
+func benchTable1Corpus(b *testing.B, parallelism int) {
+	all := benchmarks.All()
+	for _, bench := range all {
+		if _, err := bench.Program(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table1(all, exp.WithParallelism(parallelism)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Corpus_Sequential(b *testing.B) { benchTable1Corpus(b, 1) }
+func BenchmarkTable1Corpus_Parallel(b *testing.B)   { benchTable1Corpus(b, 0) }
+
 // --- Table 1's consistency-model columns (EC vs CC vs RR detection) ---
 
 func benchDetect(b *testing.B, model anomaly.Model) {

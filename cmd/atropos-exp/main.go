@@ -9,7 +9,11 @@
 //	atropos-exp -exp fig16 [-rounds 20]
 //	atropos-exp -exp invariants
 //	atropos-exp -exp summary
+//	atropos-exp -exp baseline [-out BENCH_baseline.json]
 //	atropos-exp -exp all
+//
+// Experiments fan out on a bounded worker pool; -parallel bounds the
+// workers (default: GOMAXPROCS). Results are independent of the setting.
 package main
 
 import (
@@ -26,13 +30,15 @@ import (
 )
 
 var (
-	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, all")
+	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, baseline, all")
 	benchArg = flag.String("bench", "", "benchmark for fig12/fig16 (default: the figure's benchmarks)")
 	duration = flag.Int("duration", 90, "seconds of simulated time per performance point")
 	clients  = flag.String("clients", "", "comma-separated client counts (default: paper's sweep)")
 	rounds   = flag.Int("rounds", 20, "random-refactoring rounds for fig16")
 	seed     = flag.Int64("seed", 42, "random seed")
 	records  = flag.Int("records", 100, "benchmark population scale")
+	parallel = flag.Int("parallel", 0, "worker goroutines for the experiment drivers (0 = GOMAXPROCS)")
+	outPath  = flag.String("out", "", "write the baseline snapshot to this file (baseline experiment)")
 )
 
 func main() {
@@ -54,6 +60,8 @@ func main() {
 		runInvariants()
 	case "summary":
 		runSummary()
+	case "baseline":
+		runBaseline()
 	case "all":
 		runTable1()
 		runFig(12)
@@ -63,6 +71,7 @@ func main() {
 		runFig16()
 		runInvariants()
 		runSummary()
+		runBaseline()
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *expName))
 	}
@@ -70,7 +79,7 @@ func main() {
 
 func runTable1() {
 	fmt.Println("== Table 1: statically identified anomalous access pairs ==")
-	rows, err := exp.Table1(benchmarks.All())
+	rows, err := exp.Table1(benchmarks.All(), exp.WithParallelism(*parallel))
 	if err != nil {
 		fatal(err)
 	}
@@ -118,6 +127,7 @@ func runFig(fig int) {
 				Duration:     time.Duration(*duration) * time.Second,
 				Scale:        benchmarks.Scale{Records: *records},
 				Seed:         *seed,
+				Parallelism:  *parallel,
 			})
 			if err != nil {
 				fatal(err)
@@ -179,15 +189,40 @@ func runInvariants() {
 
 func runSummary() {
 	fmt.Println("== Headline aggregates ==")
-	t1, err := exp.Table1(benchmarks.All())
+	t1, err := exp.Table1(benchmarks.All(), exp.WithParallelism(*parallel))
 	if err != nil {
 		fatal(err)
 	}
-	s, err := exp.Summary(t1, 150, time.Duration(*duration)*time.Second, *seed)
+	s, err := exp.Summary(t1, 150, time.Duration(*duration)*time.Second, *seed, exp.WithParallelism(*parallel))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(s.Format())
+}
+
+func runBaseline() {
+	fmt.Println("== Benchmark-regression baseline ==")
+	b, err := exp.RunBaseline(exp.BaselineConfig{
+		Duration:    time.Duration(*duration) * time.Second,
+		Parallelism: *parallel,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	buf, err := b.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline written to %s (table1 %0.fms sequential, %0.fms parallel, %.2fx)\n",
+			*outPath, b.Table1.SequentialMs, b.Table1.ParallelMs, b.Table1.SpeedupX)
+		return
+	}
+	os.Stdout.Write(buf)
 }
 
 func fatal(err error) {

@@ -1,10 +1,10 @@
-// Command atropos analyzes and repairs a database program: it reports the
+// Command atropos analyzes and repairs database programs: it reports the
 // anomalous access pairs found under a consistency model and prints the
 // refactored program.
 //
 // Usage:
 //
-//	atropos [flags] program.dsl     # analyze + repair a DSL file
+//	atropos [flags] program.dsl ...   # analyze + repair DSL files
 //	atropos [flags] -bench SmallBank
 //
 // Flags:
@@ -12,7 +12,12 @@
 //	-model EC|CC|RR|SC   consistency model (default EC)
 //	-analyze             only detect anomalies, do not repair
 //	-steps               print the refactoring steps applied
-//	-bench NAME          use a built-in benchmark instead of a file
+//	-bench NAME          use built-in benchmarks instead of files
+//	                     (comma-separated names, or "all")
+//	-parallel N          analyze inputs on N workers (0 = GOMAXPROCS)
+//
+// Multiple inputs are analyzed concurrently on a bounded worker pool;
+// output order matches input order.
 package main
 
 import (
@@ -22,62 +27,92 @@ import (
 	"strings"
 
 	"atropos"
+	"atropos/internal/exp"
 )
 
 func main() {
 	model := flag.String("model", "EC", "consistency model: EC, CC, RR, or SC")
 	analyzeOnly := flag.Bool("analyze", false, "only detect anomalies")
 	showSteps := flag.Bool("steps", false, "print refactoring steps")
-	benchName := flag.String("bench", "", "built-in benchmark name (SmallBank, TPC-C, ...)")
-	outPath := flag.String("out", "", "write the refactored program to this file instead of stdout")
+	benchName := flag.String("bench", "", `built-in benchmark names, comma-separated, or "all"`)
+	outPath := flag.String("out", "", "write the refactored program to this file instead of stdout (single input only)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for multiple inputs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	m, err := parseModel(*model)
 	if err != nil {
 		fatal(err)
 	}
-	prog, name, err := loadInput(*benchName, flag.Args())
+	inputs, err := loadInputs(*benchName, flag.Args())
 	if err != nil {
 		fatal(err)
 	}
+	if *outPath != "" && len(inputs) != 1 {
+		fatal(fmt.Errorf("-out requires exactly one input, got %d", len(inputs)))
+	}
 
-	if *analyzeOnly {
-		report, err := atropos.Analyze(prog, m)
+	// Analyze/repair every input concurrently on the experiment engine's
+	// worker pool; buffer per-input output so the report order matches the
+	// input order.
+	outputs := make([]string, len(inputs))
+	err = exp.ForEach(exp.Workers(*parallel), len(inputs), func(i int) error {
+		var perr error
+		outputs[i], perr = process(inputs[i], m, *analyzeOnly, *showSteps, *outPath)
+		return perr
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, out := range outputs {
+		fmt.Print(out)
+	}
+}
+
+type input struct {
+	name string
+	prog *atropos.Program
+}
+
+// process runs one input through the pipeline, returning its full report.
+func process(in input, m atropos.Model, analyzeOnly, showSteps bool, outPath string) (string, error) {
+	var b strings.Builder
+	if analyzeOnly {
+		report, err := atropos.Analyze(in.prog, m)
 		if err != nil {
-			fatal(err)
+			return "", err
 		}
-		fmt.Printf("%s: %d anomalous access pairs under %s\n", name, report.Count(), m)
+		fmt.Fprintf(&b, "%s: %d anomalous access pairs under %s\n", in.name, report.Count(), m)
 		for _, p := range report.Pairs {
-			fmt.Printf("  %s\n", p)
+			fmt.Fprintf(&b, "  %s\n", p)
 		}
-		return
+		return b.String(), nil
 	}
 
-	res, elapsed, err := atropos.RepairTimed(prog, m)
+	res, elapsed, err := atropos.RepairTimed(in.prog, m)
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
-	fmt.Printf("%s: %d anomalies under %s, %d remaining after repair (%.1fs)\n",
-		name, len(res.Initial), m, len(res.Remaining), elapsed.Seconds())
-	if *showSteps {
-		fmt.Println("steps:")
+	fmt.Fprintf(&b, "%s: %d anomalies under %s, %d remaining after repair (%.1fs)\n",
+		in.name, len(res.Initial), m, len(res.Remaining), elapsed.Seconds())
+	if showSteps {
+		fmt.Fprintln(&b, "steps:")
 		for _, s := range res.Steps {
-			fmt.Printf("  %s\n", s)
+			fmt.Fprintf(&b, "  %s\n", s)
 		}
 	}
 	if len(res.Remaining) > 0 {
-		fmt.Printf("transactions still requiring SC: %s\n", strings.Join(res.SerializableTxns, ", "))
+		fmt.Fprintf(&b, "transactions still requiring SC: %s\n", strings.Join(res.SerializableTxns, ", "))
 	}
 	text := atropos.Format(res.Program)
-	if *outPath != "" {
-		if err := os.WriteFile(*outPath, []byte(text), 0o644); err != nil {
-			fatal(err)
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(text), 0o644); err != nil {
+			return "", err
 		}
-		fmt.Printf("refactored program written to %s\n", *outPath)
-		return
+		fmt.Fprintf(&b, "refactored program written to %s\n", outPath)
+		return b.String(), nil
 	}
-	fmt.Println("\n-- refactored program --")
-	fmt.Println(text)
+	fmt.Fprintf(&b, "\n-- refactored program --\n%s\n", text)
+	return b.String(), nil
 }
 
 func parseModel(s string) (atropos.Model, error) {
@@ -95,28 +130,50 @@ func parseModel(s string) (atropos.Model, error) {
 	}
 }
 
-func loadInput(benchName string, args []string) (*atropos.Program, string, error) {
-	if benchName != "" {
-		b := atropos.BenchmarkByName(benchName)
-		if b == nil {
-			var names []string
-			for _, bb := range atropos.Benchmarks() {
-				names = append(names, bb.Name)
+func loadInputs(benchNames string, args []string) ([]input, error) {
+	if benchNames != "" {
+		var benches []*atropos.Benchmark
+		if benchNames == "all" {
+			benches = atropos.Benchmarks()
+		} else {
+			for _, name := range strings.Split(benchNames, ",") {
+				b := atropos.BenchmarkByName(strings.TrimSpace(name))
+				if b == nil {
+					var names []string
+					for _, bb := range atropos.Benchmarks() {
+						names = append(names, bb.Name)
+					}
+					return nil, fmt.Errorf("unknown benchmark %q (have: %s)", name, strings.Join(names, ", "))
+				}
+				benches = append(benches, b)
 			}
-			return nil, "", fmt.Errorf("unknown benchmark %q (have: %s)", benchName, strings.Join(names, ", "))
 		}
-		p, err := b.Program()
-		return p, b.Name, err
+		var out []input
+		for _, b := range benches {
+			p, err := b.Program()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, input{name: b.Name, prog: p})
+		}
+		return out, nil
 	}
-	if len(args) != 1 {
-		return nil, "", fmt.Errorf("usage: atropos [flags] program.dsl (or -bench NAME)")
+	if len(args) == 0 {
+		return nil, fmt.Errorf("usage: atropos [flags] program.dsl ... (or -bench NAME[,NAME...])")
 	}
-	src, err := os.ReadFile(args[0])
-	if err != nil {
-		return nil, "", err
+	var out []input
+	for _, path := range args {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		p, err := atropos.Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, input{name: path, prog: p})
 	}
-	p, err := atropos.Parse(string(src))
-	return p, args[0], err
+	return out, nil
 }
 
 func fatal(err error) {

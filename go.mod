@@ -1,0 +1,3 @@
+module atropos
+
+go 1.24

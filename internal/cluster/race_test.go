@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"atropos/internal/benchmarks"
+)
+
+// TestRunConcurrentSharedInputs launches many simulations that share one
+// program, one row set, and one mix — exactly how the parallel experiment
+// engine drives a panel. Each run must own all mutable state (replicas,
+// RNG, latency reservoir, lock table); with -race this test guards that,
+// and it checks determinism: equal configs produce equal results no matter
+// how many runs race alongside.
+func TestRunConcurrentSharedInputs(t *testing.T) {
+	b := benchmarks.SIBench
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := benchmarks.Scale{Records: 20}
+	rows := b.Rows(scale)
+	serializable := map[string]bool{"increment": true}
+	cfg := func(seed int64, mode Mode) Config {
+		return Config{
+			Program:          prog,
+			Mix:              b.Mix,
+			Scale:            scale,
+			Rows:             rows,
+			Topology:         VACluster,
+			Clients:          6,
+			Duration:         1 * time.Second,
+			Warmup:           100 * time.Millisecond,
+			Seed:             seed,
+			Mode:             mode,
+			SerializableTxns: serializable,
+		}
+	}
+
+	type job struct {
+		seed int64
+		mode Mode
+	}
+	var jobs []job
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, mode := range []Mode{ModeEC, ModeSC, ModeATSC} {
+			jobs = append(jobs, job{seed, mode})
+		}
+	}
+	// Two full rounds of every job run concurrently; matching jobs must
+	// produce identical measurements.
+	results := make([]Result, 2*len(jobs))
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j := jobs[i%len(jobs)]
+			res, err := Run(cfg(j.seed, j.mode))
+			if err != nil {
+				t.Errorf("seed %d mode %v: %v", j.seed, j.mode, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		a, b := results[i], results[len(jobs)+i]
+		if a != b {
+			t.Errorf("seed %d mode %v not deterministic under concurrency:\n  %+v\n  %+v", j.seed, j.mode, a, b)
+		}
+		if a.Committed == 0 {
+			t.Errorf("seed %d mode %v: no transactions committed", j.seed, j.mode)
+		}
+	}
+}

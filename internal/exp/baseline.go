@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"atropos/internal/anomaly"
+	"atropos/internal/benchmarks"
+	"atropos/internal/cluster"
+	"atropos/internal/repair"
+)
+
+// This file is the benchmark-regression harness: RunBaseline measures the
+// repo's three performance surfaces — per-benchmark repair wall time, the
+// Table 1 pipeline's wall clock (sequential vs parallel), and the Fig. 12
+// panel simulations — and serializes them as BENCH_baseline.json so later
+// PRs have a machine-readable perf trajectory to beat. Regenerate with
+//
+//	atropos-exp -exp baseline -duration 2 -out BENCH_baseline.json
+//
+// (-duration 2 matches the committed snapshot; the file records the
+// duration actually used, and panel wall clocks are only comparable at
+// equal duration and gomaxprocs). See EXPERIMENTS.md §Baselines.
+
+// BaselineConfig sizes the harness run.
+type BaselineConfig struct {
+	// Duration is simulated time per panel point (default 2s — the panels
+	// are discrete-event simulations, so this is virtual, not wall, time).
+	Duration time.Duration
+	// Clients is the load of each panel point (default 50).
+	Clients int
+	// Parallelism is the worker bound for the parallel measurements;
+	// <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Seed fixes the simulated workloads.
+	Seed int64
+}
+
+// Baseline is the machine-readable perf snapshot.
+type Baseline struct {
+	// GoVersion and MaxProcs identify the measuring machine; wall-clock
+	// numbers are only comparable at equal MaxProcs.
+	GoVersion string `json:"go_version"`
+	MaxProcs  int    `json:"gomaxprocs"`
+	// Parallelism is the resolved worker count of the parallel runs.
+	Parallelism int `json:"parallelism"`
+	// PanelDurationMs is the simulated time per panel point; panel wall
+	// clocks are only comparable at equal duration.
+	PanelDurationMs float64 `json:"panel_duration_ms"`
+	// Repairs is Table 1's Time column: per-benchmark analyze+repair wall
+	// time, plus the anomaly counts guarding against "fast because wrong".
+	Repairs []RepairBaseline `json:"repairs"`
+	// Table1 compares the sequential and parallel corpus pipelines.
+	Table1 Table1Baseline `json:"table1"`
+	// Panels is one Fig. 12 deployment point per benchmark × mode.
+	Panels []PanelBaseline `json:"panels"`
+}
+
+// RepairBaseline is one benchmark's repair timing.
+type RepairBaseline struct {
+	Benchmark string  `json:"benchmark"`
+	WallMs    float64 `json:"wall_ms"`
+	Initial   int     `json:"initial_anomalies"`
+	Remaining int     `json:"remaining_anomalies"`
+}
+
+// Table1Baseline is the corpus-wide pipeline wall clock.
+type Table1Baseline struct {
+	SequentialMs float64 `json:"sequential_ms"`
+	ParallelMs   float64 `json:"parallel_ms"`
+	SpeedupX     float64 `json:"speedup_x"`
+}
+
+// PanelBaseline is one benchmark's Fig. 12 panel: the wall clock of the
+// whole panel (repair + row migration + its four deployment simulations,
+// run at the recorded parallelism) and the simulated metrics per series.
+type PanelBaseline struct {
+	Benchmark string           `json:"benchmark"`
+	Topology  string           `json:"topology"`
+	Clients   int              `json:"clients"`
+	WallMs    float64          `json:"wall_ms"`
+	Series    []SeriesBaseline `json:"series"`
+}
+
+// SeriesBaseline is one deployment's simulated measurement (the figure's
+// y-axes — virtual time, machine-independent).
+type SeriesBaseline struct {
+	Series     string  `json:"series"` // EC, AT-EC, SC, AT-SC
+	Throughput float64 `json:"txn_per_s"`
+	MeanMs     float64 `json:"mean_latency_ms"`
+	P95Ms      float64 `json:"p95_latency_ms"`
+}
+
+func (c BaselineConfig) orDefault() BaselineConfig {
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Clients == 0 {
+		c.Clients = 50
+	}
+	return c
+}
+
+// RunBaseline measures the full baseline snapshot.
+func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
+	cfg = cfg.orDefault()
+	out := &Baseline{
+		GoVersion:       runtime.Version(),
+		MaxProcs:        runtime.GOMAXPROCS(0),
+		Parallelism:     Workers(cfg.Parallelism),
+		PanelDurationMs: ms(cfg.Duration),
+	}
+
+	// Per-benchmark repair wall time (Table 1's Time column). Programs are
+	// parsed up front so the numbers measure analysis+repair, not parsing.
+	all := benchmarks.All()
+	for _, b := range all {
+		if _, err := b.Program(); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range all {
+		prog, _ := b.Program()
+		start := time.Now()
+		rep, err := repair.Repair(prog, anomaly.EC)
+		if err != nil {
+			return nil, err
+		}
+		out.Repairs = append(out.Repairs, RepairBaseline{
+			Benchmark: b.Name,
+			WallMs:    ms(time.Since(start)),
+			Initial:   len(rep.Initial),
+			Remaining: len(rep.Remaining),
+		})
+	}
+
+	// Corpus pipeline wall clock, sequential vs parallel.
+	start := time.Now()
+	if _, err := Table1(all, WithParallelism(1)); err != nil {
+		return nil, err
+	}
+	seq := time.Since(start)
+	start = time.Now()
+	if _, err := Table1(all, WithParallelism(cfg.Parallelism)); err != nil {
+		return nil, err
+	}
+	par := time.Since(start)
+	out.Table1 = Table1Baseline{
+		SequentialMs: ms(seq),
+		ParallelMs:   ms(par),
+		SpeedupX:     seq.Seconds() / par.Seconds(),
+	}
+
+	// Fig. 12 panel points (US cluster, one load level, all four series).
+	for _, b := range []*benchmarks.Benchmark{benchmarks.SmallBank, benchmarks.SEATS, benchmarks.TPCC} {
+		start := time.Now()
+		res, err := Perf(PerfConfig{
+			Benchmark:    b,
+			Topology:     cluster.USCluster,
+			ClientCounts: []int{cfg.Clients},
+			Duration:     cfg.Duration,
+			Warmup:       cfg.Duration / 10,
+			Seed:         cfg.Seed,
+			Parallelism:  cfg.Parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		panel := PanelBaseline{
+			Benchmark: b.Name,
+			Topology:  res.Topology,
+			Clients:   cfg.Clients,
+			WallMs:    ms(time.Since(start)),
+		}
+		for _, s := range res.Series {
+			p := s.Points[0]
+			panel.Series = append(panel.Series, SeriesBaseline{
+				Series:     s.Label,
+				Throughput: p.Throughput,
+				MeanMs:     p.MeanMs,
+				P95Ms:      p.P95Ms,
+			})
+		}
+		out.Panels = append(out.Panels, panel)
+	}
+	return out, nil
+}
+
+// JSON renders the snapshot in the BENCH_baseline.json layout.
+func (b *Baseline) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"testing"
+
+	"atropos/internal/benchmarks"
+)
+
+// goldenTable1 pins the Table 1 reproduction: anomalous access pairs per
+// consistency model and the repair outcome for every benchmark. These are
+// the measured values recorded in EXPERIMENTS.md; a change here is a
+// change to the detector, the repair engine, or a benchmark translation
+// and must be deliberate.
+var goldenTable1 = []Table1Row{
+	{Benchmark: "TPC-C", Txns: 5, TablesOrig: 9, TablesRef: 16, EC: 123, AT: 40, CC: 123, RR: 123},
+	{Benchmark: "SEATS", Txns: 6, TablesOrig: 8, TablesRef: 10, EC: 38, AT: 4, CC: 38, RR: 38},
+	{Benchmark: "Courseware", Txns: 5, TablesOrig: 3, TablesRef: 2, EC: 10, AT: 0, CC: 10, RR: 10},
+	{Benchmark: "SmallBank", Txns: 6, TablesOrig: 3, TablesRef: 3, EC: 32, AT: 21, CC: 32, RR: 31},
+	{Benchmark: "Twitter", Txns: 5, TablesOrig: 4, TablesRef: 5, EC: 11, AT: 4, CC: 11, RR: 11},
+	{Benchmark: "FMKe", Txns: 7, TablesOrig: 7, TablesRef: 8, EC: 23, AT: 13, CC: 23, RR: 23},
+	{Benchmark: "SIBench", Txns: 2, TablesOrig: 1, TablesRef: 1, EC: 1, AT: 0, CC: 1, RR: 1},
+	{Benchmark: "Wikipedia", Txns: 5, TablesOrig: 12, TablesRef: 13, EC: 29, AT: 9, CC: 29, RR: 29},
+	{Benchmark: "Killrchat", Txns: 5, TablesOrig: 3, TablesRef: 4, EC: 13, AT: 3, CC: 13, RR: 13},
+}
+
+// TestTable1Golden regenerates the full Table 1 (on the parallel engine)
+// and asserts every count column against the golden values.
+func TestTable1Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus regression; skipped with -short")
+	}
+	rows, err := Table1(benchmarks.All())
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(rows) != len(goldenTable1) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(goldenTable1))
+	}
+	totalEC, totalAT := 0, 0
+	for i, want := range goldenTable1 {
+		got := rows[i]
+		got.Time = 0 // timing is machine-dependent
+		if got != want {
+			t.Errorf("row %d:\n got %+v\nwant %+v", i, got, want)
+		}
+		if got.AT > got.EC {
+			t.Errorf("%s: repair increased anomalies: EC=%d AT=%d", got.Benchmark, got.EC, got.AT)
+		}
+		if got.CC > got.EC || got.RR > got.EC {
+			t.Errorf("%s: stronger model found more pairs than EC: %+v", got.Benchmark, got)
+		}
+		totalEC += got.EC
+		totalAT += got.AT
+	}
+	// The paper's headline: a substantial majority of pairs repaired.
+	if repaired := float64(totalEC-totalAT) / float64(totalEC); repaired < 0.6 {
+		t.Errorf("corpus repair rate %.0f%%, want >= 60%%", 100*repaired)
+	}
+}

@@ -26,6 +26,10 @@ type PerfConfig struct {
 	Warmup       time.Duration
 	Scale        benchmarks.Scale
 	Seed         int64
+	// Parallelism bounds the number of deployment simulations run
+	// concurrently (the panel's 4 variants × client counts are mutually
+	// independent); <= 0 selects GOMAXPROCS.
+	Parallelism int
 }
 
 // PerfResult bundles the four measured curves of one panel.
@@ -84,29 +88,42 @@ func Perf(cfg PerfConfig) (*PerfResult, error) {
 		{"SC", prog, rows, cluster.ModeSC, allSerializable},
 		{"AT-SC", rep.Program, atRows, cluster.ModeATSC, serializable},
 	}
-	out := &PerfResult{Benchmark: b.Name, Topology: cfg.Topology.Name}
-	for _, v := range variants {
-		series := metrics.Series{Label: v.label}
-		for _, clients := range cfg.ClientCounts {
-			run, err := cluster.Run(cluster.Config{
-				Program:          v.prog,
-				Mix:              b.Mix,
-				Scale:            cfg.Scale,
-				Rows:             v.rows,
-				Topology:         cfg.Topology,
-				Clients:          clients,
-				Duration:         cfg.Duration,
-				Warmup:           cfg.Warmup,
-				Seed:             cfg.Seed + int64(clients),
-				Mode:             v.mode,
-				SerializableTxns: v.serTxns,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("perf: %s %s %d clients: %w", b.Name, v.label, clients, err)
-			}
-			series.Points = append(series.Points, run.Point)
+	// Every (variant, client count) deployment run is independent — each
+	// owns its replicas, RNG, and latency reservoir — so the whole panel
+	// fans out on one bounded worker pool. Runs are deterministic given
+	// their seed, so the points are identical to a sequential sweep.
+	nc := len(cfg.ClientCounts)
+	points := make([][]metrics.Point, len(variants))
+	for i := range points {
+		points[i] = make([]metrics.Point, nc)
+	}
+	err = ForEach(Workers(cfg.Parallelism), len(variants)*nc, func(i int) error {
+		v, clients := variants[i/nc], cfg.ClientCounts[i%nc]
+		run, err := cluster.Run(cluster.Config{
+			Program:          v.prog,
+			Mix:              b.Mix,
+			Scale:            cfg.Scale,
+			Rows:             v.rows,
+			Topology:         cfg.Topology,
+			Clients:          clients,
+			Duration:         cfg.Duration,
+			Warmup:           cfg.Warmup,
+			Seed:             cfg.Seed + int64(clients),
+			Mode:             v.mode,
+			SerializableTxns: v.serTxns,
+		})
+		if err != nil {
+			return fmt.Errorf("perf: %s %s %d clients: %w", b.Name, v.label, clients, err)
 		}
-		out.Series = append(out.Series, series)
+		points[i/nc][i%nc] = run.Point
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &PerfResult{Benchmark: b.Name, Topology: cfg.Topology.Name}
+	for i, v := range variants {
+		out.Series = append(out.Series, metrics.Series{Label: v.label, Points: points[i]})
 	}
 	return out, nil
 }

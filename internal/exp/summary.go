@@ -25,7 +25,8 @@ type SummaryResult struct {
 
 // Summary computes the aggregates from a Table 1 run plus a SmallBank
 // performance panel at the given load.
-func Summary(t1 []Table1Row, clients int, duration time.Duration, seed int64) (*SummaryResult, error) {
+func Summary(t1 []Table1Row, clients int, duration time.Duration, seed int64, opts ...Option) (*SummaryResult, error) {
+	o := buildOptions(opts)
 	out := &SummaryResult{}
 	var pctSum float64
 	n := 0
@@ -45,6 +46,7 @@ func Summary(t1 []Table1Row, clients int, duration time.Duration, seed int64) (*
 		ClientCounts: []int{clients},
 		Duration:     duration,
 		Seed:         seed,
+		Parallelism:  o.parallelism,
 	})
 	if err != nil {
 		return nil, err

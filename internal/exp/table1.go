@@ -2,6 +2,13 @@
 // and figure of the paper's evaluation (§7, Appendix A), each returning the
 // data series the paper plots and a formatter producing the corresponding
 // rows. DESIGN.md §5 maps every experiment to these functions.
+//
+// The drivers are parallel: Table1 fans its benchmark × consistency-model
+// grid out on a bounded worker pool, and Perf runs the independent
+// deployment simulations of a panel concurrently. The worker count is set
+// with WithParallelism (Table1) or PerfConfig.Parallelism (Perf) and
+// defaults to GOMAXPROCS; results are identical to the sequential runs
+// because every unit of work owns its state (see DESIGN.md §6).
 package exp
 
 import (
@@ -27,40 +34,63 @@ type Table1Row struct {
 	Time       time.Duration
 }
 
+// table1Parts is the per-benchmark work grid: the EC analyze+repair
+// pipeline plus one detector pass per weaker model column.
+const table1Parts = 3
+
 // Table1 reproduces Table 1: statically identified anomalous access pairs
 // in the original and refactored programs, per consistency model, plus
-// analysis+repair time.
-func Table1(benches []*benchmarks.Benchmark) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, b := range benches {
+// analysis+repair time. The benchmark × model grid runs on a worker pool
+// (WithParallelism; default GOMAXPROCS). Each row's Time column is the
+// total CPU work spent on that benchmark — the sum of its parts — so it is
+// comparable across parallelism settings.
+func Table1(benches []*benchmarks.Benchmark, opts ...Option) ([]Table1Row, error) {
+	o := buildOptions(opts)
+	rows := make([]Table1Row, len(benches))
+	durs := make([][table1Parts]time.Duration, len(benches))
+	err := ForEach(Workers(o.parallelism), len(benches)*table1Parts, func(i int) error {
+		bi, part := i/table1Parts, i%table1Parts
+		b := benches[bi]
 		prog, err := b.Program()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		start := time.Now()
-		res, err := core.Run(prog, anomaly.EC)
-		if err != nil {
-			return nil, fmt.Errorf("table1: %s: %w", b.Name, err)
+		switch part {
+		case 0: // EC detection + repair (EC, AT, and the shape columns)
+			res, err := core.Run(prog, anomaly.EC)
+			if err != nil {
+				return fmt.Errorf("table1: %s: %w", b.Name, err)
+			}
+			rows[bi].Benchmark = b.Name
+			rows[bi].Txns = len(prog.Txns)
+			rows[bi].TablesOrig = len(prog.Schemas)
+			rows[bi].TablesRef = len(res.Repair.Program.Schemas)
+			rows[bi].EC = len(res.Repair.Initial)
+			rows[bi].AT = len(res.Repair.Remaining)
+		case 1: // causal consistency column
+			cc, err := core.Analyze(prog, anomaly.CC)
+			if err != nil {
+				return fmt.Errorf("table1: %s: CC: %w", b.Name, err)
+			}
+			rows[bi].CC = cc.Count()
+		case 2: // repeatable read column
+			rr, err := core.Analyze(prog, anomaly.RR)
+			if err != nil {
+				return fmt.Errorf("table1: %s: RR: %w", b.Name, err)
+			}
+			rows[bi].RR = rr.Count()
 		}
-		cc, err := core.Analyze(prog, anomaly.CC)
-		if err != nil {
-			return nil, err
+		durs[bi][part] = time.Since(start)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		for _, d := range durs[i] {
+			rows[i].Time += d
 		}
-		rr, err := core.Analyze(prog, anomaly.RR)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table1Row{
-			Benchmark:  b.Name,
-			Txns:       len(prog.Txns),
-			TablesOrig: len(prog.Schemas),
-			TablesRef:  len(res.Repair.Program.Schemas),
-			EC:         len(res.Repair.Initial),
-			AT:         len(res.Repair.Remaining),
-			CC:         cc.Count(),
-			RR:         rr.Count(),
-			Time:       time.Since(start),
-		})
 	}
 	return rows, nil
 }

@@ -43,11 +43,12 @@ func (*Implies) isFormula() {}
 func (*Iff) isFormula()     {}
 func (*Const) isFormula()   {}
 
-// P makes a named proposition.
-func P(format string, args ...any) *Prop {
-	if len(args) == 0 {
-		return &Prop{Name: format}
-	}
+// P makes a named proposition from an already-built name. Use Pf to build
+// the name from a printf format (keeping vet's printf check effective).
+func P(name string) *Prop { return &Prop{Name: name} }
+
+// Pf makes a named proposition from a printf format string.
+func Pf(format string, args ...any) *Prop {
 	return &Prop{Name: fmt.Sprintf(format, args...)}
 }
 
