@@ -1,11 +1,25 @@
 # Atropos-Go development targets. `make ci` is the full gate mirrored by
-# .github/workflows/ci.yml.
+# .github/workflows/ci.yml: the workflow's jobs invoke these targets, so
+# changing a gate means changing it here.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench baseline
+# Coverage floor enforced by `make cover` and the CI coverage job.
+COVER_FLOOR ?= 60
 
-ci: vet build race bench
+# Seconds each fuzz target runs under `make fuzz` / the nightly workflow.
+FUZZTIME ?= 30s
+
+.PHONY: ci fmt vet build test race bench cover drift fuzz baseline
+
+ci: fmt vet build race bench cover drift
+
+# gofmt as a check: fail (and list the files) if anything is unformatted.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +37,27 @@ race:
 # table/figure driver still runs, not a measurement.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Coverage with a floor: write cover.out (the CI job uploads it) and fail
+# if total statement coverage drops below COVER_FLOOR percent.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total="$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk "BEGIN { exit !($$total >= $(COVER_FLOOR)) }" || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Perf-drift smoke: re-measure the per-benchmark anomaly/repair/SAT-query
+# counts (deterministic, machine-independent — never wall clock) and fail
+# if they diverge from the committed BENCH_baseline.json.
+drift:
+	$(GO) run ./cmd/atropos-exp -exp drift -duration 1 -baseline BENCH_baseline.json
+
+# Run every fuzz target in internal/repair for FUZZTIME each (the nightly
+# workflow mirrors this; `go test` allows one -fuzz pattern per run).
+fuzz:
+	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzRepairRandomProgram$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzDetectSessionEquivalence$$' -fuzztime $(FUZZTIME)
 
 # Regenerate the committed perf snapshot (see EXPERIMENTS.md §Baselines).
 baseline:

@@ -72,13 +72,39 @@ func Format(p *Program) string { return ast.Format(p) }
 // Analyze runs the static anomaly oracle under the given model.
 func Analyze(p *Program, m Model) (*AnomalyReport, error) { return anomaly.Detect(p, m) }
 
+// DetectSession is the incremental anomaly oracle: it fingerprints
+// transactions and memoizes solved SAT queries, so detecting across a
+// sequence of related programs (the repair pipeline, an editing loop)
+// only re-solves what actually changed. Reports are identical to Analyze.
+type DetectSession = anomaly.DetectSession
+
+// DetectStats aggregates a session's SAT-query counters and cache hits.
+type DetectStats = anomaly.SessionStats
+
+// NewDetectSession creates an incremental detection session for one model.
+func NewDetectSession(m Model) *DetectSession { return anomaly.NewSession(m) }
+
+// RepairOptions configures the repair pipeline's detection engine.
+type RepairOptions = repair.Options
+
 // Repair runs the full Atropos pipeline (Fig. 4): detect, preprocess,
-// refactor, post-process.
+// refactor, post-process. The incremental detection engine is on; use
+// RepairWithOptions to disable it or to bound its parallelism.
 func Repair(p *Program, m Model) (*RepairResult, error) { return repair.Repair(p, m) }
+
+// RepairWithOptions is Repair with an explicit engine configuration.
+func RepairWithOptions(p *Program, m Model, o RepairOptions) (*RepairResult, error) {
+	return repair.RepairWith(p, m, o)
+}
 
 // RepairTimed is Repair plus the total wall time (Table 1's Time column).
 func RepairTimed(p *Program, m Model) (*RepairResult, time.Duration, error) {
-	res, err := core.Run(p, m)
+	return RepairTimedWith(p, m, RepairOptions{Incremental: true})
+}
+
+// RepairTimedWith is RepairWithOptions plus the total wall time.
+func RepairTimedWith(p *Program, m Model, o RepairOptions) (*RepairResult, time.Duration, error) {
+	res, err := core.RunWith(p, m, o)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -146,6 +172,11 @@ type (
 // WithParallelism bounds the worker goroutines an experiment driver may
 // use; n <= 0 selects GOMAXPROCS (the default).
 func WithParallelism(n int) Option { return exp.WithParallelism(n) }
+
+// WithIncremental toggles the incremental (cached) anomaly-detection
+// engine inside the experiment drivers' repair pipelines; on by default.
+// Results are identical either way.
+func WithIncremental(on bool) Option { return exp.WithIncremental(on) }
 
 // Table1 regenerates Table 1 over the given benchmarks, fanning the
 // benchmark × consistency-model grid out on a bounded worker pool.

@@ -10,6 +10,7 @@
 //	atropos-exp -exp invariants
 //	atropos-exp -exp summary
 //	atropos-exp -exp baseline [-out BENCH_baseline.json]
+//	atropos-exp -exp drift [-baseline BENCH_baseline.json]
 //	atropos-exp -exp all
 //
 // Experiments fan out on a bounded worker pool; -parallel bounds the
@@ -30,7 +31,7 @@ import (
 )
 
 var (
-	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, baseline, all")
+	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, baseline, drift, all")
 	benchArg = flag.String("bench", "", "benchmark for fig12/fig16 (default: the figure's benchmarks)")
 	duration = flag.Int("duration", 90, "seconds of simulated time per performance point")
 	clients  = flag.String("clients", "", "comma-separated client counts (default: paper's sweep)")
@@ -39,6 +40,8 @@ var (
 	records  = flag.Int("records", 100, "benchmark population scale")
 	parallel = flag.Int("parallel", 0, "worker goroutines for the experiment drivers (0 = GOMAXPROCS)")
 	outPath  = flag.String("out", "", "write the baseline snapshot to this file (baseline experiment)")
+	incr     = flag.Bool("incremental", true, "use the cached incremental detection engine in the repair pipelines")
+	baseline = flag.String("baseline", "BENCH_baseline.json", "committed snapshot the drift experiment compares against")
 )
 
 func main() {
@@ -62,6 +65,8 @@ func main() {
 		runSummary()
 	case "baseline":
 		runBaseline()
+	case "drift":
+		runDrift()
 	case "all":
 		runTable1()
 		runFig(12)
@@ -79,7 +84,7 @@ func main() {
 
 func runTable1() {
 	fmt.Println("== Table 1: statically identified anomalous access pairs ==")
-	rows, err := exp.Table1(benchmarks.All(), exp.WithParallelism(*parallel))
+	rows, err := exp.Table1(benchmarks.All(), exp.WithParallelism(*parallel), exp.WithIncremental(*incr))
 	if err != nil {
 		fatal(err)
 	}
@@ -121,13 +126,14 @@ func runFig(fig int) {
 	for _, b := range benches {
 		for _, topo := range figTopologies(fig) {
 			res, err := exp.Perf(exp.PerfConfig{
-				Benchmark:    b,
-				Topology:     topo,
-				ClientCounts: clientCounts(b),
-				Duration:     time.Duration(*duration) * time.Second,
-				Scale:        benchmarks.Scale{Records: *records},
-				Seed:         *seed,
-				Parallelism:  *parallel,
+				Benchmark:      b,
+				Topology:       topo,
+				ClientCounts:   clientCounts(b),
+				Duration:       time.Duration(*duration) * time.Second,
+				Scale:          benchmarks.Scale{Records: *records},
+				Seed:           *seed,
+				Parallelism:    *parallel,
+				NonIncremental: !*incr,
 			})
 			if err != nil {
 				fatal(err)
@@ -168,7 +174,7 @@ func runFig16() {
 		benches = []*benchmarks.Benchmark{b}
 	}
 	for _, b := range benches {
-		res, err := exp.Fig16(b, *rounds, 10, *seed)
+		res, err := exp.Fig16(b, *rounds, 10, *seed, exp.WithIncremental(*incr))
 		if err != nil {
 			fatal(err)
 		}
@@ -179,7 +185,7 @@ func runFig16() {
 
 func runInvariants() {
 	fmt.Println("== SmallBank application-level invariants (§7.1, App. A.2) ==")
-	res, err := exp.Invariants(60, *seed)
+	res, err := exp.Invariants(60, *seed, exp.WithIncremental(*incr))
 	if err != nil {
 		fatal(err)
 	}
@@ -189,7 +195,7 @@ func runInvariants() {
 
 func runSummary() {
 	fmt.Println("== Headline aggregates ==")
-	t1, err := exp.Table1(benchmarks.All(), exp.WithParallelism(*parallel))
+	t1, err := exp.Table1(benchmarks.All(), exp.WithParallelism(*parallel), exp.WithIncremental(*incr))
 	if err != nil {
 		fatal(err)
 	}
@@ -203,9 +209,10 @@ func runSummary() {
 func runBaseline() {
 	fmt.Println("== Benchmark-regression baseline ==")
 	b, err := exp.RunBaseline(exp.BaselineConfig{
-		Duration:    time.Duration(*duration) * time.Second,
-		Parallelism: *parallel,
-		Seed:        *seed,
+		Duration:       time.Duration(*duration) * time.Second,
+		Parallelism:    *parallel,
+		Seed:           *seed,
+		NonIncremental: !*incr,
 	})
 	if err != nil {
 		fatal(err)
@@ -223,6 +230,42 @@ func runBaseline() {
 		return
 	}
 	os.Stdout.Write(buf)
+}
+
+// runDrift is the CI perf-drift gate: it re-measures the per-benchmark
+// repair counts (anomalies and SAT queries — deterministic and
+// machine-independent) and fails if they diverge from the committed
+// baseline snapshot. Wall-clock columns are never compared.
+func runDrift() {
+	fmt.Println("== Perf-drift gate: counts vs committed baseline ==")
+	want, err := exp.LoadBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	got, err := exp.RunBaseline(exp.BaselineConfig{
+		Duration:       time.Duration(*duration) * time.Second,
+		Parallelism:    *parallel,
+		Seed:           *seed,
+		NonIncremental: !*incr,
+		CountsOnly:     true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if got.Incremental != want.Incremental {
+		fmt.Fprintf(os.Stderr, "warning: engine mismatch (run incremental=%t, baseline %t): comparing anomaly counts only\n",
+			got.Incremental, want.Incremental)
+	}
+	drift := exp.CountDrift(got, want)
+	if len(drift) == 0 {
+		fmt.Printf("no drift: %d benchmarks match %s\n", len(got.Repairs), *baseline)
+		return
+	}
+	for _, d := range drift {
+		fmt.Fprintln(os.Stderr, "drift:", d)
+	}
+	fmt.Fprintf(os.Stderr, "atropos-exp: %d count divergences from %s — regenerate with `make baseline` if intentional\n", len(drift), *baseline)
+	os.Exit(1)
 }
 
 func fatal(err error) {

@@ -15,6 +15,9 @@
 //	-bench NAME          use built-in benchmarks instead of files
 //	                     (comma-separated names, or "all")
 //	-parallel N          analyze inputs on N workers (0 = GOMAXPROCS)
+//	-incremental         cached incremental detection inside repair
+//	                     (default true; -incremental=false re-solves
+//	                     every SAT query from scratch)
 //
 // Multiple inputs are analyzed concurrently on a bounded worker pool;
 // output order matches input order.
@@ -37,6 +40,7 @@ func main() {
 	benchName := flag.String("bench", "", `built-in benchmark names, comma-separated, or "all"`)
 	outPath := flag.String("out", "", "write the refactored program to this file instead of stdout (single input only)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for multiple inputs (0 = GOMAXPROCS)")
+	incremental := flag.Bool("incremental", true, "use the cached incremental detection engine inside repair")
 	flag.Parse()
 
 	m, err := parseModel(*model)
@@ -54,10 +58,17 @@ func main() {
 	// Analyze/repair every input concurrently on the experiment engine's
 	// worker pool; buffer per-input output so the report order matches the
 	// input order.
+	// With multiple inputs -parallel fans out across them; with a single
+	// input it instead bounds the detection session's transaction fan-out
+	// (reports are identical at every setting).
+	opts := atropos.RepairOptions{Incremental: *incremental}
+	if len(inputs) == 1 {
+		opts.Parallelism = exp.Workers(*parallel)
+	}
 	outputs := make([]string, len(inputs))
 	err = exp.ForEach(exp.Workers(*parallel), len(inputs), func(i int) error {
 		var perr error
-		outputs[i], perr = process(inputs[i], m, *analyzeOnly, *showSteps, *outPath)
+		outputs[i], perr = process(inputs[i], m, *analyzeOnly, *showSteps, *outPath, opts)
 		return perr
 	})
 	if err != nil {
@@ -74,7 +85,7 @@ type input struct {
 }
 
 // process runs one input through the pipeline, returning its full report.
-func process(in input, m atropos.Model, analyzeOnly, showSteps bool, outPath string) (string, error) {
+func process(in input, m atropos.Model, analyzeOnly, showSteps bool, outPath string, opts atropos.RepairOptions) (string, error) {
 	var b strings.Builder
 	if analyzeOnly {
 		report, err := atropos.Analyze(in.prog, m)
@@ -88,12 +99,14 @@ func process(in input, m atropos.Model, analyzeOnly, showSteps bool, outPath str
 		return b.String(), nil
 	}
 
-	res, elapsed, err := atropos.RepairTimed(in.prog, m)
+	res, elapsed, err := atropos.RepairTimedWith(in.prog, m, opts)
 	if err != nil {
 		return "", err
 	}
 	fmt.Fprintf(&b, "%s: %d anomalies under %s, %d remaining after repair (%.1fs)\n",
 		in.name, len(res.Initial), m, len(res.Remaining), elapsed.Seconds())
+	fmt.Fprintf(&b, "SAT queries: %d issued, %d solved (%.0f%% cached)\n",
+		res.Stats.Queries, res.Stats.Solved+res.Stats.Replayed, 100*res.Stats.CacheHitRate())
 	if showSteps {
 		fmt.Fprintln(&b, "steps:")
 		for _, s := range res.Steps {

@@ -2,7 +2,10 @@ package anomaly
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
+	"strings"
 
 	"atropos/internal/ast"
 	"atropos/internal/logic"
@@ -24,7 +27,9 @@ type cmdInst struct {
 }
 
 // Detect runs the oracle over every transaction of the program under the
-// given consistency model.
+// given consistency model. Every SAT query is encoded and solved from
+// scratch; use a DetectSession to reuse work across related programs (the
+// repair pipeline's repeated detection passes).
 func Detect(prog *ast.Program, model Model) (*Report, error) {
 	d := &detector{prog: prog, model: model, encoders: map[[2]string]*pairEncoder{}}
 	report := &Report{Model: model}
@@ -35,7 +40,8 @@ func Detect(prog *ast.Program, model Model) (*Report, error) {
 		}
 		report.Pairs = append(report.Pairs, pairs...)
 	}
-	report.Queries = d.queries
+	report.Queries = d.issued
+	report.Solved = d.solved
 	return report, nil
 }
 
@@ -43,7 +49,12 @@ type detector struct {
 	prog     *ast.Program
 	model    Model
 	encoders map[[2]string]*pairEncoder
-	queries  int
+	// session, when non-nil, memoizes solved cycle queries across
+	// detectors (and across Detect calls) by canonical formula hash.
+	session  *DetectSession
+	issued   int // cycle-satisfiability queries asked
+	solved   int // cache-miss queries solved (issued - cache hits)
+	replayed int // cache-hit queries re-run to restore solver-state parity
 }
 
 // detectTxn finds the anomalous access pairs of transaction t: for each
@@ -51,10 +62,24 @@ type detector struct {
 // witness command pairs for a satisfiable dependency cycle.
 func (d *detector) detectTxn(t *ast.Txn) ([]AccessPair, error) {
 	cmds := ast.Commands(t.Body)
+	// Only transactions sharing a table with t can contribute a dependency
+	// edge (defineEdges requires x.table == y.table); skipping the rest
+	// avoids building dead encodings. Results are unaffected: a disjoint
+	// witness defines no deps and issues no queries.
+	tables := txnTables(t)
+	var witnesses []*ast.Txn
+	for _, w := range d.prog.Txns {
+		for tb := range txnTables(w) {
+			if tables[tb] {
+				witnesses = append(witnesses, w)
+				break
+			}
+		}
+	}
 	var found []AccessPair
 	for i := 0; i < len(cmds); i++ {
 		for j := i + 1; j < len(cmds); j++ {
-			pair, ok, err := d.checkPair(t, i, j)
+			pair, ok, err := d.checkPair(t, witnesses, i, j)
 			if err != nil {
 				return nil, err
 			}
@@ -66,29 +91,39 @@ func (d *detector) detectTxn(t *ast.Txn) ([]AccessPair, error) {
 	return found, nil
 }
 
-func (d *detector) checkPair(t *ast.Txn, i, j int) (AccessPair, bool, error) {
-	for _, w := range d.prog.Txns {
-		enc, err := d.encoderFor(t, w)
-		if err != nil {
-			return AccessPair{}, false, err
+func (d *detector) checkPair(t *ast.Txn, witnesses []*ast.Txn, i, j int) (AccessPair, bool, error) {
+	for _, w := range witnesses {
+		pair, ok, err := d.checkPairWitness(t, w, i, j)
+		if err != nil || ok {
+			return pair, ok, err
 		}
-		c1 := enc.items[i]
-		c2 := enc.items[j]
-		for _, d1 := range enc.items[enc.nA:] {
-			for _, d2 := range enc.items[enc.nA:] {
-				// Orientation 1: A.c1 → B.d1, B.d2 → A.c2.
-				if enc.hasDep(c1, d1) && enc.hasDep(d2, c2) {
-					d.queries++
-					if enc.solveCycle(c1, d1, d2, c2) {
-						return enc.buildPair(t.Name, w.Name, c1, c2, d1, d2, false), true, nil
-					}
+	}
+	return AccessPair{}, false, nil
+}
+
+// checkPairWitness searches witness transaction w for a satisfiable
+// dependency cycle through commands i and j of t. It is the unit of work
+// the parallel session fans out: one (txn, witness) encoder, all its cycle
+// queries.
+func (d *detector) checkPairWitness(t, w *ast.Txn, i, j int) (AccessPair, bool, error) {
+	enc, err := d.encoderFor(t, w)
+	if err != nil {
+		return AccessPair{}, false, err
+	}
+	c1 := enc.items[i]
+	c2 := enc.items[j]
+	for _, d1 := range enc.items[enc.nA:] {
+		for _, d2 := range enc.items[enc.nA:] {
+			// Orientation 1: A.c1 → B.d1, B.d2 → A.c2.
+			if enc.hasDep(c1, d1) && enc.hasDep(d2, c2) {
+				if r := d.solveCycle(enc, c1, d1, d2, c2); r.Sat {
+					return buildPair(t.Name, w.Name, c1, c2, d1, d2, r), true, nil
 				}
-				// Orientation 2: B.d1 → A.c1, A.c2 → B.d2.
-				if enc.hasDep(d1, c1) && enc.hasDep(c2, d2) {
-					d.queries++
-					if enc.solveCycle(d1, c1, c2, d2) {
-						return enc.buildPair(t.Name, w.Name, c1, c2, d1, d2, true), true, nil
-					}
+			}
+			// Orientation 2: B.d1 → A.c1, A.c2 → B.d2.
+			if enc.hasDep(d1, c1) && enc.hasDep(c2, d2) {
+				if r := d.solveCycle(enc, d1, c1, c2, d2); r.Sat {
+					return buildPair(t.Name, w.Name, c1, c2, d1, d2, r), true, nil
 				}
 			}
 		}
@@ -96,12 +131,72 @@ func (d *detector) checkPair(t *ast.Txn, i, j int) (AccessPair, bool, error) {
 	return AccessPair{}, false, nil
 }
 
+// cycleResult is the complete outcome of one cycle-satisfiability query:
+// the verdict plus the witnessing edge kinds and fields read off the SAT
+// model. Caching the edge data alongside the verdict keeps cached and
+// freshly solved detections byte-identical (reports never depend on which
+// encoder's solver produced the model).
+type cycleResult struct {
+	Sat          bool
+	Kind1, Kind2 EdgeKind
+	Flds1, Flds2 []string
+}
+
+// solveCycle answers one dep(from1→to1) ∧ dep(from2→to2) query, consulting
+// the session's query cache when one is attached.
+//
+// Cache soundness: CDCL solvers are stateful — learnt clauses, variable
+// activity, and saved phases accumulate across queries — so which model a
+// satisfiable query returns depends on the queries solved before it. The
+// cache key therefore pins not just the encoder's assertion set (the
+// formula hash) and the assumed propositions but the encoder's entire
+// prior query sequence (histHash): a hit guarantees the producer's solver
+// was in exactly the state a fresh oracle's would be, so the cached edge
+// data is the fresh answer by construction. When a miss follows earlier
+// hits on the same encoder, the skipped queries are replayed first
+// (replayPending) to restore that state parity before solving.
+func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst) cycleResult {
+	d.issued++
+	solve := func() cycleResult {
+		r := cycleResult{Sat: enc.solveCycle(from1, to1, from2, to2)}
+		if r.Sat {
+			r.Kind1, r.Flds1 = enc.modelEdge(from1, to1)
+			r.Kind2, r.Flds2 = enc.modelEdge(from2, to2)
+		}
+		return r
+	}
+	if d.session == nil {
+		d.solved++
+		return solve()
+	}
+	a1 := depName(from1.idx, to1.idx)
+	a2 := depName(from2.idx, to2.idx)
+	key := queryKey{enc: enc.enc.FormulaHash(), hist: enc.histHash, a1: a1, a2: a2}
+	r, hit := d.session.query(key, func() cycleResult {
+		d.replayed += enc.replayPending()
+		return solve()
+	})
+	if hit {
+		enc.pending = append(enc.pending, [2]string{a1, a2})
+	} else {
+		d.solved++
+	}
+	enc.histHash = chainHist(enc.histHash, a1, a2)
+	return r
+}
+
+// chainHist folds one query's assumed propositions into an encoder's
+// query-history hash.
+func chainHist(h uint64, a1, a2 string) uint64 {
+	return logic.ChainString(logic.ChainString(h, a1), a2)
+}
+
 func (d *detector) encoderFor(t, w *ast.Txn) (*pairEncoder, error) {
 	key := [2]string{t.Name, w.Name}
 	if enc, ok := d.encoders[key]; ok {
 		return enc, nil
 	}
-	enc, err := newPairEncoder(d.prog, t, w, d.model)
+	enc, err := newPairEncoder(d.prog, t, w, d.model, d.session != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +213,26 @@ type pairEncoder struct {
 	deps map[int]map[int]bool
 	// edgeNames[x][y] lists the per-field edge propositions behind dep(x→y).
 	edgeNames map[int]map[int][]edgeProp
+	// histHash chains the cycle queries asked on this encoder so far; the
+	// session's cache keys include it so a hit is only taken from a
+	// producer whose solver had seen the identical query sequence.
+	histHash uint64
+	// pending are the assumed propositions of queries answered from the
+	// cache and not yet run on this solver; replayPending runs them before
+	// the next fresh solve to restore solver-state parity.
+	pending [][2]string
+}
+
+// replayPending re-runs every cache-answered query on this encoder's own
+// solver (discarding the verdicts — they are deterministic and already
+// known) and returns how many it replayed.
+func (pe *pairEncoder) replayPending() int {
+	n := len(pe.pending)
+	for _, p := range pe.pending {
+		pe.enc.SolveAssuming(pe.enc.Lit(p[0], false), pe.enc.Lit(p[1], false))
+	}
+	pe.pending = nil
+	return n
 }
 
 type edgeProp struct {
@@ -131,11 +246,17 @@ func visName(i, j int) string { return fmt.Sprintf("v_%d_%d", i, j) }
 func coName(i, j int) string  { return fmt.Sprintf("co_%d_%d", i, j) }
 func depName(i, j int) string { return fmt.Sprintf("dep_%d_%d", i, j) }
 
-func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model) (*pairEncoder, error) {
+// newPairEncoder builds the SAT encoding for (t, w). hashed opts the
+// encoder into formula-hash recording, needed only when a session will key
+// its query cache on the encoding.
+func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model, hashed bool) (*pairEncoder, error) {
 	pe := &pairEncoder{
 		enc:       logic.NewEncoder(),
 		deps:      map[int]map[int]bool{},
 		edgeNames: map[int]map[int][]edgeProp{},
+	}
+	if hashed {
+		pe.enc.RecordFormulaHashes()
 	}
 	build := func(txn *ast.Txn, inst int) error {
 		for ci, c := range ast.Commands(txn.Body) {
@@ -245,12 +366,17 @@ func (pe *pairEncoder) assertTermCongruence() {
 			sorts[key][tm.id] = tm
 		}
 	}
-	for key, termSet := range sorts {
-		ids := make([]string, 0, len(termSet))
-		for id := range termSet {
-			ids = append(ids, id)
+	// Sorted (table, field) order keeps proposition numbering deterministic
+	// across runs (see defineEdges).
+	sortKeys := slices.SortedFunc(maps.Keys(sorts), func(a, b [2]string) int {
+		if c := strings.Compare(a[0], b[0]); c != 0 {
+			return c
 		}
-		sort.Strings(ids)
+		return strings.Compare(a[1], b[1])
+	})
+	for _, key := range sortKeys {
+		termSet := sorts[key]
+		ids := slices.Sorted(maps.Keys(termSet))
 		terms := make([]term, len(ids))
 		for i, id := range ids {
 			terms[i] = termSet[id]
@@ -284,9 +410,9 @@ func (pe *pairEncoder) aliasFormula(x, y *cmdInst) logic.Formula {
 		return logic.False
 	}
 	var conj []logic.Formula
-	for f, tx := range x.key {
+	for _, f := range slices.Sorted(maps.Keys(x.key)) {
 		if ty, ok := y.key[f]; ok {
-			conj = append(conj, eqFormula(x.table, f, tx, ty))
+			conj = append(conj, eqFormula(x.table, f, x.key[f], ty))
 		}
 	}
 	return logic.AndF(conj...)
@@ -312,7 +438,11 @@ func (pe *pairEncoder) defineEdges() {
 				props = append(props, edgeProp{name: name, kind: kind, field: field})
 				defs = append(defs, logic.P(name))
 			}
-			for f := range x.writes {
+			// Iterate fields in sorted order so proposition numbering — and
+			// with it the solver's search and the models it reports — is
+			// deterministic across runs (required for the query cache to be
+			// exchangeable with fresh solving).
+			for _, f := range sortedFields(x.writes) {
 				if y.reads[f] {
 					// wr: y's local view contains x's write of f.
 					addEdge(EdgeWR, f, logic.P(visName(x.idx, y.idx)))
@@ -322,7 +452,7 @@ func (pe *pairEncoder) defineEdges() {
 					addEdge(EdgeWW, f, logic.P(ordName(x.idx, y.idx)))
 				}
 			}
-			for f := range x.reads {
+			for _, f := range sortedFields(x.reads) {
 				if y.writes[f] {
 					// rw: x read a version of f that does not include y's
 					// write (anti-dependency).
@@ -474,25 +604,18 @@ func (pe *pairEncoder) solveCycle(from1, to1, from2, to2 *cmdInst) bool {
 	return pe.enc.SolveAssuming(a1, a2)
 }
 
-// buildPair assembles the reported access pair from the SAT model:
-// the involved fields are read off the true edge propositions.
-func (pe *pairEncoder) buildPair(txn, witness string, c1, c2, d1, d2 *cmdInst, reversed bool) AccessPair {
-	edge1From, edge1To := c1, d1
-	edge2From, edge2To := d2, c2
-	if reversed {
-		edge1From, edge1To = d1, c1
-		edge2From, edge2To = c2, d2
-	}
-	k1, f1 := pe.modelEdge(edge1From, edge1To)
-	k2, f2 := pe.modelEdge(edge2From, edge2To)
+// buildPair assembles the reported access pair from a cycle query's
+// outcome: the involved fields were read off the true edge propositions of
+// whichever (identically encoded) solver answered the query.
+func buildPair(txn, witness string, c1, c2, d1, d2 *cmdInst, r cycleResult) AccessPair {
 	// Report the fields belonging to c1 and c2 respectively.
 	pair := AccessPair{
 		Txn: txn,
-		C1:  c1.label, F1: f1,
-		C2: c2.label, F2: f2,
-		Witness: Witness{Txn: witness, D1: d1.label, D2: d2.label, Edge1: k1, Edge2: k2},
+		C1:  c1.label, F1: r.Flds1,
+		C2: c2.label, F2: r.Flds2,
+		Witness: Witness{Txn: witness, D1: d1.label, D2: d2.label, Edge1: r.Kind1, Edge2: r.Kind2},
 	}
-	pair.Kind = classify(c1, c2, f1, f2)
+	pair.Kind = classify(c1, c2, r.Flds1, r.Flds2)
 	return pair
 }
 
@@ -509,6 +632,10 @@ func (pe *pairEncoder) modelEdge(x, y *cmdInst) (EdgeKind, []string) {
 	}
 	sort.Strings(fields)
 	return kind, dedup(fields)
+}
+
+func sortedFields(set map[string]bool) []string {
+	return slices.Sorted(maps.Keys(set))
 }
 
 func dedup(xs []string) []string {

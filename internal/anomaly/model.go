@@ -113,7 +113,12 @@ func (a AccessPair) String() string {
 type Report struct {
 	Model   Model
 	Pairs   []AccessPair
-	Queries int // number of SAT queries issued
+	Queries int // cycle-satisfiability queries issued (cache hits included)
+	// Solved counts cache-miss queries solved on the SAT solver. A fresh
+	// Detect solves every query it issues; a DetectSession answers repeats
+	// from its cache, so Solved <= Queries. State-parity replays are not
+	// included here — see SessionStats.Replayed.
+	Solved int
 }
 
 // PairsByTxn groups the anomalous pairs by transaction name.

@@ -1,0 +1,291 @@
+package anomaly
+
+import (
+	"hash/fnv"
+	"io"
+	"maps"
+	"slices"
+	"strings"
+	"sync"
+
+	"atropos/internal/ast"
+	"atropos/internal/pool"
+)
+
+// DetectSession is the incremental anomaly-detection engine. It answers the
+// same queries as Detect — byte-identical reports — but remembers work
+// across calls, which the repair pipeline exploits: its three detection
+// passes run over programs that differ only where a refactoring touched
+// them.
+//
+// Two cache layers (see DESIGN.md §7 for the invalidation contract):
+//
+//   - Transaction level: each transaction's detection outcome is keyed by a
+//     fingerprint of everything it can depend on — the transaction's own
+//     text, the text of every witness transaction touching an overlapping
+//     table, the schemas of every table either side touches, and the
+//     consistency model. A re-detection after a refactoring therefore only
+//     re-examines transactions whose code or relevant schema slice changed.
+//   - Query level: each cycle-satisfiability query is keyed by the
+//     canonical hash of its encoder's asserted formulas (logic.FormulaHash),
+//     the encoder's prior query sequence (the CDCL solver is stateful, so
+//     the sequence pins which model a satisfiable query returns — see
+//     detector.solveCycle), and the two assumed dependency propositions.
+//     Identically encoded (txn, witness) pairs running identical query
+//     sequences — across detection passes or within one — share solved
+//     verdicts and witness-edge data; a sequence divergence falls back to
+//     solving, after replaying the skipped prefix for state parity.
+//
+// Independent transactions fan out over the shared worker pool
+// (SetParallelism); each worker detects one transaction, covering all its
+// (txn, witness) encoders, so per-encoder query order — and with it every
+// reported witness and field — matches the sequential oracle exactly.
+//
+// A session is safe for concurrent use by its own workers; callers should
+// issue Detect calls sequentially.
+type DetectSession struct {
+	model       Model
+	parallelism int
+
+	mu      sync.Mutex
+	txns    map[uint64]txnEntry
+	queries map[queryKey]*queryFuture
+	stats   SessionStats
+}
+
+type txnEntry struct {
+	pairs []AccessPair
+	// issued is the number of cycle queries the transaction's detection
+	// asked; replayed into the stats on a hit so Queries always reflects
+	// the work a fresh detector would have done.
+	issued int
+}
+
+// queryKey identifies one cycle-satisfiability query up to logical
+// equivalence of its encoder and its solver's query history.
+type queryKey struct {
+	enc    uint64 // canonical formula hash of the (txn, witness) encoder
+	hist   uint64 // chained hash of the encoder's prior queries
+	a1, a2 string // assumed dependency propositions
+}
+
+// queryFuture is a once-per-key slot: the first asker solves, concurrent
+// askers wait, later askers hit. First-write-wins keeps parallel runs as
+// deterministic as sequential ones.
+type queryFuture struct {
+	done   chan struct{}
+	result cycleResult
+}
+
+// SessionStats aggregates a session's cache effectiveness across all of
+// its Detect calls.
+type SessionStats struct {
+	// Queries counts cycle-satisfiability queries a fresh (uncached)
+	// detection of the same call sequence would have solved.
+	Queries int
+	// Solved counts cache-miss queries solved on a SAT solver.
+	Solved int
+	// Replayed counts cache-hit queries re-run on their own encoder's
+	// solver to restore state parity before a subsequent miss (see
+	// detector.solveCycle); they cost solver time without issuing new
+	// answers.
+	Replayed int
+	// QueryHits counts queries answered from the formula-hash cache.
+	QueryHits int
+	// TxnHits / TxnMisses count transaction-level fingerprint outcomes.
+	TxnHits   int
+	TxnMisses int
+}
+
+// CacheHitRate is the fraction of fresh-equivalent queries the session
+// saved the solver: 1 - (Solved+Replayed)/Queries.
+func (s SessionStats) CacheHitRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return 1 - float64(s.Solved+s.Replayed)/float64(s.Queries)
+}
+
+// NewSession creates an incremental detection session for one consistency
+// model.
+func NewSession(model Model) *DetectSession {
+	return &DetectSession{
+		model:   model,
+		txns:    map[uint64]txnEntry{},
+		queries: map[queryKey]*queryFuture{},
+	}
+}
+
+// Model returns the session's consistency model.
+func (s *DetectSession) Model() Model { return s.model }
+
+// SetParallelism bounds the worker goroutines Detect fans transactions out
+// on; n <= 0 selects GOMAXPROCS, 1 forces sequential detection. Reported
+// pairs are identical at every setting — cached values are pinned to the
+// producer's solver state by the history-keyed cache, so they do not
+// depend on which worker populates a key first. Only the
+// Solved/Replayed/QueryHits stats can shift under concurrency.
+func (s *DetectSession) SetParallelism(n int) { s.parallelism = n }
+
+// Stats returns a snapshot of the session's aggregate cache statistics.
+func (s *DetectSession) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Reset drops all cached detection work (statistics are kept). Long-lived
+// sessions — an editing loop detecting after every change — grow a cache
+// entry per unique transaction fingerprint and solved query; call Reset
+// periodically to bound memory at the cost of re-solving afterwards.
+func (s *DetectSession) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.txns = map[uint64]txnEntry{}
+	s.queries = map[queryKey]*queryFuture{}
+}
+
+// Detect runs the oracle over every transaction of the program, reusing
+// all applicable cached work. The report equals Detect(prog, model)'s.
+func (s *DetectSession) Detect(prog *ast.Program) (*Report, error) {
+	n := len(prog.Txns)
+	// Precompute each transaction's printed form and table set once per
+	// pass; fingerprinting consults every (txn, witness) combination.
+	printed := make([]string, n)
+	tables := make([]map[string]bool, n)
+	for i, t := range prog.Txns {
+		var b strings.Builder
+		ast.FormatTxn(&b, t)
+		printed[i] = b.String()
+		tables[i] = txnTables(t)
+	}
+	type txnOut struct {
+		pairs                    []AccessPair
+		issued, solved, replayed int
+	}
+	outs := make([]txnOut, n)
+	err := pool.ForEach(pool.Workers(s.parallelism), n, func(i int) error {
+		fp := fingerprintTxn(prog, i, printed, tables, s.model)
+		if e, ok := s.lookupTxn(fp); ok {
+			outs[i] = txnOut{pairs: e.pairs, issued: e.issued}
+			return nil
+		}
+		d := &detector{prog: prog, model: s.model, encoders: map[[2]string]*pairEncoder{}, session: s}
+		pairs, err := d.detectTxn(prog.Txns[i])
+		if err != nil {
+			return err
+		}
+		s.storeTxn(fp, txnEntry{pairs: pairs, issued: d.issued})
+		outs[i] = txnOut{pairs: pairs, issued: d.issued, solved: d.solved, replayed: d.replayed}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Model: s.model}
+	replayed := 0
+	for _, o := range outs {
+		report.Pairs = append(report.Pairs, o.pairs...)
+		report.Queries += o.issued
+		report.Solved += o.solved
+		replayed += o.replayed
+	}
+	s.mu.Lock()
+	s.stats.Queries += report.Queries
+	s.stats.Solved += report.Solved
+	s.stats.Replayed += replayed
+	s.mu.Unlock()
+	return report, nil
+}
+
+func (s *DetectSession) lookupTxn(fp uint64) (txnEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.txns[fp]
+	if ok {
+		s.stats.TxnHits++
+	} else {
+		s.stats.TxnMisses++
+	}
+	return e, ok
+}
+
+func (s *DetectSession) storeTxn(fp uint64, e txnEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.txns[fp]; !ok {
+		s.txns[fp] = e
+	}
+}
+
+// query answers one cycle query through the cache: the first asker of a key
+// runs solve() and publishes the result, concurrent askers of the same key
+// wait for it, and later askers hit. hit reports whether solve was skipped.
+func (s *DetectSession) query(key queryKey, solve func() cycleResult) (r cycleResult, hit bool) {
+	s.mu.Lock()
+	if f, ok := s.queries[key]; ok {
+		s.stats.QueryHits++
+		s.mu.Unlock()
+		<-f.done
+		return f.result, true
+	}
+	f := &queryFuture{done: make(chan struct{})}
+	s.queries[key] = f
+	s.mu.Unlock()
+	f.result = solve()
+	close(f.done)
+	return f.result, false
+}
+
+// fingerprintTxn digests everything transaction i's detection outcome can
+// depend on: its own text, the text of every potential witness (a
+// transaction touching at least one common table, in program order — the
+// first satisfiable witness is the one reported), the schemas of every
+// table it or those witnesses touch, and the consistency model.
+// Transactions sharing no table with it cannot contribute a dependency
+// edge and are excluded, so refactoring them does not invalidate i.
+// printed and tables are the per-transaction precomputations of Detect.
+func fingerprintTxn(prog *ast.Program, i int, printed []string, tables []map[string]bool, model Model) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, model.String())
+	io.WriteString(h, printed[i])
+	relevant := map[string]bool{}
+	for tb := range tables[i] {
+		relevant[tb] = true
+	}
+	for j := range prog.Txns {
+		overlap := false
+		for tb := range tables[j] {
+			if tables[i][tb] {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			continue
+		}
+		io.WriteString(h, "\x00witness\x00")
+		io.WriteString(h, printed[j])
+		for tb := range tables[j] {
+			relevant[tb] = true
+		}
+	}
+	for _, name := range slices.Sorted(maps.Keys(relevant)) {
+		if sch := prog.Schema(name); sch != nil {
+			io.WriteString(h, "\x00schema\x00")
+			var b strings.Builder
+			ast.FormatSchema(&b, sch)
+			io.WriteString(h, b.String())
+		}
+	}
+	return h.Sum64()
+}
+
+// txnTables is the set of tables a transaction's commands touch.
+func txnTables(t *ast.Txn) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range ast.Commands(t.Body) {
+		out[c.TableName()] = true
+	}
+	return out
+}

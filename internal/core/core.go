@@ -39,10 +39,16 @@ func LoadProgram(src string) (*ast.Program, error) {
 }
 
 // Run executes the full pipeline on a checked program under the given
-// consistency model.
+// consistency model, with the incremental detection engine on (the
+// default).
 func Run(prog *ast.Program, model anomaly.Model) (*Result, error) {
+	return RunWith(prog, model, repair.Options{Incremental: true})
+}
+
+// RunWith executes the full pipeline with explicit engine options.
+func RunWith(prog *ast.Program, model anomaly.Model, opts repair.Options) (*Result, error) {
 	start := time.Now()
-	rep, err := repair.Repair(prog, model)
+	rep, err := repair.RepairWith(prog, model, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,14 @@ type BaselineConfig struct {
 	Parallelism int
 	// Seed fixes the simulated workloads.
 	Seed int64
+	// NonIncremental disables the cached detection session in the measured
+	// repairs (the zero value measures the default engine).
+	NonIncremental bool
+	// CountsOnly skips the wall-clock-oriented sections (Table 1 pipeline
+	// timing and the Fig. 12 panels) and measures only the per-benchmark
+	// repairs — the machine-independent count columns the CI drift gate
+	// compares.
+	CountsOnly bool
 }
 
 // Baseline is the machine-readable perf snapshot.
@@ -45,6 +53,10 @@ type Baseline struct {
 	MaxProcs  int    `json:"gomaxprocs"`
 	// Parallelism is the resolved worker count of the parallel runs.
 	Parallelism int `json:"parallelism"`
+	// Incremental records whether the measured repairs used the cached
+	// detection session; SAT-query counts are only comparable at equal
+	// settings.
+	Incremental bool `json:"incremental"`
 	// PanelDurationMs is the simulated time per panel point; panel wall
 	// clocks are only comparable at equal duration.
 	PanelDurationMs float64 `json:"panel_duration_ms"`
@@ -57,12 +69,21 @@ type Baseline struct {
 	Panels []PanelBaseline `json:"panels"`
 }
 
-// RepairBaseline is one benchmark's repair timing.
+// RepairBaseline is one benchmark's repair timing, plus the oracle's
+// SAT-query counters. SATQueries counts the cycle queries the pipeline's
+// three detection passes issued (what a fresh oracle would solve);
+// SATSolved counts the ones that reached a SAT solver (cache-miss solves
+// plus state-parity replays). Both are deterministic — the repairs run at
+// parallelism 1 — so the CI drift gate compares them alongside the
+// anomaly counts.
 type RepairBaseline struct {
-	Benchmark string  `json:"benchmark"`
-	WallMs    float64 `json:"wall_ms"`
-	Initial   int     `json:"initial_anomalies"`
-	Remaining int     `json:"remaining_anomalies"`
+	Benchmark    string  `json:"benchmark"`
+	WallMs       float64 `json:"wall_ms"`
+	Initial      int     `json:"initial_anomalies"`
+	Remaining    int     `json:"remaining_anomalies"`
+	SATQueries   int     `json:"sat_queries"`
+	SATSolved    int     `json:"sat_solved"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 // Table1Baseline is the corpus-wide pipeline wall clock.
@@ -109,11 +130,14 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 		GoVersion:       runtime.Version(),
 		MaxProcs:        runtime.GOMAXPROCS(0),
 		Parallelism:     Workers(cfg.Parallelism),
+		Incremental:     !cfg.NonIncremental,
 		PanelDurationMs: ms(cfg.Duration),
 	}
 
 	// Per-benchmark repair wall time (Table 1's Time column). Programs are
 	// parsed up front so the numbers measure analysis+repair, not parsing.
+	// Repairs run at parallelism 1 so the SAT-query counters are
+	// deterministic and machine-independent (the drift gate compares them).
 	all := benchmarks.All()
 	for _, b := range all {
 		if _, err := b.Program(); err != nil {
@@ -123,16 +147,22 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 	for _, b := range all {
 		prog, _ := b.Program()
 		start := time.Now()
-		rep, err := repair.Repair(prog, anomaly.EC)
+		rep, err := repair.RepairWith(prog, anomaly.EC, repair.Options{Incremental: !cfg.NonIncremental})
 		if err != nil {
 			return nil, err
 		}
 		out.Repairs = append(out.Repairs, RepairBaseline{
-			Benchmark: b.Name,
-			WallMs:    ms(time.Since(start)),
-			Initial:   len(rep.Initial),
-			Remaining: len(rep.Remaining),
+			Benchmark:    b.Name,
+			WallMs:       ms(time.Since(start)),
+			Initial:      len(rep.Initial),
+			Remaining:    len(rep.Remaining),
+			SATQueries:   rep.Stats.Queries,
+			SATSolved:    rep.Stats.Solved + rep.Stats.Replayed,
+			CacheHitRate: rep.Stats.CacheHitRate(),
 		})
+	}
+	if cfg.CountsOnly {
+		return out, nil
 	}
 
 	// Corpus pipeline wall clock, sequential vs parallel.
@@ -156,13 +186,14 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 	for _, b := range []*benchmarks.Benchmark{benchmarks.SmallBank, benchmarks.SEATS, benchmarks.TPCC} {
 		start := time.Now()
 		res, err := Perf(PerfConfig{
-			Benchmark:    b,
-			Topology:     cluster.USCluster,
-			ClientCounts: []int{cfg.Clients},
-			Duration:     cfg.Duration,
-			Warmup:       cfg.Duration / 10,
-			Seed:         cfg.Seed,
-			Parallelism:  cfg.Parallelism,
+			Benchmark:      b,
+			Topology:       cluster.USCluster,
+			ClientCounts:   []int{cfg.Clients},
+			Duration:       cfg.Duration,
+			Warmup:         cfg.Duration / 10,
+			Seed:           cfg.Seed,
+			Parallelism:    cfg.Parallelism,
+			NonIncremental: cfg.NonIncremental,
 		})
 		if err != nil {
 			return nil, err

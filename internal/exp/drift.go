@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file implements the CI perf-drift gate: a fresh counts-only baseline
+// run is compared against the committed BENCH_baseline.json on the count
+// columns only — anomaly and SAT-query counts are deterministic and
+// machine-independent, wall-clock numbers are not and are never compared.
+
+// LoadBaseline reads a committed baseline snapshot.
+func LoadBaseline(path string) (*Baseline, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// CountDrift compares the machine-independent count columns of a fresh
+// baseline run (got) against the committed snapshot (want), returning one
+// message per divergence; empty means no drift. Wall-clock fields are
+// deliberately ignored.
+func CountDrift(got, want *Baseline) []string {
+	var drift []string
+	// Anomaly counts are engine-independent (the incremental oracle is
+	// equivalence-tested against the fresh one), so they are always
+	// compared; SAT-query counts only when both runs used the same engine.
+	// A mismatch is not itself drift — callers can warn about it.
+	sameEngine := got.Incremental == want.Incremental
+	wantBy := map[string]RepairBaseline{}
+	for _, r := range want.Repairs {
+		wantBy[r.Benchmark] = r
+	}
+	seen := map[string]bool{}
+	for _, g := range got.Repairs {
+		seen[g.Benchmark] = true
+		w, ok := wantBy[g.Benchmark]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s: missing from committed baseline", g.Benchmark))
+			continue
+		}
+		check := func(field string, gv, wv int) {
+			if gv != wv {
+				drift = append(drift, fmt.Sprintf("%s: %s = %d, baseline %d", g.Benchmark, field, gv, wv))
+			}
+		}
+		check("initial_anomalies", g.Initial, w.Initial)
+		check("remaining_anomalies", g.Remaining, w.Remaining)
+		if sameEngine {
+			check("sat_queries", g.SATQueries, w.SATQueries)
+			check("sat_solved", g.SATSolved, w.SATSolved)
+		}
+	}
+	for _, w := range want.Repairs {
+		if !seen[w.Benchmark] {
+			drift = append(drift, fmt.Sprintf("%s: in committed baseline but not measured", w.Benchmark))
+		}
+	}
+	return drift
+}

@@ -33,16 +33,24 @@ type Fig16Result struct {
 // splits — validity-checked, invalid draws are skipped) to a fresh copy of
 // the program and counts the remaining anomalies, against the anomaly
 // count of Atropos's oracle-guided repair.
-func Fig16(b *benchmarks.Benchmark, rounds, perRound int, seed int64) (*Fig16Result, error) {
+func Fig16(b *benchmarks.Benchmark, rounds, perRound int, seed int64, opts ...Option) (*Fig16Result, error) {
+	o := buildOptions(opts)
 	prog, err := b.Program()
 	if err != nil {
 		return nil, err
 	}
-	ec, err := anomaly.Detect(prog, anomaly.EC)
+	// The rounds detect N variants of the same base program — the
+	// detection session's exact use case: unchanged transactions are
+	// answered from cache, counts are identical to the fresh oracle.
+	detect := func(p *ast.Program) (*anomaly.Report, error) { return anomaly.Detect(p, anomaly.EC) }
+	if o.incremental {
+		detect = anomaly.NewSession(anomaly.EC).Detect
+	}
+	ec, err := detect(prog)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := repair.Repair(prog, anomaly.EC)
+	rep, err := repair.RepairWith(prog, anomaly.EC, repair.Options{Incremental: o.incremental})
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +67,7 @@ func Fig16(b *benchmarks.Benchmark, rounds, perRound int, seed int64) (*Fig16Res
 				applied++
 			}
 		}
-		r, err := anomaly.Detect(p, anomaly.EC)
+		r, err := detect(p)
 		if err != nil {
 			return nil, err
 		}

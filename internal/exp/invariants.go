@@ -18,7 +18,8 @@ type InvariantsResult struct {
 }
 
 // Invariants runs the three-invariant study on SmallBank.
-func Invariants(runsPer int, seed int64) (*InvariantsResult, error) {
+func Invariants(runsPer int, seed int64, opts ...Option) (*InvariantsResult, error) {
+	o := buildOptions(opts)
 	b := benchmarks.SmallBank
 	prog, err := b.Program()
 	if err != nil {
@@ -31,7 +32,7 @@ func Invariants(runsPer int, seed int64) (*InvariantsResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("invariants: original: %w", err)
 	}
-	rep, err := repair.Repair(prog, anomaly.EC)
+	rep, err := repair.RepairWith(prog, anomaly.EC, repair.Options{Incremental: o.incremental})
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,10 @@ type PerfConfig struct {
 	// concurrently (the panel's 4 variants × client counts are mutually
 	// independent); <= 0 selects GOMAXPROCS.
 	Parallelism int
+	// NonIncremental disables the cached detection session in the panel's
+	// repair; the zero value uses the default incremental engine. Results
+	// are identical either way.
+	NonIncremental bool
 }
 
 // PerfResult bundles the four measured curves of one panel.
@@ -58,7 +62,7 @@ func Perf(cfg PerfConfig) (*PerfResult, error) {
 	if len(cfg.ClientCounts) == 0 {
 		cfg.ClientCounts = []int{10, 25, 50, 100, 150, 200, 250}
 	}
-	rep, err := repair.Repair(prog, anomaly.EC)
+	rep, err := repair.RepairWith(prog, anomaly.EC, repair.Options{Incremental: !cfg.NonIncremental})
 	if err != nil {
 		return nil, err
 	}

@@ -1,15 +1,15 @@
 package exp
 
-import (
-	"runtime"
-	"sync"
-)
+import "atropos/internal/pool"
 
 // Option configures an experiment driver.
 type Option func(*options)
 
 type options struct {
 	parallelism int
+	// incremental selects the cached anomaly-detection session for the
+	// repair pipelines (default on; see internal/anomaly.DetectSession).
+	incremental bool
 }
 
 // WithParallelism sets the number of worker goroutines an experiment may
@@ -18,8 +18,16 @@ func WithParallelism(n int) Option {
 	return func(o *options) { o.parallelism = n }
 }
 
+// WithIncremental toggles the incremental (fingerprinted, SAT-query-cached)
+// anomaly-detection engine inside the repair pipelines. On by default;
+// results are identical either way — only the number of solved SAT queries
+// changes.
+func WithIncremental(on bool) Option {
+	return func(o *options) { o.incremental = on }
+}
+
 func buildOptions(opts []Option) options {
-	var o options
+	o := options{incremental: true}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -27,54 +35,9 @@ func buildOptions(opts []Option) options {
 }
 
 // Workers resolves a parallelism knob: n <= 0 means GOMAXPROCS.
-func Workers(n int) int {
-	if n <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return n
-}
+// It forwards to the shared internal/pool package.
+func Workers(n int) int { return pool.Workers(n) }
 
 // ForEach runs fn(0) … fn(n-1) on at most w goroutines and waits for all
-// of them. Every index runs even if an earlier one fails; the error for
-// the lowest index is returned so the outcome does not depend on
-// scheduling. With w <= 1 it degenerates to a plain sequential loop.
-func ForEach(w, n int, fn func(i int) error) error {
-	if n == 0 {
-		return nil
-	}
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		var first error
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
-	errs := make([]error, n)
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// of them (see internal/pool.ForEach for the contract).
+func ForEach(w, n int, fn func(i int) error) error { return pool.ForEach(w, n, fn) }

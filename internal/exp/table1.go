@@ -19,6 +19,7 @@ import (
 	"atropos/internal/anomaly"
 	"atropos/internal/benchmarks"
 	"atropos/internal/core"
+	"atropos/internal/repair"
 )
 
 // Table1Row is one row of Table 1.
@@ -58,7 +59,9 @@ func Table1(benches []*benchmarks.Benchmark, opts ...Option) ([]Table1Row, error
 		start := time.Now()
 		switch part {
 		case 0: // EC detection + repair (EC, AT, and the shape columns)
-			res, err := core.Run(prog, anomaly.EC)
+			// The grid is already fanned out per benchmark, so the
+			// detection session inside each repair runs sequentially.
+			res, err := core.RunWith(prog, anomaly.EC, repair.Options{Incremental: o.incremental})
 			if err != nil {
 				return fmt.Errorf("table1: %s: %w", b.Name, err)
 			}

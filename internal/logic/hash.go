@@ -1,0 +1,100 @@
+package logic
+
+import "sort"
+
+// This file implements canonical formula hashing for the incremental
+// anomaly-detection engine (internal/anomaly.DetectSession): two encoders
+// with the same FormulaHash hold identical assertion multisets, so a SAT
+// query answered on one can be reused on the other. Hashes are structural
+// (FNV-1a over the formula tree) and the encoder-level digest is
+// order-independent, so hash identity reflects the asserted set itself.
+// Note the digest's order-independence is NOT license for callers to
+// assert in arbitrary order: equal-hash encoders only return identical
+// models because they also assert in the same (deterministic) order — the
+// anomaly detector sorts every map iteration that feeds Assert, and the
+// query cache's exchangeability contract depends on that.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	// Terminate so "ab"+"c" and "a"+"bc" differ.
+	return fnvByte(h, 0xff)
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// Hash returns a structural 64-bit hash of a formula. Formulas with equal
+// hashes are equal up to hash collision; connective arity and operand order
+// are part of the identity.
+func Hash(f Formula) uint64 { return hashInto(fnvOffset, f) }
+
+// ChainString folds s (terminated, so consecutive strings keep distinct
+// boundaries) into a running FNV-1a hash — the shared primitive for
+// callers chaining identifier sequences (e.g. the anomaly session's
+// query-history hashes).
+func ChainString(h uint64, s string) uint64 { return fnvString(h, s) }
+
+func hashInto(h uint64, f Formula) uint64 {
+	switch x := f.(type) {
+	case *Prop:
+		return fnvString(fnvByte(h, 1), x.Name)
+	case *Const:
+		if x.Val {
+			return fnvByte(h, 2)
+		}
+		return fnvByte(h, 3)
+	case *Not:
+		return hashInto(fnvByte(h, 4), x.F)
+	case *And:
+		h = fnvByte(h, 5)
+		for _, g := range x.Fs {
+			h = hashInto(h, g)
+		}
+		return fnvByte(h, 0xfe)
+	case *Or:
+		h = fnvByte(h, 6)
+		for _, g := range x.Fs {
+			h = hashInto(h, g)
+		}
+		return fnvByte(h, 0xfe)
+	case *Implies:
+		return hashInto(hashInto(fnvByte(h, 7), x.A), x.B)
+	case *Iff:
+		return hashInto(hashInto(fnvByte(h, 8), x.A), x.B)
+	default:
+		return fnvByte(h, 9)
+	}
+}
+
+// FormulaHash digests every formula asserted since RecordFormulaHashes
+// into a canonical 64-bit value: the multiset of per-assertion hashes is
+// sorted and chained, so the digest identifies the asserted set regardless
+// of assertion order. Call RecordFormulaHashes before the first Assert;
+// otherwise the digest is meaningless (assertions are not retained).
+func (e *Encoder) FormulaHash() uint64 {
+	if !e.hashDirty {
+		return e.hash
+	}
+	sorted := append([]uint64(nil), e.assertHashes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h := fnvUint64(fnvOffset, uint64(len(sorted)))
+	for _, v := range sorted {
+		h = fnvUint64(h, v)
+	}
+	e.hash = h
+	e.hashDirty = false
+	return h
+}

@@ -1,0 +1,58 @@
+package logic
+
+import "testing"
+
+func TestHashStructural(t *testing.T) {
+	a := AndF(P("x"), NotF(P("y")))
+	b := AndF(P("x"), NotF(P("y")))
+	if Hash(a) != Hash(b) {
+		t.Error("equal formulas hash differently")
+	}
+	distinct := []Formula{
+		P("x"), P("y"), NotF(P("x")), AndF(P("x"), P("y")), OrF(P("x"), P("y")),
+		ImpliesF(P("x"), P("y")), ImpliesF(P("y"), P("x")), IffF(P("x"), P("y")),
+		True, False, AndF(), OrF(),
+	}
+	seen := map[uint64]int{}
+	for i, f := range distinct {
+		h := Hash(f)
+		if j, ok := seen[h]; ok {
+			t.Errorf("formulas %d and %d collide: %s vs %s", j, i, String(distinct[j]), String(f))
+		}
+		seen[h] = i
+	}
+}
+
+func TestFormulaHashOrderIndependent(t *testing.T) {
+	build := func(order []Formula) uint64 {
+		e := NewEncoder()
+		e.RecordFormulaHashes()
+		for _, f := range order {
+			e.Assert(f)
+		}
+		return e.FormulaHash()
+	}
+	fs := []Formula{P("a"), OrF(P("b"), P("c")), ImpliesF(P("a"), P("c"))}
+	fwd := build(fs)
+	rev := build([]Formula{fs[2], fs[1], fs[0]})
+	if fwd != rev {
+		t.Error("FormulaHash depends on assertion order")
+	}
+	other := build([]Formula{fs[0], fs[1]})
+	if other == fwd {
+		t.Error("different assertion sets share a FormulaHash")
+	}
+	// Duplicate assertions change the multiset, so they change the digest.
+	dup := build([]Formula{fs[0], fs[0], fs[1], fs[2]})
+	if dup == fwd {
+		t.Error("duplicated assertion not reflected in FormulaHash")
+	}
+}
+
+func TestFormulaHashOptIn(t *testing.T) {
+	e := NewEncoder()
+	e.Assert(P("x")) // recording off: nothing accumulated
+	if len(e.assertHashes) != 0 {
+		t.Error("Assert recorded hashes without RecordFormulaHashes")
+	}
+}

@@ -114,7 +114,19 @@ type Encoder struct {
 	order []string
 	// trueVar is a variable asserted true, used for constants.
 	trueVar int
+	// assertHashes records Hash(f) for every asserted formula once
+	// RecordFormulaHashes opts in; FormulaHash digests them canonically
+	// for the SAT-query cache (see hash.go).
+	recordHashes bool
+	assertHashes []uint64
+	hash         uint64
+	hashDirty    bool
 }
+
+// RecordFormulaHashes makes subsequent Asserts accumulate the per-formula
+// hashes FormulaHash digests. Off by default so encodings that never
+// consult the query cache (the fresh oracle) pay nothing.
+func (e *Encoder) RecordFormulaHashes() { e.recordHashes = true }
 
 // NewEncoder creates an encoder over a fresh solver.
 func NewEncoder() *Encoder {
@@ -142,6 +154,10 @@ func (e *Encoder) Lit(name string, neg bool) sat.Lit {
 
 // Assert adds f as a hard constraint.
 func (e *Encoder) Assert(f Formula) {
+	if e.recordHashes {
+		e.assertHashes = append(e.assertHashes, Hash(f))
+		e.hashDirty = true
+	}
 	l := e.encode(f)
 	e.S.AddClause(l)
 }

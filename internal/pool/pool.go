@@ -1,0 +1,63 @@
+// Package pool provides the bounded worker pool shared by the experiment
+// drivers and the incremental anomaly-detection session. It lives below
+// both internal/exp and internal/anomaly so either side can fan work out
+// without an import cycle (exp imports anomaly).
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism knob: n <= 0 means GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(0) … fn(n-1) on at most w goroutines and waits for all
+// of them. Every index runs even if an earlier one fails; the error for
+// the lowest index is returned so the outcome does not depend on
+// scheduling. With w <= 1 it degenerates to a plain sequential loop.
+func ForEach(w, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"reflect"
 	"testing"
 
 	"atropos/internal/anomaly"
@@ -43,4 +44,73 @@ func TestRepairRandomPrograms(t *testing.T) {
 				seed, len(res.Remaining), len(res2.Remaining))
 		}
 	}
+}
+
+// FuzzRepairRandomProgram drives the pipeline over generator-derived
+// programs under fuzzed seeds: repair must never error, never produce an
+// ill-typed program, never increase the anomaly count, and the incremental
+// engine's stats must stay coherent. The nightly CI job runs this target
+// for 30s per night (see .github/workflows/nightly.yml).
+func FuzzRepairRandomProgram(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p := progen.Program(seed)
+		if err := sema.Check(p); err != nil {
+			t.Fatalf("seed %d: generator produced ill-typed program: %v", seed, err)
+		}
+		res, err := Repair(p, anomaly.EC)
+		if err != nil {
+			t.Fatalf("seed %d: Repair: %v", seed, err)
+		}
+		if err := sema.Check(res.Program); err != nil {
+			t.Fatalf("seed %d: repaired program ill-typed: %v", seed, err)
+		}
+		if len(res.Remaining) > len(res.Initial) {
+			t.Fatalf("seed %d: repair increased anomalies %d -> %d",
+				seed, len(res.Initial), len(res.Remaining))
+		}
+		if res.Stats.Solved > res.Stats.Queries {
+			t.Fatalf("seed %d: solved %d > issued %d", seed, res.Stats.Solved, res.Stats.Queries)
+		}
+	})
+}
+
+// FuzzDetectSessionEquivalence fuzzes the incremental oracle's core
+// contract: a DetectSession must report byte-identical pairs to a fresh
+// Detect on the same program, under every weak model, and repair must make
+// identical decisions with either oracle.
+func FuzzDetectSessionEquivalence(f *testing.F) {
+	f.Add(int64(0), uint8(0))
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(2), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, modelByte uint8) {
+		model := []anomaly.Model{anomaly.EC, anomaly.CC, anomaly.RR}[int(modelByte)%3]
+		p := progen.Program(seed)
+		fresh, err := anomaly.Detect(p, model)
+		if err != nil {
+			t.Fatalf("seed %d %v: Detect: %v", seed, model, err)
+		}
+		s := anomaly.NewSession(model)
+		got, err := s.Detect(p)
+		if err != nil {
+			t.Fatalf("seed %d %v: session Detect: %v", seed, model, err)
+		}
+		if !reflect.DeepEqual(fresh.Pairs, got.Pairs) {
+			t.Fatalf("seed %d %v: session diverges from fresh Detect:\nfresh %v\ngot   %v",
+				seed, model, fresh.Pairs, got.Pairs)
+		}
+		freshRep, err := RepairWith(p, model, Options{})
+		if err != nil {
+			t.Fatalf("seed %d %v: fresh repair: %v", seed, model, err)
+		}
+		incRep, err := RepairWith(p, model, Options{Incremental: true})
+		if err != nil {
+			t.Fatalf("seed %d %v: incremental repair: %v", seed, model, err)
+		}
+		if !reflect.DeepEqual(freshRep.Steps, incRep.Steps) {
+			t.Fatalf("seed %d %v: repair steps diverge", seed, model)
+		}
+	})
 }

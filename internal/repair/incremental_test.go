@@ -1,0 +1,78 @@
+package repair
+
+import (
+	"reflect"
+	"testing"
+
+	"atropos/internal/anomaly"
+	"atropos/internal/ast"
+	"atropos/internal/benchmarks"
+)
+
+// TestIncrementalRepairEquivalence pins the incremental engine's contract
+// on the corpus: RepairWith(Incremental) and RepairWith(fresh oracle)
+// produce identical programs, anomaly sets, and steps — only the number of
+// solved SAT queries differs.
+func TestIncrementalRepairEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus comparison; skipped with -short")
+	}
+	for _, b := range benchmarks.All() {
+		if b.Name == "TPC-C" {
+			continue // the heaviest pipeline; covered by TestIncrementalRepairSavings
+		}
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := RepairWith(prog, anomaly.EC, Options{})
+		if err != nil {
+			t.Fatalf("%s: fresh: %v", b.Name, err)
+		}
+		inc, err := RepairWith(prog, anomaly.EC, Options{Incremental: true, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s: incremental: %v", b.Name, err)
+		}
+		if !reflect.DeepEqual(fresh.Initial, inc.Initial) {
+			t.Errorf("%s: initial pairs diverge", b.Name)
+		}
+		if !reflect.DeepEqual(fresh.Remaining, inc.Remaining) {
+			t.Errorf("%s: remaining pairs diverge", b.Name)
+		}
+		if !reflect.DeepEqual(fresh.Steps, inc.Steps) {
+			t.Errorf("%s: repair steps diverge:\nfresh %v\ninc   %v", b.Name, fresh.Steps, inc.Steps)
+		}
+		if got, want := ast.Format(inc.Program), ast.Format(fresh.Program); got != want {
+			t.Errorf("%s: repaired programs diverge", b.Name)
+		}
+	}
+}
+
+// TestIncrementalRepairSavings enforces the engine's headline: every
+// benchmark's repair must solve at least 30% fewer SAT queries than the
+// fresh oracle would (the fresh oracle solves everything it issues, so the
+// floor is a cache-hit-rate bound).
+func TestIncrementalRepairSavings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus measurement; skipped with -short")
+	}
+	for _, b := range benchmarks.All() {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RepairWith(prog, anomaly.EC, Options{Incremental: true, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		st := res.Stats
+		if st.Solved+st.Replayed > st.Queries {
+			t.Errorf("%s: solver ran %d+%d times for %d issued queries",
+				b.Name, st.Solved, st.Replayed, st.Queries)
+		}
+		if rate := st.CacheHitRate(); rate < 0.30 {
+			t.Errorf("%s: cache hit rate %.0f%% below the 30%% floor (%d issued, %d solved, %d replayed)",
+				b.Name, 100*rate, st.Queries, st.Solved, st.Replayed)
+		}
+	}
+}

@@ -11,6 +11,9 @@ package repair
 
 import (
 	"fmt"
+	"maps"
+	"slices"
+	"strings"
 
 	"atropos/internal/anomaly"
 	"atropos/internal/ast"
@@ -32,15 +35,53 @@ type Result struct {
 	// SerializableTxns are the transactions still involved in at least one
 	// anomaly: the AT-SC deployment runs exactly these under SC (§7.2).
 	SerializableTxns []string
+	// Stats aggregates the oracle's SAT-query work across the pipeline's
+	// three detection passes. With the incremental session, Solved <
+	// Queries; a fresh-oracle run solves everything it issues.
+	Stats anomaly.SessionStats
 }
 
 // RepairedCount returns how many of the initial pairs were eliminated.
 func (r *Result) RepairedCount() int { return len(r.Initial) - len(r.Remaining) }
 
-// Repair runs the full pipeline of Fig. 10 under the given model.
+// Options configures a repair run.
+type Options struct {
+	// Incremental selects the fingerprinted, SAT-query-cached detection
+	// session shared by the pipeline's three detection passes. Results are
+	// identical either way; only the number of solved SAT queries differs.
+	Incremental bool
+	// Parallelism bounds the worker goroutines the detection session fans
+	// transactions out on. Values <= 1 select sequential detection — the
+	// safe default, since callers (the experiment grid, multi-input CLIs)
+	// often fan Repair itself out; pass n > 1 (e.g. runtime.GOMAXPROCS(0))
+	// to parallelize detection inside one repair. Reported results are
+	// identical at every setting. Ignored without Incremental.
+	Parallelism int
+}
+
+// Repair runs the full pipeline of Fig. 10 under the given model, with the
+// incremental detection engine on (the default configuration).
 func Repair(prog *ast.Program, model anomaly.Model) (*Result, error) {
+	return RepairWith(prog, model, Options{Incremental: true})
+}
+
+// RepairWith runs the full pipeline of Fig. 10 under the given model and
+// engine options.
+func RepairWith(prog *ast.Program, model anomaly.Model, opts Options) (*Result, error) {
+	detect := func(p *ast.Program) (*anomaly.Report, error) { return anomaly.Detect(p, model) }
+	var session *anomaly.DetectSession
+	if opts.Incremental {
+		session = anomaly.NewSession(model)
+		par := opts.Parallelism
+		if par <= 1 {
+			par = 1
+		}
+		session.SetParallelism(par)
+		detect = session.Detect
+	}
+
 	res := &Result{}
-	initial, err := anomaly.Detect(prog, model)
+	initial, err := detect(prog)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +91,7 @@ func Repair(prog *ast.Program, model anomaly.Model) (*Result, error) {
 	p = preprocess(p, initial.Pairs, res)
 
 	// Re-detect: preprocessing changed command labels (U4 → U4.1, U4.2).
-	rep, err := anomaly.Detect(p, model)
+	rep, err := detect(p)
 	if err != nil {
 		return nil, err
 	}
@@ -72,9 +113,16 @@ func Repair(prog *ast.Program, model anomaly.Model) (*Result, error) {
 	}
 	postprocess(p, res, moved)
 
-	final, err := anomaly.Detect(p, model)
+	final, err := detect(p)
 	if err != nil {
 		return nil, err
+	}
+	if session != nil {
+		res.Stats = session.Stats()
+	} else {
+		// The fresh oracle solves everything it issues.
+		fresh := initial.Queries + rep.Queries + final.Queries
+		res.Stats = anomaly.SessionStats{Queries: fresh, Solved: fresh}
 	}
 	res.Program = p
 	res.Remaining = final.Pairs
@@ -138,7 +186,18 @@ func preprocess(p *ast.Program, pairs []anomaly.AccessPair, res *Result) *ast.Pr
 			plans[k] = partition
 		}
 	}
-	for k, partition := range plans {
+	// Apply plans in a deterministic order: plan interactions
+	// (coAccessedElsewhere) and the step log must not depend on map
+	// iteration order — the incremental engine's equivalence tests compare
+	// pipelines step by step.
+	planKeys := slices.SortedFunc(maps.Keys(plans), func(a, b cmdKey) int {
+		if c := strings.Compare(a.txn, b.txn); c != 0 {
+			return c
+		}
+		return strings.Compare(a.label, b.label)
+	})
+	for _, k := range planKeys {
+		partition := plans[k]
 		t := p.Txn(k.txn)
 		c := findCommand(t, k.label)
 		if c == nil {
