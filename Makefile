@@ -10,7 +10,7 @@ COVER_FLOOR ?= 60
 # Seconds each fuzz target runs under `make fuzz` / the nightly workflow.
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race bench cover drift fuzz baseline
+.PHONY: ci fmt vet build test race bench bench-compare cover drift fuzz baseline
 
 ci: fmt vet build race bench cover drift
 
@@ -33,10 +33,42 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One pass over every experiment benchmark — a smoke test that each
-# table/figure driver still runs, not a measurement.
+# One pass over every experiment benchmark and hot-path microbenchmark —
+# a smoke test that each driver still runs, not a measurement. The output
+# lands in bench-smoke.txt, which the CI bench job uploads as an artifact.
+# (Redirect + cat rather than tee: a pipe would mask go test's exit code.)
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	@$(GO) test -bench . -benchtime 1x -run '^$$' $(BENCH_PKGS) > bench-smoke.txt; \
+	status=$$?; cat bench-smoke.txt; exit $$status
+
+# Benchmark pattern/packages/repetitions for `make bench-compare`. The
+# default pattern covers the detect→encode→solve hot path (Table 1 repairs,
+# detection, and the solver/encoder microbenchmarks); override
+# BENCH_PATTERN to widen, BASE_REF to compare against another ref.
+BASE_REF ?= HEAD~1
+BENCH_PATTERN ?= BenchmarkTable1_|BenchmarkDetect|BenchmarkPairEncoder|BenchmarkAssert|BenchmarkEncode|BenchmarkAddClauses|BenchmarkSolveAssuming|BenchmarkPigeonhole
+BENCH_PKGS ?= . ./internal/anomaly ./internal/logic ./internal/sat
+BENCH_COUNT ?= 5
+
+# Run the benchmark suite at BASE_REF (in a throwaway git worktree) and in
+# the working tree, writing bench-base.txt / bench-head.txt, and summarize
+# with benchstat when it is installed (the container image may not ship
+# it; the raw files remain either way).
+bench-compare:
+	@set -e; tmp=$$(mktemp -d); \
+	git worktree add --quiet --detach $$tmp/base $(BASE_REF); \
+	echo "== benchmarks at $(BASE_REF) =="; \
+	( cd $$tmp/base && $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) ) > bench-base.txt || \
+		{ git worktree remove --force $$tmp/base; rmdir $$tmp; exit 1; }; \
+	git worktree remove --force $$tmp/base; rmdir $$tmp; \
+	echo "== benchmarks at working tree =="; \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) > bench-head.txt; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-base.txt bench-head.txt; \
+	else \
+		echo "benchstat not installed; raw outputs in bench-base.txt and bench-head.txt"; \
+		echo "(install on a networked machine: go install golang.org/x/perf/cmd/benchstat@latest)"; \
+	fi
 
 # Coverage with a floor: write cover.out (the CI job uploads it) and fail
 # if total statement coverage drops below COVER_FLOOR percent.

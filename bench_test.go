@@ -23,6 +23,7 @@ func benchTable1(b *testing.B, name string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := repair.Repair(prog, anomaly.EC); err != nil {
@@ -73,6 +74,7 @@ func benchDetect(b *testing.B, model anomaly.Model) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := anomaly.Detect(prog, model); err != nil {

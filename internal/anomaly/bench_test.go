@@ -1,0 +1,90 @@
+package anomaly
+
+import (
+	"testing"
+
+	"atropos/internal/ast"
+	"atropos/internal/benchmarks"
+	"atropos/internal/parser"
+	"atropos/internal/sema"
+)
+
+// Allocation-reporting microbenchmarks for the detect→encode→solve hot
+// path (the regression surface of the interned-atom encoding; compare
+// with `make bench-compare`, see EXPERIMENTS.md §Baselines).
+
+func benchProg(b *testing.B, src string) *ast.Program {
+	b.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sema.Check(p); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkPairEncoderBuild measures encoding one (txn, witness) pair into
+// a fresh solver: interning, axiom assertion, Tseitin conversion.
+func BenchmarkPairEncoderBuild(b *testing.B) {
+	prog := benchProg(b, courseware)
+	t := prog.Txns[2] // regSt: the widest encoder of the running example
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := newPairEncoder(prog, t, t, EC, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectCourseware measures a full fresh detection (every encoder
+// plus every cycle query) of the paper's running example.
+func BenchmarkDetectCourseware(b *testing.B) {
+	prog := benchProg(b, courseware)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(prog, EC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectSmallBank measures fresh detection on a real benchmark
+// translation (the detect column of Table 1).
+func BenchmarkDetectSmallBank(b *testing.B) {
+	prog, err := benchmarks.SmallBank.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(prog, EC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionWarmDetect measures a fully warm incremental pass: every
+// transaction fingerprint hits, so this is the session's bookkeeping
+// floor.
+func BenchmarkSessionWarmDetect(b *testing.B) {
+	prog, err := benchmarks.SmallBank.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewSession(EC)
+	if _, err := s.Detect(prog); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Detect(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"atropos/internal/ast"
 	"atropos/internal/logic"
+	"atropos/internal/sat"
 )
 
 // cmdInst is one command of one of the two instantiated transaction
@@ -169,15 +170,19 @@ func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst)
 		d.solved++
 		return solve()
 	}
-	a1 := depName(from1.idx, to1.idx)
-	a2 := depName(from2.idx, to2.idx)
+	s1 := enc.depS[from1.idx][to1.idx]
+	s2 := enc.depS[from2.idx][to2.idx]
+	// The interned name strings key the cache and the history hash; reading
+	// them back is a slice index, not a fmt.Sprintf.
+	a1 := enc.enc.NameOf(s1)
+	a2 := enc.enc.NameOf(s2)
 	key := queryKey{enc: enc.enc.FormulaHash(), hist: enc.histHash, a1: a1, a2: a2}
 	r, hit := d.session.query(key, func() cycleResult {
 		d.replayed += enc.replayPending()
 		return solve()
 	})
 	if hit {
-		enc.pending = append(enc.pending, [2]string{a1, a2})
+		enc.pending = append(enc.pending, [2]logic.Sym{s1, s2})
 	} else {
 		d.solved++
 	}
@@ -205,10 +210,17 @@ func (d *detector) encoderFor(t, w *ast.Txn) (*pairEncoder, error) {
 }
 
 // pairEncoder holds the SAT encoding for one (T, T') transaction pair.
+// All relational propositions (ord, vis, co, dep) are interned once into
+// n×n Sym matrices at construction, so the witness loop and the axiom
+// builders address them by integer lookup — no per-use fmt.Sprintf or
+// string hashing.
 type pairEncoder struct {
 	enc   *logic.Encoder
 	items []*cmdInst // A's commands then B's commands
 	nA    int
+	// ordS/visS/depS (and coS under CC) are the interned proposition
+	// matrices, indexed [from][to]; the diagonal is unused.
+	ordS, visS, coS, depS [][]logic.Sym
 	// deps[x][y] true when a dep(x→y) proposition was defined.
 	deps map[int]map[int]bool
 	// edgeNames[x][y] lists the per-field edge propositions behind dep(x→y).
@@ -220,7 +232,10 @@ type pairEncoder struct {
 	// pending are the assumed propositions of queries answered from the
 	// cache and not yet run on this solver; replayPending runs them before
 	// the next fresh solve to restore solver-state parity.
-	pending [][2]string
+	pending [][2]logic.Sym
+	// assume is the reusable assumption buffer for the witness loop's
+	// SolveAssuming calls.
+	assume [2]sat.Lit
 }
 
 // replayPending re-runs every cache-answered query on this encoder's own
@@ -229,14 +244,16 @@ type pairEncoder struct {
 func (pe *pairEncoder) replayPending() int {
 	n := len(pe.pending)
 	for _, p := range pe.pending {
-		pe.enc.SolveAssuming(pe.enc.Lit(p[0], false), pe.enc.Lit(p[1], false))
+		pe.assume[0] = pe.enc.LitS(p[0], false)
+		pe.assume[1] = pe.enc.LitS(p[1], false)
+		pe.enc.SolveAssuming(pe.assume[:]...)
 	}
 	pe.pending = nil
 	return n
 }
 
 type edgeProp struct {
-	name  string
+	sym   logic.Sym
 	kind  EdgeKind
 	field string
 }
@@ -245,6 +262,24 @@ func ordName(i, j int) string { return fmt.Sprintf("o_%d_%d", i, j) }
 func visName(i, j int) string { return fmt.Sprintf("v_%d_%d", i, j) }
 func coName(i, j int) string  { return fmt.Sprintf("co_%d_%d", i, j) }
 func depName(i, j int) string { return fmt.Sprintf("dep_%d_%d", i, j) }
+
+// internRel builds the n×n Sym matrix for one relational proposition
+// family, paying each name's fmt.Sprintf exactly once per encoder.
+func (pe *pairEncoder) internRel(name func(i, j int) string) [][]logic.Sym {
+	n := len(pe.items)
+	m := make([][]logic.Sym, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]logic.Sym, n)
+		for j := 0; j < n; j++ {
+			if j == i {
+				m[i][j] = -1
+				continue
+			}
+			m[i][j] = pe.enc.Sym(name(i, j))
+		}
+	}
+	return m
+}
 
 // newPairEncoder builds the SAT encoding for (t, w). hashed opts the
 // encoder into formula-hash recording, needed only when a session will key
@@ -303,13 +338,16 @@ func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model, hashed bool) 
 	}
 
 	n := len(pe.items)
+	pe.ordS = pe.internRel(ordName)
+	pe.visS = pe.internRel(visName)
+	pe.depS = pe.internRel(depName)
 	// Axiom: ord is a strict total order (the execution counter).
-	pe.enc.AssertStrictTotalOrder(n, ordName)
+	pe.enc.AssertStrictTotalOrderS(n, pe.ord)
 	// Axiom: program order within each instance.
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if pe.items[i].inst == pe.items[j].inst {
-				pe.enc.Assert(logic.P(ordName(i, j)))
+				pe.enc.Assert(pe.enc.Atom(pe.ordS[i][j]))
 			}
 		}
 	}
@@ -322,7 +360,7 @@ func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model, hashed bool) 
 			if y.inst == x.inst {
 				continue
 			}
-			pe.enc.Assert(logic.ImpliesF(logic.P(visName(x.idx, y.idx)), logic.P(ordName(x.idx, y.idx))))
+			pe.enc.Assert(logic.ImpliesF(pe.enc.Atom(pe.visS[x.idx][y.idx]), pe.enc.Atom(pe.ordS[x.idx][y.idx])))
 		}
 	}
 
@@ -331,6 +369,8 @@ func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model, hashed bool) 
 	pe.assertModelAxioms(model)
 	return pe, nil
 }
+
+func (pe *pairEncoder) ord(i, j int) logic.Sym { return pe.ordS[i][j] }
 
 // eqPropName returns the canonical equality proposition name for two terms
 // of one sort (table, primary-key field).
@@ -342,14 +382,14 @@ func eqPropName(table, field string, a, b term) string {
 }
 
 // eqFormula returns the formula for term equality within a sort.
-func eqFormula(table, field string, a, b term) logic.Formula {
+func (pe *pairEncoder) eqFormula(table, field string, a, b term) logic.Formula {
 	switch decideEq(a, b) {
 	case eqTrue:
 		return logic.True
 	case eqFalse:
 		return logic.False
 	default:
-		return logic.P(eqPropName(table, field, a, b))
+		return pe.enc.Atom(pe.enc.Sym(eqPropName(table, field, a, b)))
 	}
 }
 
@@ -392,10 +432,10 @@ func (pe *pairEncoder) assertTermCongruence() {
 					}
 					pe.enc.Assert(logic.ImpliesF(
 						logic.AndF(
-							eqFormula(key[0], key[1], terms[a], terms[b]),
-							eqFormula(key[0], key[1], terms[b], terms[c]),
+							pe.eqFormula(key[0], key[1], terms[a], terms[b]),
+							pe.eqFormula(key[0], key[1], terms[b], terms[c]),
 						),
-						eqFormula(key[0], key[1], terms[a], terms[c]),
+						pe.eqFormula(key[0], key[1], terms[a], terms[c]),
 					))
 				}
 			}
@@ -409,10 +449,10 @@ func (pe *pairEncoder) aliasFormula(x, y *cmdInst) logic.Formula {
 	if x.table != y.table {
 		return logic.False
 	}
-	var conj []logic.Formula
+	conj := make([]logic.Formula, 0, len(x.key))
 	for _, f := range slices.Sorted(maps.Keys(x.key)) {
 		if ty, ok := y.key[f]; ok {
-			conj = append(conj, eqFormula(x.table, f, x.key[f], ty))
+			conj = append(conj, pe.eqFormula(x.table, f, x.key[f], ty))
 		}
 	}
 	return logic.AndF(conj...)
@@ -430,13 +470,14 @@ func (pe *pairEncoder) defineEdges() {
 				continue
 			}
 			alias := pe.aliasFormula(x, y)
-			var props []edgeProp
-			var defs []logic.Formula
+			maxEdges := 2*len(x.writes) + len(x.reads)
+			props := make([]edgeProp, 0, maxEdges)
+			defs := make([]logic.Formula, 0, maxEdges)
 			addEdge := func(kind EdgeKind, field string, cond logic.Formula) {
-				name := fmt.Sprintf("e_%s_%d_%d_%s", kind, x.idx, y.idx, field)
-				pe.enc.Assert(logic.IffF(logic.P(name), logic.AndF(alias, cond)))
-				props = append(props, edgeProp{name: name, kind: kind, field: field})
-				defs = append(defs, logic.P(name))
+				s := pe.enc.Symf("e_%s_%d_%d_%s", kind, x.idx, y.idx, field)
+				pe.enc.Assert(logic.IffF(pe.enc.Atom(s), logic.AndF(alias, cond)))
+				props = append(props, edgeProp{sym: s, kind: kind, field: field})
+				defs = append(defs, pe.enc.Atom(s))
 			}
 			// Iterate fields in sorted order so proposition numbering — and
 			// with it the solver's search and the models it reports — is
@@ -445,24 +486,24 @@ func (pe *pairEncoder) defineEdges() {
 			for _, f := range sortedFields(x.writes) {
 				if y.reads[f] {
 					// wr: y's local view contains x's write of f.
-					addEdge(EdgeWR, f, logic.P(visName(x.idx, y.idx)))
+					addEdge(EdgeWR, f, pe.enc.Atom(pe.visS[x.idx][y.idx]))
 				}
 				if y.writes[f] {
 					// ww: y's write of f follows x's in arbitration order.
-					addEdge(EdgeWW, f, logic.P(ordName(x.idx, y.idx)))
+					addEdge(EdgeWW, f, pe.enc.Atom(pe.ordS[x.idx][y.idx]))
 				}
 			}
 			for _, f := range sortedFields(x.reads) {
 				if y.writes[f] {
 					// rw: x read a version of f that does not include y's
 					// write (anti-dependency).
-					addEdge(EdgeRW, f, logic.NotF(logic.P(visName(y.idx, x.idx))))
+					addEdge(EdgeRW, f, logic.NotF(pe.enc.Atom(pe.visS[y.idx][x.idx])))
 				}
 			}
 			if len(props) == 0 {
 				continue
 			}
-			pe.enc.Assert(logic.IffF(logic.P(depName(x.idx, y.idx)), logic.OrF(defs...)))
+			pe.enc.Assert(logic.IffF(pe.enc.Atom(pe.depS[x.idx][y.idx]), logic.OrF(defs...)))
 			if pe.deps[x.idx] == nil {
 				pe.deps[x.idx] = map[int]bool{}
 			}
@@ -485,6 +526,7 @@ func (pe *pairEncoder) assertModelAxioms(model Model) {
 	case CC:
 		// co is the happens-before relation: program order ∪ vis, closed
 		// transitively, consistent with arbitration order.
+		pe.coS = pe.internRel(coName)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				if i == j {
@@ -492,15 +534,15 @@ func (pe *pairEncoder) assertModelAxioms(model Model) {
 				}
 				x, y := pe.items[i], pe.items[j]
 				if x.inst == y.inst && i < j {
-					pe.enc.Assert(logic.P(coName(i, j)))
+					pe.enc.Assert(pe.enc.Atom(pe.coS[i][j]))
 				}
 				if x.writer && y.inst != x.inst {
-					pe.enc.Assert(logic.ImpliesF(logic.P(visName(i, j)), logic.P(coName(i, j))))
+					pe.enc.Assert(logic.ImpliesF(pe.enc.Atom(pe.visS[i][j]), pe.enc.Atom(pe.coS[i][j])))
 				}
-				pe.enc.Assert(logic.ImpliesF(logic.P(coName(i, j)), logic.P(ordName(i, j))))
+				pe.enc.Assert(logic.ImpliesF(pe.enc.Atom(pe.coS[i][j]), pe.enc.Atom(pe.ordS[i][j])))
 			}
 		}
-		pe.enc.AssertTransitive(n, coName)
+		pe.enc.AssertTransitiveS(n, func(i, j int) logic.Sym { return pe.coS[i][j] })
 		// Causal delivery: a view containing w2 contains every write w1
 		// happening-before w2.
 		for _, w1 := range pe.items {
@@ -516,8 +558,8 @@ func (pe *pairEncoder) assertModelAxioms(model Model) {
 						continue
 					}
 					pe.enc.Assert(logic.ImpliesF(
-						logic.AndF(logic.P(coName(w1.idx, w2.idx)), logic.P(visName(w2.idx, y.idx))),
-						logic.P(visName(w1.idx, y.idx)),
+						logic.AndF(pe.enc.Atom(pe.coS[w1.idx][w2.idx]), pe.enc.Atom(pe.visS[w2.idx][y.idx])),
+						pe.enc.Atom(pe.visS[w1.idx][y.idx]),
 					))
 				}
 			}
@@ -544,8 +586,8 @@ func (pe *pairEncoder) assertModelAxioms(model Model) {
 						continue
 					}
 					pe.enc.Assert(logic.IffF(
-						logic.P(visName(w.idx, y.idx)),
-						logic.P(visName(w.idx, y2.idx)),
+						pe.enc.Atom(pe.visS[w.idx][y.idx]),
+						pe.enc.Atom(pe.visS[w.idx][y2.idx]),
 					))
 				}
 			}
@@ -562,7 +604,7 @@ func (pe *pairEncoder) assertModelAxioms(model Model) {
 				if y.inst == x.inst {
 					continue
 				}
-				pe.enc.Assert(logic.ImpliesF(logic.P(ordName(x.idx, y.idx)), logic.P(visName(x.idx, y.idx))))
+				pe.enc.Assert(logic.ImpliesF(pe.enc.Atom(pe.ordS[x.idx][y.idx]), pe.enc.Atom(pe.visS[x.idx][y.idx])))
 			}
 			for _, x2 := range pe.items {
 				if !x2.writer || x2.inst != x.inst || x2.idx <= x.idx {
@@ -572,7 +614,7 @@ func (pe *pairEncoder) assertModelAxioms(model Model) {
 					if y.inst == x.inst {
 						continue
 					}
-					pe.enc.Assert(logic.IffF(logic.P(visName(x.idx, y.idx)), logic.P(visName(x2.idx, y.idx))))
+					pe.enc.Assert(logic.IffF(pe.enc.Atom(pe.visS[x.idx][y.idx]), pe.enc.Atom(pe.visS[x2.idx][y.idx])))
 				}
 			}
 		}
@@ -585,7 +627,7 @@ func (pe *pairEncoder) assertModelAxioms(model Model) {
 					if !w.writer || w.inst == y.inst {
 						continue
 					}
-					pe.enc.Assert(logic.ImpliesF(logic.P(visName(w.idx, y2.idx)), logic.P(visName(w.idx, y.idx))))
+					pe.enc.Assert(logic.ImpliesF(pe.enc.Atom(pe.visS[w.idx][y2.idx]), pe.enc.Atom(pe.visS[w.idx][y.idx])))
 				}
 			}
 		}
@@ -597,11 +639,12 @@ func (pe *pairEncoder) assertModelAxioms(model Model) {
 func (pe *pairEncoder) hasDep(x, y *cmdInst) bool { return pe.deps[x.idx][y.idx] }
 
 // solveCycle checks satisfiability of dep(from1→to1) ∧ dep(from2→to2)
-// under the encoder's axioms.
+// under the encoder's axioms. The assumption buffer is reused across the
+// witness loop.
 func (pe *pairEncoder) solveCycle(from1, to1, from2, to2 *cmdInst) bool {
-	a1 := pe.enc.Lit(depName(from1.idx, to1.idx), false)
-	a2 := pe.enc.Lit(depName(from2.idx, to2.idx), false)
-	return pe.enc.SolveAssuming(a1, a2)
+	pe.assume[0] = pe.enc.LitS(pe.depS[from1.idx][to1.idx], false)
+	pe.assume[1] = pe.enc.LitS(pe.depS[from2.idx][to2.idx], false)
+	return pe.enc.SolveAssuming(pe.assume[:]...)
 }
 
 // buildPair assembles the reported access pair from a cycle query's
@@ -625,7 +668,7 @@ func (pe *pairEncoder) modelEdge(x, y *cmdInst) (EdgeKind, []string) {
 	var kind EdgeKind
 	var fields []string
 	for _, ep := range pe.edgeNames[x.idx][y.idx] {
-		if pe.enc.Value(ep.name) {
+		if pe.enc.ValueS(ep.sym) {
 			kind = ep.kind
 			fields = append(fields, ep.field)
 		}

@@ -1,14 +1,13 @@
 package anomaly
 
 import (
-	"hash/fnv"
-	"io"
 	"maps"
 	"slices"
 	"strings"
 	"sync"
 
 	"atropos/internal/ast"
+	"atropos/internal/logic"
 	"atropos/internal/pool"
 )
 
@@ -246,9 +245,12 @@ func (s *DetectSession) query(key queryKey, solve func() cycleResult) (r cycleRe
 // edge and are excluded, so refactoring them does not invalidate i.
 // printed and tables are the per-transaction precomputations of Detect.
 func fingerprintTxn(prog *ast.Program, i int, printed []string, tables []map[string]bool, model Model) uint64 {
-	h := fnv.New64a()
-	io.WriteString(h, model.String())
-	io.WriteString(h, printed[i])
+	// Chained manual FNV (logic.ChainString) instead of a hash.Hash64:
+	// hashing strings directly avoids the io.WriteString []byte conversion
+	// per component. ChainString terminates each string, so components
+	// keep distinct boundaries.
+	h := logic.ChainString(logic.ChainSeed, model.String())
+	h = logic.ChainString(h, printed[i])
 	relevant := map[string]bool{}
 	for tb := range tables[i] {
 		relevant[tb] = true
@@ -264,21 +266,21 @@ func fingerprintTxn(prog *ast.Program, i int, printed []string, tables []map[str
 		if !overlap {
 			continue
 		}
-		io.WriteString(h, "\x00witness\x00")
-		io.WriteString(h, printed[j])
+		h = logic.ChainString(h, "\x00witness\x00")
+		h = logic.ChainString(h, printed[j])
 		for tb := range tables[j] {
 			relevant[tb] = true
 		}
 	}
 	for _, name := range slices.Sorted(maps.Keys(relevant)) {
 		if sch := prog.Schema(name); sch != nil {
-			io.WriteString(h, "\x00schema\x00")
+			h = logic.ChainString(h, "\x00schema\x00")
 			var b strings.Builder
 			ast.FormatSchema(&b, sch)
-			io.WriteString(h, b.String())
+			h = logic.ChainString(h, b.String())
 		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // txnTables is the set of tables a transaction's commands touch.

@@ -75,15 +75,21 @@ type Baseline struct {
 // SATSolved counts the ones that reached a SAT solver (cache-miss solves
 // plus state-parity replays). Both are deterministic — the repairs run at
 // parallelism 1 — so the CI drift gate compares them alongside the
-// anomaly counts.
+// anomaly counts. AllocsPerRepair / BytesPerRepair are informational
+// heap-allocation deltas (runtime mallocs / bytes across the repair):
+// they track the encode/solve memory trajectory between PRs but vary
+// slightly with the runtime version, so the drift gate never compares
+// them.
 type RepairBaseline struct {
-	Benchmark    string  `json:"benchmark"`
-	WallMs       float64 `json:"wall_ms"`
-	Initial      int     `json:"initial_anomalies"`
-	Remaining    int     `json:"remaining_anomalies"`
-	SATQueries   int     `json:"sat_queries"`
-	SATSolved    int     `json:"sat_solved"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
+	Benchmark       string  `json:"benchmark"`
+	WallMs          float64 `json:"wall_ms"`
+	Initial         int     `json:"initial_anomalies"`
+	Remaining       int     `json:"remaining_anomalies"`
+	SATQueries      int     `json:"sat_queries"`
+	SATSolved       int     `json:"sat_solved"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	AllocsPerRepair uint64  `json:"allocs_per_repair"`
+	BytesPerRepair  uint64  `json:"bytes_per_repair"`
 }
 
 // Table1Baseline is the corpus-wide pipeline wall clock.
@@ -146,19 +152,25 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 	}
 	for _, b := range all {
 		prog, _ := b.Program()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		rep, err := repair.RepairWith(prog, anomaly.EC, repair.Options{Incremental: !cfg.NonIncremental})
 		if err != nil {
 			return nil, err
 		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
 		out.Repairs = append(out.Repairs, RepairBaseline{
-			Benchmark:    b.Name,
-			WallMs:       ms(time.Since(start)),
-			Initial:      len(rep.Initial),
-			Remaining:    len(rep.Remaining),
-			SATQueries:   rep.Stats.Queries,
-			SATSolved:    rep.Stats.Solved + rep.Stats.Replayed,
-			CacheHitRate: rep.Stats.CacheHitRate(),
+			Benchmark:       b.Name,
+			WallMs:          ms(wall),
+			Initial:         len(rep.Initial),
+			Remaining:       len(rep.Remaining),
+			SATQueries:      rep.Stats.Queries,
+			SATSolved:       rep.Stats.Solved + rep.Stats.Replayed,
+			CacheHitRate:    rep.Stats.CacheHitRate(),
+			AllocsPerRepair: after.Mallocs - before.Mallocs,
+			BytesPerRepair:  after.TotalAlloc - before.TotalAlloc,
 		})
 	}
 	if cfg.CountsOnly {

@@ -38,42 +38,59 @@ func fnvUint64(h, v uint64) uint64 {
 
 // Hash returns a structural 64-bit hash of a formula. Formulas with equal
 // hashes are equal up to hash collision; connective arity and operand order
-// are part of the identity.
-func Hash(f Formula) uint64 { return hashInto(fnvOffset, f) }
+// are part of the identity. Formulas containing interned Atoms need HashIn.
+func Hash(f Formula) uint64 { return hashInto(nil, fnvOffset, f) }
+
+// HashIn is Hash with Atoms resolved against in: an Atom hashes exactly as
+// a Prop of its interned name, so the digest is canonical across the two
+// proposition representations and across interners that numbered the same
+// names differently.
+func HashIn(in *Interner, f Formula) uint64 { return hashInto(in, fnvOffset, f) }
 
 // ChainString folds s (terminated, so consecutive strings keep distinct
 // boundaries) into a running FNV-1a hash — the shared primitive for
 // callers chaining identifier sequences (e.g. the anomaly session's
-// query-history hashes).
+// query-history hashes and transaction fingerprints). Start a chain from
+// ChainSeed.
 func ChainString(h uint64, s string) uint64 { return fnvString(h, s) }
 
-func hashInto(h uint64, f Formula) uint64 {
+// ChainSeed is the initial value for a ChainString sequence.
+const ChainSeed uint64 = fnvOffset
+
+func hashInto(in *Interner, h uint64, f Formula) uint64 {
 	switch x := f.(type) {
 	case *Prop:
 		return fnvString(fnvByte(h, 1), x.Name)
+	case *Atom:
+		// Same tag and payload as Prop: the hash identifies the named
+		// proposition, not its representation or Sym numbering.
+		if in == nil {
+			panic("logic: HashIn needed to hash an interned Atom")
+		}
+		return fnvString(fnvByte(h, 1), in.Name(x.S))
 	case *Const:
 		if x.Val {
 			return fnvByte(h, 2)
 		}
 		return fnvByte(h, 3)
 	case *Not:
-		return hashInto(fnvByte(h, 4), x.F)
+		return hashInto(in, fnvByte(h, 4), x.F)
 	case *And:
 		h = fnvByte(h, 5)
 		for _, g := range x.Fs {
-			h = hashInto(h, g)
+			h = hashInto(in, h, g)
 		}
 		return fnvByte(h, 0xfe)
 	case *Or:
 		h = fnvByte(h, 6)
 		for _, g := range x.Fs {
-			h = hashInto(h, g)
+			h = hashInto(in, h, g)
 		}
 		return fnvByte(h, 0xfe)
 	case *Implies:
-		return hashInto(hashInto(fnvByte(h, 7), x.A), x.B)
+		return hashInto(in, hashInto(in, fnvByte(h, 7), x.A), x.B)
 	case *Iff:
-		return hashInto(hashInto(fnvByte(h, 8), x.A), x.B)
+		return hashInto(in, hashInto(in, fnvByte(h, 8), x.A), x.B)
 	default:
 		return fnvByte(h, 9)
 	}

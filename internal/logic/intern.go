@@ -1,0 +1,50 @@
+package logic
+
+import "fmt"
+
+// Sym is an interned proposition name: an index into an Interner's string
+// table. Encoders resolve syms to solver variables by flat []int lookup,
+// so the hot encode/solve path never hashes a proposition string. Sym
+// values are only meaningful relative to the Interner that produced them.
+type Sym int32
+
+// Interner is a string table mapping proposition names to dense Syms.
+// Interning is idempotent: the same name always returns the same Sym.
+//
+// Hashing contract: formula hashes (Hash/FormulaHash) digest the interned
+// *strings*, never the Sym values, so two encoders that interned the same
+// names in different orders — and therefore numbered them differently —
+// still produce identical canonical hashes (see DESIGN.md §8).
+type Interner struct {
+	names []string
+	index map[string]Sym
+}
+
+// NewInterner creates an empty interner.
+func NewInterner() *Interner {
+	return &Interner{index: map[string]Sym{}}
+}
+
+// Intern returns the Sym for name, assigning the next free Sym on first
+// sight.
+func (in *Interner) Intern(name string) Sym {
+	if s, ok := in.index[name]; ok {
+		return s
+	}
+	s := Sym(len(in.names))
+	in.names = append(in.names, name)
+	in.index[name] = s
+	return s
+}
+
+// Internf interns a printf-formatted name (keeping vet's printf check
+// effective at call sites).
+func (in *Interner) Internf(format string, args ...any) Sym {
+	return in.Intern(fmt.Sprintf(format, args...))
+}
+
+// Name returns the string a Sym was interned from.
+func (in *Interner) Name(s Sym) string { return in.names[s] }
+
+// Len returns the number of interned names.
+func (in *Interner) Len() int { return len(in.names) }

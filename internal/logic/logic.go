@@ -3,6 +3,13 @@
 // conversion, and axiom helpers for relational encodings (strict total
 // orders, transitivity) used by the anomaly detector's bounded FOL
 // encoding.
+//
+// Propositions come in two forms: Prop carries its name as a string (the
+// convenient form for tests and small formulas), Atom carries an interned
+// Sym resolved against the encoder's Interner (the fast form — building
+// and encoding an Atom never allocates or hashes a string). Both hash
+// identically for equal names, so FormulaHash is canonical across the two
+// representations (see DESIGN.md §8).
 package logic
 
 import (
@@ -16,6 +23,12 @@ type Formula interface{ isFormula() }
 
 // Prop is a named proposition.
 type Prop struct{ Name string }
+
+// Atom is an interned proposition: a Sym relative to the encoder's
+// Interner. It is equivalent to Prop with the interned name — Hash and the
+// encoder treat the two identically — but costs an integer where Prop
+// costs a string.
+type Atom struct{ S Sym }
 
 // Not is logical negation.
 type Not struct{ F Formula }
@@ -36,6 +49,7 @@ type Iff struct{ A, B Formula }
 type Const struct{ Val bool }
 
 func (*Prop) isFormula()    {}
+func (*Atom) isFormula()    {}
 func (*Not) isFormula()     {}
 func (*And) isFormula()     {}
 func (*Or) isFormula()      {}
@@ -74,44 +88,62 @@ var (
 )
 
 // Eval evaluates a formula under an assignment of proposition names;
-// missing propositions read false.
-func Eval(f Formula, m map[string]bool) bool {
+// missing propositions read false. Formulas containing Atoms need EvalIn.
+func Eval(f Formula, m map[string]bool) bool { return EvalIn(nil, f, m) }
+
+// EvalIn evaluates a formula under an assignment of proposition names,
+// resolving Atoms against in; missing propositions read false.
+func EvalIn(in *Interner, f Formula, m map[string]bool) bool {
 	switch x := f.(type) {
 	case *Prop:
 		return m[x.Name]
+	case *Atom:
+		if in == nil {
+			panic("logic: EvalIn needed to evaluate an interned Atom")
+		}
+		return m[in.Name(x.S)]
 	case *Const:
 		return x.Val
 	case *Not:
-		return !Eval(x.F, m)
+		return !EvalIn(in, x.F, m)
 	case *And:
 		for _, g := range x.Fs {
-			if !Eval(g, m) {
+			if !EvalIn(in, g, m) {
 				return false
 			}
 		}
 		return true
 	case *Or:
 		for _, g := range x.Fs {
-			if Eval(g, m) {
+			if EvalIn(in, g, m) {
 				return true
 			}
 		}
 		return false
 	case *Implies:
-		return !Eval(x.A, m) || Eval(x.B, m)
+		return !EvalIn(in, x.A, m) || EvalIn(in, x.B, m)
 	case *Iff:
-		return Eval(x.A, m) == Eval(x.B, m)
+		return EvalIn(in, x.A, m) == EvalIn(in, x.B, m)
 	default:
 		return false
 	}
 }
 
 // Encoder lowers formulas into a SAT solver via Tseitin transformation,
-// interning proposition names as solver variables.
+// interning proposition names as solver variables. Syms resolve to solver
+// variables by flat slice lookup; the string-keyed API (Var/Lit/Value)
+// remains available and routes through the interner.
 type Encoder struct {
-	S     *sat.Solver
-	names map[string]int
-	order []string
+	S  *sat.Solver
+	in *Interner
+	// vars maps Sym → solver variable (-1 until first encoded); atoms
+	// caches one Atom node per Sym so formula construction reuses nodes.
+	// Nodes are carved out of slabs (never reallocated, so the cached
+	// pointers stay valid) to avoid one heap object per proposition.
+	vars  []int
+	atoms []*Atom
+	slab  []Atom
+	order []Sym // syms in solver-variable creation order
 	// trueVar is a variable asserted true, used for constants.
 	trueVar int
 	// assertHashes records Hash(f) for every asserted formula once
@@ -121,6 +153,10 @@ type Encoder struct {
 	assertHashes []uint64
 	hash         uint64
 	hashDirty    bool
+	// scratch backs the literal lists Tseitin conversion builds, in stack
+	// discipline (encode restores its frame before returning), so n-ary
+	// connectives do not allocate per node.
+	scratch []sat.Lit
 }
 
 // RecordFormulaHashes makes subsequent Asserts accumulate the per-formula
@@ -130,20 +166,50 @@ func (e *Encoder) RecordFormulaHashes() { e.recordHashes = true }
 
 // NewEncoder creates an encoder over a fresh solver.
 func NewEncoder() *Encoder {
-	e := &Encoder{S: sat.New(), names: map[string]int{}}
+	e := &Encoder{S: sat.New(), in: NewInterner()}
 	e.trueVar = e.S.NewVar()
 	e.S.AddClause(sat.NewLit(e.trueVar, false))
 	return e
 }
 
+// Sym interns a proposition name.
+func (e *Encoder) Sym(name string) Sym { return e.in.Intern(name) }
+
+// Symf interns a printf-formatted proposition name.
+func (e *Encoder) Symf(format string, args ...any) Sym { return e.in.Internf(format, args...) }
+
+// NameOf returns the name a Sym was interned from.
+func (e *Encoder) NameOf(s Sym) string { return e.in.Name(s) }
+
+// Atom returns the (cached) Atom node for a Sym.
+func (e *Encoder) Atom(s Sym) *Atom {
+	for int(s) >= len(e.atoms) {
+		e.atoms = append(e.atoms, nil)
+	}
+	if e.atoms[s] == nil {
+		if len(e.slab) == cap(e.slab) {
+			e.slab = make([]Atom, 0, 128)
+		}
+		e.slab = append(e.slab, Atom{S: s})
+		e.atoms[s] = &e.slab[len(e.slab)-1]
+	}
+	return e.atoms[s]
+}
+
 // Var interns a proposition name as a solver variable.
-func (e *Encoder) Var(name string) int {
-	if v, ok := e.names[name]; ok {
+func (e *Encoder) Var(name string) int { return e.VarS(e.in.Intern(name)) }
+
+// VarS returns the solver variable backing a Sym, creating it on first use.
+func (e *Encoder) VarS(s Sym) int {
+	for int(s) >= len(e.vars) {
+		e.vars = append(e.vars, -1)
+	}
+	if v := e.vars[s]; v >= 0 {
 		return v
 	}
 	v := e.S.NewVar()
-	e.names[name] = v
-	e.order = append(e.order, name)
+	e.vars[s] = v
+	e.order = append(e.order, s)
 	return v
 }
 
@@ -152,10 +218,15 @@ func (e *Encoder) Lit(name string, neg bool) sat.Lit {
 	return sat.NewLit(e.Var(name), neg)
 }
 
+// LitS returns the literal for an interned proposition.
+func (e *Encoder) LitS(s Sym, neg bool) sat.Lit {
+	return sat.NewLit(e.VarS(s), neg)
+}
+
 // Assert adds f as a hard constraint.
 func (e *Encoder) Assert(f Formula) {
 	if e.recordHashes {
-		e.assertHashes = append(e.assertHashes, Hash(f))
+		e.assertHashes = append(e.assertHashes, HashIn(e.in, f))
 		e.hashDirty = true
 	}
 	l := e.encode(f)
@@ -163,11 +234,13 @@ func (e *Encoder) Assert(f Formula) {
 }
 
 // encode returns a literal equivalent to f, adding Tseitin definition
-// clauses as needed.
+// clauses as needed. The scratch stack is restored before returning.
 func (e *Encoder) encode(f Formula) sat.Lit {
 	switch x := f.(type) {
 	case *Prop:
 		return sat.NewLit(e.Var(x.Name), false)
+	case *Atom:
+		return sat.NewLit(e.VarS(x.S), false)
 	case *Const:
 		return sat.NewLit(e.trueVar, !x.Val)
 	case *Not:
@@ -179,20 +252,13 @@ func (e *Encoder) encode(f Formula) sat.Lit {
 		if len(x.Fs) == 1 {
 			return e.encode(x.Fs[0])
 		}
-		lits := make([]sat.Lit, len(x.Fs))
-		for i, g := range x.Fs {
-			lits[i] = e.encode(g)
+		base := len(e.scratch)
+		for _, g := range x.Fs {
+			l := e.encode(g)
+			e.scratch = append(e.scratch, l)
 		}
-		y := sat.NewLit(e.S.NewVar(), false)
-		// y → l_i
-		long := make([]sat.Lit, 0, len(lits)+1)
-		for _, l := range lits {
-			e.S.AddClause(y.Neg(), l)
-			long = append(long, l.Neg())
-		}
-		// (∧ l_i) → y
-		long = append(long, y)
-		e.S.AddClause(long...)
+		y := e.defineAnd(e.scratch[base:])
+		e.scratch = e.scratch[:base]
 		return y
 	case *Or:
 		if len(x.Fs) == 0 {
@@ -201,23 +267,25 @@ func (e *Encoder) encode(f Formula) sat.Lit {
 		if len(x.Fs) == 1 {
 			return e.encode(x.Fs[0])
 		}
-		lits := make([]sat.Lit, len(x.Fs))
-		for i, g := range x.Fs {
-			lits[i] = e.encode(g)
+		base := len(e.scratch)
+		for _, g := range x.Fs {
+			l := e.encode(g)
+			e.scratch = append(e.scratch, l)
 		}
-		y := sat.NewLit(e.S.NewVar(), false)
-		// l_i → y
-		long := make([]sat.Lit, 0, len(lits)+1)
-		for _, l := range lits {
-			e.S.AddClause(l.Neg(), y)
-			long = append(long, l)
-		}
-		// y → (∨ l_i)
-		long = append(long, y.Neg())
-		e.S.AddClause(long...)
+		y := e.defineOr(e.scratch[base:])
+		e.scratch = e.scratch[:base]
 		return y
 	case *Implies:
-		return e.encode(&Or{Fs: []Formula{&Not{F: x.A}, x.B}})
+		// a → b ≡ ¬a ∨ b, with the same clause/aux-variable structure as
+		// encoding Or{Not a, b} (inlined to skip the tree nodes).
+		base := len(e.scratch)
+		la := e.encode(x.A).Neg()
+		e.scratch = append(e.scratch, la)
+		lb := e.encode(x.B)
+		e.scratch = append(e.scratch, lb)
+		y := e.defineOr(e.scratch[base:])
+		e.scratch = e.scratch[:base]
+		return y
 	case *Iff:
 		a := e.encode(x.A)
 		b := e.encode(x.B)
@@ -232,6 +300,35 @@ func (e *Encoder) encode(f Formula) sat.Lit {
 	}
 }
 
+// defineAnd introduces y ↔ (∧ lits) and returns y. lits may alias the
+// scratch stack; the solver copies clause literals on AddClause.
+func (e *Encoder) defineAnd(lits []sat.Lit) sat.Lit {
+	y := sat.NewLit(e.S.NewVar(), false)
+	base := len(e.scratch)
+	for _, l := range lits {
+		e.S.AddClause(y.Neg(), l) // y → l
+		e.scratch = append(e.scratch, l.Neg())
+	}
+	e.scratch = append(e.scratch, y) // (∧ l) → y
+	e.S.AddClause(e.scratch[base:]...)
+	e.scratch = e.scratch[:base]
+	return y
+}
+
+// defineOr introduces y ↔ (∨ lits) and returns y.
+func (e *Encoder) defineOr(lits []sat.Lit) sat.Lit {
+	y := sat.NewLit(e.S.NewVar(), false)
+	base := len(e.scratch)
+	for _, l := range lits {
+		e.S.AddClause(l.Neg(), y) // l → y
+		e.scratch = append(e.scratch, l)
+	}
+	e.scratch = append(e.scratch, y.Neg()) // y → (∨ l)
+	e.S.AddClause(e.scratch[base:]...)
+	e.scratch = e.scratch[:base]
+	return y
+}
+
 // Solve checks satisfiability of the asserted constraints.
 func (e *Encoder) Solve() bool { return e.S.Solve() }
 
@@ -241,17 +338,23 @@ func (e *Encoder) SolveAssuming(assumps ...sat.Lit) bool { return e.S.Solve(assu
 
 // Value reads a proposition's model value after a satisfiable Solve.
 func (e *Encoder) Value(name string) bool {
-	v, ok := e.names[name]
-	return ok && e.S.Value(v)
+	s, ok := e.in.index[name]
+	return ok && e.ValueS(s)
+}
+
+// ValueS reads an interned proposition's model value after a satisfiable
+// Solve.
+func (e *Encoder) ValueS(s Sym) bool {
+	return int(s) < len(e.vars) && e.vars[s] >= 0 && e.S.Value(e.vars[s])
 }
 
 // ModelProps returns the names of all interned propositions that are true
 // in the current model, in interning order.
 func (e *Encoder) ModelProps() []string {
 	var out []string
-	for _, n := range e.order {
-		if e.S.Value(e.names[n]) {
-			out = append(out, n)
+	for _, s := range e.order {
+		if e.S.Value(e.vars[s]) {
+			out = append(out, e.in.Name(s))
 		}
 	}
 	return out
@@ -261,16 +364,27 @@ func (e *Encoder) ModelProps() []string {
 // strict total order over n items: exactly one of name(i,j), name(j,i)
 // holds, and the relation is transitive.
 func (e *Encoder) AssertStrictTotalOrder(n int, name func(i, j int) string) {
+	e.AssertStrictTotalOrderS(n, func(i, j int) Sym { return e.Sym(name(i, j)) })
+}
+
+// AssertStrictTotalOrderS is AssertStrictTotalOrder over interned
+// propositions.
+func (e *Encoder) AssertStrictTotalOrderS(n int, name func(i, j int) Sym) {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			e.Assert(IffF(P(name(i, j)), NotF(P(name(j, i)))))
+			e.Assert(IffF(e.Atom(name(i, j)), NotF(e.Atom(name(j, i)))))
 		}
 	}
-	e.AssertTransitive(n, name)
+	e.AssertTransitiveS(n, name)
 }
 
 // AssertTransitive adds r(i,j) ∧ r(j,k) → r(i,k) for all distinct i,j,k.
 func (e *Encoder) AssertTransitive(n int, name func(i, j int) string) {
+	e.AssertTransitiveS(n, func(i, j int) Sym { return e.Sym(name(i, j)) })
+}
+
+// AssertTransitiveS is AssertTransitive over interned propositions.
+func (e *Encoder) AssertTransitiveS(n int, name func(i, j int) Sym) {
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if j == i {
@@ -280,41 +394,50 @@ func (e *Encoder) AssertTransitive(n int, name func(i, j int) string) {
 				if k == i || k == j {
 					continue
 				}
-				e.Assert(ImpliesF(AndF(P(name(i, j)), P(name(j, k))), P(name(i, k))))
+				e.Assert(ImpliesF(AndF(e.Atom(name(i, j)), e.Atom(name(j, k))), e.Atom(name(i, k))))
 			}
 		}
 	}
 }
 
-// String renders a formula for diagnostics.
-func String(f Formula) string {
+// String renders a formula for diagnostics; Atoms print as @sym (use
+// StringIn to resolve their names).
+func String(f Formula) string { return StringIn(nil, f) }
+
+// StringIn renders a formula for diagnostics, resolving Atoms against in.
+func StringIn(in *Interner, f Formula) string {
 	switch x := f.(type) {
 	case *Prop:
 		return x.Name
+	case *Atom:
+		if in == nil {
+			return fmt.Sprintf("@%d", x.S)
+		}
+		return in.Name(x.S)
 	case *Const:
 		return fmt.Sprintf("%t", x.Val)
 	case *Not:
-		return "!" + String(x.F)
+		return "!" + StringIn(in, x.F)
 	case *And:
-		return nary("&", x.Fs)
+		return nary(in, "&", x.Fs)
 	case *Or:
-		return nary("|", x.Fs)
+		return nary(in, "|", x.Fs)
 	case *Implies:
-		return "(" + String(x.A) + " -> " + String(x.B) + ")"
+		return "(" + StringIn(in, x.A) + " -> " + StringIn(in, x.B) + ")"
 	case *Iff:
-		return "(" + String(x.A) + " <-> " + String(x.B) + ")"
+		return "(" + StringIn(in, x.A) + " <-> " + StringIn(in, x.B) + ")"
 	default:
 		return "?"
 	}
 }
 
-func nary(op string, fs []Formula) string {
+func nary(in *Interner, op string, fs []Formula) string {
 	s := "("
 	for i, f := range fs {
 		if i > 0 {
 			s += " " + op + " "
 		}
-		s += String(f)
+		s += StringIn(in, f)
 	}
 	return s + ")"
 }

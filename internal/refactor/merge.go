@@ -325,34 +325,62 @@ func lookupConjunct(t *ast.Txn, table string, wAnchor ast.Expr, q ast.WhereEqual
 // variable are rewritten to c1's. It fails unless the commands are the same
 // kind, on the same table, provably select the same records, and no
 // conflicting command sits between them.
+//
+// All feasibility checks run against p itself — they are pure reads — and
+// the program is deep-cloned only once a merge is known to go through:
+// repair's try_repair and post-processing probe Merge speculatively, so
+// the failing probes must not pay (or leak) a whole-program clone.
 func Merge(p *ast.Program, txn, label1, label2 string) (*ast.Program, error) {
-	out := ast.CloneProgram(p)
-	t := out.Txn(txn)
-	if t == nil {
+	pt := p.Txn(txn)
+	if pt == nil {
 		return nil, errf("merge", "unknown transaction %q", txn)
 	}
-	c1 := findCommand(t, label1)
-	c2 := findCommand(t, label2)
-	if c1 == nil || c2 == nil {
+	pc1 := findCommand(pt, label1)
+	pc2 := findCommand(pt, label2)
+	if pc1 == nil || pc2 == nil {
 		return nil, errf("merge", "%s: commands %q/%q not found", txn, label1, label2)
 	}
-	if c1.TableName() != c2.TableName() {
+	if pc1.TableName() != pc2.TableName() {
 		return nil, errf("merge", "%s: %s and %s target different tables", txn, label1, label2)
 	}
-	mergedWhere, ok := SameRecords(t, c1, c2)
+	mergedWhere, ok := SameRecords(pt, pc1, pc2)
 	if !ok {
 		return nil, errf("merge", "%s: cannot prove %s and %s select the same records", txn, label1, label2)
 	}
-	if err := checkNoConflictBetween(t, c1, c2); err != nil {
+	if err := checkNoConflictBetween(pt, pc1, pc2); err != nil {
 		return nil, err
 	}
-
-	switch x1 := c1.(type) {
+	switch x1 := pc1.(type) {
 	case *ast.Select:
-		x2, ok := c2.(*ast.Select)
+		if _, ok := pc2.(*ast.Select); !ok {
+			return nil, errf("merge", "%s: %s and %s are different kinds", txn, label1, label2)
+		}
+	case *ast.Update:
+		x2, ok := pc2.(*ast.Update)
 		if !ok {
 			return nil, errf("merge", "%s: %s and %s are different kinds", txn, label1, label2)
 		}
+		for _, a := range x2.Sets {
+			for _, b := range x1.Sets {
+				if b.Field == a.Field && !ast.EqualExpr(a.Expr, b.Expr) {
+					return nil, errf("merge", "%s: %s and %s set %q to different values", txn, label1, label2, a.Field)
+				}
+			}
+		}
+	default:
+		return nil, errf("merge", "%s: %s is not mergeable (inserts are already atomic)", txn, label1)
+	}
+
+	// mergedWhere points into p; every use below deep-clones it, so the
+	// clone never aliases the input program.
+	out := ast.CloneProgram(p)
+	t := out.Txn(txn)
+	c1 := findCommand(t, label1)
+	c2 := findCommand(t, label2)
+
+	switch x1 := c1.(type) {
+	case *ast.Select:
+		x2 := c2.(*ast.Select)
 		merged := &ast.Select{Label: x1.Label, Var: x1.Var, Table: x1.Table, Where: ast.CloneExpr(mergedWhere)}
 		if x1.Star || x2.Star {
 			merged.Star = true
@@ -385,20 +413,14 @@ func Merge(p *ast.Program, txn, label1, label2 string) (*ast.Program, error) {
 			})
 		})
 	case *ast.Update:
-		x2, ok := c2.(*ast.Update)
-		if !ok {
-			return nil, errf("merge", "%s: %s and %s are different kinds", txn, label1, label2)
-		}
+		x2 := c2.(*ast.Update)
 		merged := &ast.Update{Label: x1.Label, Table: x1.Table, Where: ast.CloneExpr(mergedWhere)}
 		merged.Sets = append(merged.Sets, cloneAssignsList(x1.Sets)...)
 		for _, a := range x2.Sets {
 			dup := false
 			for _, b := range x1.Sets {
 				if b.Field == a.Field {
-					if !ast.EqualExpr(a.Expr, b.Expr) {
-						return nil, errf("merge", "%s: %s and %s set %q to different values", txn, label1, label2, a.Field)
-					}
-					dup = true
+					dup = true // equal exprs: validated before cloning
 				}
 			}
 			if !dup {
@@ -407,8 +429,6 @@ func Merge(p *ast.Program, txn, label1, label2 string) (*ast.Program, error) {
 		}
 		replaceCommand(t, label1, merged)
 		removeCommand(t, label2)
-	default:
-		return nil, errf("merge", "%s: %s is not mergeable (inserts are already atomic)", txn, label1)
 	}
 	return out, nil
 }
