@@ -43,11 +43,13 @@ bench:
 
 # Benchmark pattern/packages/repetitions for `make bench-compare`. The
 # default pattern covers the detect→encode→solve hot path (Table 1 repairs,
-# detection, and the solver/encoder microbenchmarks); override
-# BENCH_PATTERN to widen, BASE_REF to compare against another ref.
+# detection, and the solver/encoder microbenchmarks) plus the cluster
+# simulator (BenchmarkSim*: ops-bounded, so ns/op and allocs/op are
+# per-simulated-transaction); override BENCH_PATTERN to widen, BASE_REF to
+# compare against another ref.
 BASE_REF ?= HEAD~1
-BENCH_PATTERN ?= BenchmarkTable1_|BenchmarkDetect|BenchmarkPairEncoder|BenchmarkAssert|BenchmarkEncode|BenchmarkAddClauses|BenchmarkSolveAssuming|BenchmarkPigeonhole
-BENCH_PKGS ?= . ./internal/anomaly ./internal/logic ./internal/sat
+BENCH_PATTERN ?= BenchmarkTable1_|BenchmarkDetect|BenchmarkPairEncoder|BenchmarkAssert|BenchmarkEncode|BenchmarkAddClauses|BenchmarkSolveAssuming|BenchmarkPigeonhole|BenchmarkSim
+BENCH_PKGS ?= . ./internal/anomaly ./internal/logic ./internal/sat ./internal/cluster
 BENCH_COUNT ?= 5
 
 # Run the benchmark suite at BASE_REF (in a throwaway git worktree) and in

@@ -15,6 +15,14 @@
 //
 // Experiments fan out on a bounded worker pool; -parallel bounds the
 // workers (default: GOMAXPROCS). Results are independent of the setting.
+//
+// The compiled cluster simulator (DESIGN.md §9) makes panels far larger
+// than the paper's tractable. -scale N multiplies the initial population
+// and the client sweep of the fig12-15 panels; -ops N switches each panel
+// point to the ops-bounded mode, stopping after exactly N measured commits
+// instead of at -duration. Million-row/million-transaction panels:
+//
+//	atropos-exp -exp fig12 -bench SmallBank -scale 10000 -ops 1000000
 package main
 
 import (
@@ -38,6 +46,8 @@ var (
 	rounds   = flag.Int("rounds", 20, "random-refactoring rounds for fig16")
 	seed     = flag.Int64("seed", 42, "random seed")
 	records  = flag.Int("records", 100, "benchmark population scale")
+	scaleUp  = flag.Int("scale", 1, "multiply the fig12-15 population and client sweep by this factor")
+	ops      = flag.Int64("ops", 0, "stop each fig12-15 point after this many commits instead of -duration (0 = duration-bounded)")
 	parallel = flag.Int("parallel", 0, "worker goroutines for the experiment drivers (0 = GOMAXPROCS)")
 	outPath  = flag.String("out", "", "write the baseline snapshot to this file (baseline experiment)")
 	incr     = flag.Bool("incremental", true, "use the cached incremental detection engine in the repair pipelines")
@@ -123,6 +133,9 @@ func runFig(fig int) {
 		benches = []*benchmarks.Benchmark{b}
 	}
 	fmt.Printf("== Figure %d: throughput and latency vs clients ==\n", fig)
+	if *scaleUp < 1 {
+		fatal(fmt.Errorf("-scale must be >= 1"))
+	}
 	for _, b := range benches {
 		for _, topo := range figTopologies(fig) {
 			res, err := exp.Perf(exp.PerfConfig{
@@ -130,7 +143,8 @@ func runFig(fig int) {
 				Topology:       topo,
 				ClientCounts:   clientCounts(b),
 				Duration:       time.Duration(*duration) * time.Second,
-				Scale:          benchmarks.Scale{Records: *records},
+				Ops:            *ops,
+				Scale:          benchmarks.Scale{Records: *records * *scaleUp},
 				Seed:           *seed,
 				Parallelism:    *parallel,
 				NonIncremental: !*incr,
@@ -144,6 +158,9 @@ func runFig(fig int) {
 	}
 }
 
+// clientCounts returns the sweep for one panel: an explicit -clients list
+// verbatim, or the paper's default sweep multiplied by -scale (the paper
+// sweeps to 250 clients for SmallBank, 125 for SEATS/TPC-C).
 func clientCounts(b *benchmarks.Benchmark) []int {
 	if *clients != "" {
 		var out []int
@@ -156,11 +173,14 @@ func clientCounts(b *benchmarks.Benchmark) []int {
 		}
 		return out
 	}
-	// The paper sweeps to 250 clients for SmallBank, 125 for SEATS/TPC-C.
+	sweep := []int{10, 25, 50, 75, 100, 125}
 	if b.Name == "SmallBank" {
-		return []int{10, 50, 100, 150, 200, 250}
+		sweep = []int{10, 50, 100, 150, 200, 250}
 	}
-	return []int{10, 25, 50, 75, 100, 125}
+	for i := range sweep {
+		sweep[i] *= *scaleUp
+	}
+	return sweep
 }
 
 func runFig16() {

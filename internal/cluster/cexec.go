@@ -1,0 +1,832 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"atropos/internal/ast"
+	"atropos/internal/store"
+)
+
+// This file is the compiled executor: a cframe runs a ctxn's op-codes
+// against a MatStore (optionally through a coverlay for SC
+// read-your-writes) with all scratch state — value stack, result sets,
+// matched-key buffers, write batches — owned by the frame and reused
+// across transactions, so steady-state execution allocates O(1) per
+// transaction regardless of run length or table size.
+
+// cview is the compiled executor's view of replica state: the base store
+// plus an optional transaction-private overlay.
+type cview struct {
+	ms *MatStore
+	ov *coverlay
+}
+
+// scanRef identifies the row a where clause's this.f refers to during a
+// scan, with the flat-array offsets precomputed: base is slot*nf into the
+// table's value array (-1 for overlay-only rows), ovBase is ovRow*nf into
+// the overlay's (-1 when the row has no overlay state).
+type scanRef struct {
+	t      *mtable
+	ot     *covTab
+	base   int32
+	ovBase int32
+}
+
+var scanNone = scanRef{base: -1, ovBase: -1}
+
+// field resolves a field through overlay → base row → schema zero.
+func (sr scanRef) field(fid int32) store.Value {
+	if sr.ovBase >= 0 && sr.ot.set[sr.ovBase+fid] {
+		return sr.ot.vals[sr.ovBase+fid]
+	}
+	if sr.base >= 0 {
+		return sr.t.vals[sr.base+fid]
+	}
+	return sr.t.ct.zeros[fid]
+}
+
+// crset is a slot-bound query result: n rows of ncol columns in one flat
+// value array (no per-row maps).
+type crset struct {
+	bound bool
+	n     int
+	ncol  int
+	vals  []store.Value
+}
+
+type citer struct{ idx, count int64 }
+
+// cframe executes one transaction instance and is reset and reused for the
+// next (per client under EC, per txnRun under SC).
+type cframe struct {
+	cp    *Compiled
+	ct    *ctxn
+	args  []store.Value
+	argOK []bool
+	vars  []crset
+	iters []citer
+	stack []store.Value
+
+	// scan scratch: matched keys with their precomputed base and overlay
+	// array offsets (slot*nf / ovRow*nf, -1 when absent).
+	mkeys  []store.Key
+	mbases []int32
+	movs   []int32
+
+	pinVals []store.Value
+	insVals []store.Value
+	keyBuf  []byte
+	writes  []cwrite
+
+	pc      int32
+	pending int32
+	done    bool
+	ret     store.Value
+}
+
+func newCFrame(cp *Compiled) *cframe {
+	return &cframe{
+		cp:      cp,
+		args:    make([]store.Value, cp.maxArgs),
+		argOK:   make([]bool, cp.maxArgs),
+		vars:    make([]crset, cp.maxVars),
+		pending: -1,
+	}
+}
+
+// reset prepares the frame for a fresh instance of ct with the given
+// argument binding.
+func (f *cframe) reset(ct *ctxn, args map[string]store.Value) {
+	f.ct = ct
+	f.pc, f.pending, f.done = 0, -1, false
+	f.ret = store.Value{}
+	if n := len(ct.argNames); n > len(f.args) {
+		f.args = make([]store.Value, n)
+		f.argOK = make([]bool, n)
+	}
+	for i, name := range ct.argNames {
+		f.args[i], f.argOK[i] = args[name]
+	}
+	if ct.nvars > len(f.vars) {
+		f.vars = make([]crset, ct.nvars)
+	}
+	for i := 0; i < ct.nvars; i++ {
+		f.vars[i].bound = false
+		f.vars[i].n = 0
+	}
+	f.iters = f.iters[:0]
+}
+
+// advance runs control flow up to the next database command, returning it,
+// or nil when the transaction finished (evaluating its return expression) —
+// the compiled counterpart of TxnExec.Advance.
+func (f *cframe) advance() (*ccmd, error) {
+	if f.pending >= 0 {
+		return f.ct.code[f.pending].cmd, nil
+	}
+	code := f.ct.code
+	for {
+		if int(f.pc) >= len(code) {
+			if f.ct.ret != nil && !f.done {
+				val, err := f.eval(f.ct.ret, scanNone, nil)
+				if err != nil {
+					return nil, err
+				}
+				f.ret = val
+			}
+			f.done = true
+			return nil, nil
+		}
+		in := &code[f.pc]
+		switch in.op {
+		case copIfFalse:
+			val, err := f.eval(in.cond, scanNone, nil)
+			if err != nil {
+				return nil, err
+			}
+			if val.T == ast.TBool && val.B {
+				f.pc++
+			} else {
+				f.pc = in.a
+			}
+		case copIterInit:
+			val, err := f.eval(in.cond, scanNone, nil)
+			if err != nil {
+				return nil, err
+			}
+			if val.T == ast.TInt && val.I > 0 {
+				f.iters = append(f.iters, citer{idx: 1, count: val.I})
+				f.pc++
+			} else {
+				f.pc = in.a
+			}
+		case copIterNext:
+			it := &f.iters[len(f.iters)-1]
+			if it.idx < it.count {
+				it.idx++
+				f.pc = in.a
+			} else {
+				f.iters = f.iters[:len(f.iters)-1]
+				f.pc++
+			}
+		default:
+			f.pending = f.pc
+			return in.cmd, nil
+		}
+	}
+}
+
+// exec executes the pending command, filling f.writes with the produced
+// (not yet applied) writes — the compiled counterpart of TxnExec.Exec.
+func (f *cframe) exec(v cview, u *UUIDGen) ([]cwrite, error) {
+	cmd := f.ct.code[f.pending].cmd
+	f.pending = -1
+	f.pc++
+	f.writes = f.writes[:0]
+	switch cmd.kind {
+	case ckSelect:
+		return nil, f.execSelect(v, cmd)
+	case ckUpdate:
+		return f.execUpdate(v, cmd)
+	default:
+		return f.execInsert(v, cmd, u)
+	}
+}
+
+// footprint computes the records the pending command touches (for lock
+// acquisition) without executing it; uuid's Peek previews insert keys.
+func (f *cframe) footprint(v cview, u *UUIDGen) (tid int32, keys []store.Key, err error) {
+	cmd := f.ct.code[f.pending].cmd
+	if cmd.kind == ckInsert {
+		k, err := f.insertKey(v, cmd, u.Peek())
+		if err != nil {
+			return 0, nil, err
+		}
+		f.mkeys = append(f.mkeys[:0], k)
+		return cmd.tid, f.mkeys, nil
+	}
+	if err := f.matching(v, cmd); err != nil {
+		return 0, nil, err
+	}
+	return cmd.tid, f.mkeys, nil
+}
+
+// matching fills f.mkeys/mbases/movs with the alive records satisfying the
+// command's where clause, in sorted key order, narrowing the scan by the
+// compiled primary-key prefix pins when they evaluate cleanly (a pin
+// evaluation error falls back to the full scan, like the interpreter).
+// When the clause is exactly a full primary-key pin over int/bool key
+// fields (c.whereIsPin), every key in the narrowed window satisfies it by
+// key-encoding injectivity and the per-row evaluation is skipped.
+func (f *cframe) matching(v cview, c *ccmd) error {
+	f.mkeys = f.mkeys[:0]
+	f.mbases = f.mbases[:0]
+	f.movs = f.movs[:0]
+	t := &v.ms.tabs[c.tid]
+	var ovKeys []store.Key
+	var ot *covTab
+	if v.ov != nil {
+		ot = &v.ov.tabs[c.tid]
+		ovKeys = ot.newKeys
+	}
+	ovLo, ovHi := 0, len(ovKeys)
+
+	// Scan window: all keys, the keys under a pin prefix, or one exact key.
+	const (
+		scanAll = iota
+		scanPrefix
+		scanExact
+	)
+	window := scanAll
+	bpos := t.idx.begin()
+	if len(c.pins) > 0 {
+		f.pinVals = f.pinVals[:0]
+		ok := true
+		for _, pe := range c.pins {
+			val, err := f.eval(pe, scanNone, nil)
+			if err != nil {
+				ok = false
+				break
+			}
+			f.pinVals = append(f.pinVals, val)
+		}
+		if ok {
+			f.keyBuf = f.keyBuf[:0]
+			for i, pv := range f.pinVals {
+				if i > 0 {
+					f.keyBuf = append(f.keyBuf, '\x1f')
+				}
+				f.keyBuf = store.AppendKey(f.keyBuf, pv)
+			}
+			if c.pinFull {
+				window = scanExact
+			} else {
+				f.keyBuf = append(f.keyBuf, '\x1f')
+				window = scanPrefix
+			}
+			bpos = t.idx.seek(t.keys, f.keyBuf)
+			ovLo, ovHi = narrowPlain(ovKeys, f.keyBuf, c.pinFull)
+		}
+	}
+	skipWhere := window == scanExact && c.whereIsPin
+	nf := t.ct.nf
+	aliveID := t.ct.alive
+
+	// inWindow reports whether a base key is still inside the scan window.
+	inWindow := func(k store.Key) bool {
+		switch window {
+		case scanPrefix:
+			return keyHasPrefix(k, f.keyBuf)
+		case scanExact:
+			return keyCmp(k, f.keyBuf) == 0
+		default:
+			return true
+		}
+	}
+
+	if ot == nil || len(ot.keys) == 0 {
+		// No overlay state for this table (every EC scan, and the common
+		// SC case): iterate the base window directly.
+		for ; t.idx.valid(bpos); bpos = t.idx.next(bpos) {
+			slot := t.idx.at(bpos)
+			k := t.keys[slot]
+			if window != scanAll && !inWindow(k) {
+				break
+			}
+			base := slot * nf
+			alive := t.vals[base+aliveID]
+			if alive.T != ast.TBool || !alive.B {
+				continue
+			}
+			if !skipWhere {
+				val, err := f.eval(c.where, scanRef{t: t, base: base, ovBase: -1}, nil)
+				if err != nil {
+					return err
+				}
+				if val.T != ast.TBool || !val.B {
+					continue
+				}
+			}
+			f.mkeys = append(f.mkeys, k)
+			f.mbases = append(f.mbases, base)
+			f.movs = append(f.movs, -1)
+			if window == scanExact {
+				break
+			}
+		}
+		return nil
+	}
+
+	// Merge the base window with the overlay's transaction-created keys in
+	// sorted order.
+	oi := ovLo
+	baseDone := false
+	for {
+		var bk store.Key
+		var slot int32
+		bHas := false
+		if !baseDone && t.idx.valid(bpos) {
+			slot = t.idx.at(bpos)
+			bk = t.keys[slot]
+			if window == scanAll || inWindow(bk) {
+				bHas = true
+			} else {
+				baseDone = true
+			}
+		}
+		oHas := oi < ovHi
+		if !bHas && !oHas {
+			break
+		}
+		var k store.Key
+		base, ovBase := int32(-1), int32(-1)
+		if bHas && (!oHas || bk <= ovKeys[oi]) {
+			k = bk
+			base = slot * nf
+			bpos = t.idx.next(bpos)
+			if window == scanExact {
+				baseDone = true
+			}
+			// A key can live on both sides: buffered while absent from the
+			// base (so it entered newKeys), then committed to the base by a
+			// concurrent EC transaction. Consume both cursors so the row is
+			// emitted once, like the interpreter's deduplicating
+			// Overlay.Keys.
+			if oHas && bk == ovKeys[oi] {
+				oi++
+			}
+		} else {
+			k = ovKeys[oi]
+			oi++
+		}
+		if r, ok := ot.idx[k]; ok {
+			ovBase = r * nf
+		}
+		sr := scanRef{t: t, ot: ot, base: base, ovBase: ovBase}
+		alive := sr.field(aliveID)
+		if alive.T != ast.TBool || !alive.B {
+			continue
+		}
+		if !skipWhere {
+			val, err := f.eval(c.where, sr, nil)
+			if err != nil {
+				return err
+			}
+			if val.T != ast.TBool || !val.B {
+				continue
+			}
+		}
+		f.mkeys = append(f.mkeys, k)
+		f.mbases = append(f.mbases, base)
+		f.movs = append(f.movs, ovBase)
+	}
+	return nil
+}
+
+// keyCmp compares a key with a prefix buffer bytewise (no string
+// conversion, so scans build prefixes without allocating).
+func keyCmp(k store.Key, p []byte) int {
+	n := len(k)
+	if len(p) < n {
+		n = len(p)
+	}
+	for i := 0; i < n; i++ {
+		if k[i] != p[i] {
+			if k[i] < p[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(k) == len(p):
+		return 0
+	case len(k) < len(p):
+		return -1
+	default:
+		return 1
+	}
+}
+
+func keyHasPrefix(k store.Key, p []byte) bool {
+	return len(k) >= len(p) && keyCmp(k[:len(p)], p) == 0
+}
+
+// narrowPlain returns the half-open window of an already-sorted key slice
+// (the overlay's transaction-created keys) matching the pin prefix: an
+// exact single-key window for full-key pins, a prefix window otherwise
+// (the prefix already carries its separator).
+func narrowPlain(keys []store.Key, prefix []byte, exact bool) (int, int) {
+	lo := sort.Search(len(keys), func(i int) bool { return keyCmp(keys[i], prefix) >= 0 })
+	if exact {
+		if lo < len(keys) && keyCmp(keys[lo], prefix) == 0 {
+			return lo, lo + 1
+		}
+		return lo, lo
+	}
+	hi := lo
+	for hi < len(keys) && keyHasPrefix(keys[hi], prefix) {
+		hi++
+	}
+	return lo, hi
+}
+
+func (f *cframe) execSelect(v cview, c *ccmd) error {
+	if err := f.matching(v, c); err != nil {
+		return err
+	}
+	rs := &f.vars[c.varSlot]
+	rs.bound = true
+	rs.n = len(f.mkeys)
+	rs.ncol = len(c.cols)
+	need := rs.n * rs.ncol
+	if cap(rs.vals) < need {
+		rs.vals = make([]store.Value, need)
+	}
+	rs.vals = rs.vals[:need]
+	t := &v.ms.tabs[c.tid]
+	var ot *covTab
+	if v.ov != nil {
+		ot = &v.ov.tabs[c.tid]
+	}
+	for i := range f.mkeys {
+		sr := scanRef{t: t, ot: ot, base: f.mbases[i], ovBase: f.movs[i]}
+		row := i * rs.ncol
+		if sr.ovBase < 0 {
+			for j, fid := range c.cols {
+				rs.vals[row+j] = t.vals[sr.base+fid]
+			}
+		} else {
+			for j, fid := range c.cols {
+				rs.vals[row+j] = sr.field(fid)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *cframe) execUpdate(v cview, c *ccmd) ([]cwrite, error) {
+	if err := f.matching(v, c); err != nil {
+		return nil, err
+	}
+	f.insVals = f.insVals[:0]
+	for _, e := range c.setE {
+		val, err := f.eval(e, scanNone, nil)
+		if err != nil {
+			return nil, err
+		}
+		f.insVals = append(f.insVals, val)
+	}
+	for _, k := range f.mkeys {
+		for i, fid := range c.setF {
+			f.writes = append(f.writes, cwrite{tid: c.tid, fid: fid, key: k, val: f.insVals[i]})
+		}
+	}
+	return f.writes, nil
+}
+
+// insertKey evaluates the insert's values (uuid fields read the peeked
+// value, everything else evaluates uuid-free) and builds the primary key.
+func (f *cframe) insertKey(v cview, c *ccmd, peek store.Value) (store.Key, error) {
+	f.insVals = f.insVals[:0]
+	for i, e := range c.insE {
+		if c.insUUID[i] {
+			f.insVals = append(f.insVals, peek)
+			continue
+		}
+		val, err := f.eval(e, scanNone, nil)
+		if err != nil {
+			return "", err
+		}
+		f.insVals = append(f.insVals, val)
+	}
+	return f.buildInsertKey(c), nil
+}
+
+func (f *cframe) buildInsertKey(c *ccmd) store.Key {
+	f.keyBuf = f.keyBuf[:0]
+	for i, idx := range c.insPK {
+		if i > 0 {
+			f.keyBuf = append(f.keyBuf, '\x1f')
+		}
+		f.keyBuf = store.AppendKey(f.keyBuf, f.insVals[idx])
+	}
+	return store.Key(f.keyBuf)
+}
+
+func (f *cframe) execInsert(v cview, c *ccmd, u *UUIDGen) ([]cwrite, error) {
+	f.insVals = f.insVals[:0]
+	for _, e := range c.insE {
+		val, err := f.eval(e, scanNone, u)
+		if err != nil {
+			return nil, err
+		}
+		f.insVals = append(f.insVals, val)
+	}
+	k := f.buildInsertKey(c)
+	for _, idx := range c.emit {
+		f.writes = append(f.writes, cwrite{tid: c.tid, fid: c.insF[idx], key: k, val: f.insVals[idx]})
+	}
+	alive := v.ms.tabs[c.tid].ct.alive
+	f.writes = append(f.writes, cwrite{tid: c.tid, fid: alive, key: k, val: store.BoolV(true)})
+	return f.writes, nil
+}
+
+// eval runs a compiled expression on the frame's reusable stack. sr is the
+// scanned row for this.f (scanNone outside where clauses — the compiler
+// guarantees eThis never occurs there); u gates uuid().
+func (f *cframe) eval(e cexpr, sr scanRef, u *UUIDGen) (store.Value, error) {
+	st := f.stack[:0]
+	for pc := 0; pc < len(e); pc++ {
+		op := &e[pc]
+		switch op.op {
+		case eConst:
+			st = append(st, op.val)
+		case eArg:
+			if !f.argOK[op.i] {
+				f.stack = st[:0]
+				return store.Value{}, fmt.Errorf("cluster: unknown argument %q", op.s)
+			}
+			st = append(st, f.args[op.i])
+		case eIterVar:
+			if len(f.iters) == 0 {
+				f.stack = st[:0]
+				return store.Value{}, fmt.Errorf("cluster: iter outside iterate")
+			}
+			st = append(st, store.IntV(f.iters[len(f.iters)-1].idx))
+		case eThis:
+			if sr.ovBase < 0 {
+				st = append(st, sr.t.vals[sr.base+op.i])
+			} else {
+				st = append(st, sr.field(op.i))
+			}
+		case eThisEqArg:
+			if !f.argOK[op.j] {
+				f.stack = st[:0]
+				return store.Value{}, fmt.Errorf("cluster: unknown argument %q", op.s)
+			}
+			var tv store.Value
+			if sr.ovBase < 0 {
+				tv = sr.t.vals[sr.base+op.i]
+			} else {
+				tv = sr.field(op.i)
+			}
+			st = append(st, store.BoolV(tv.Equal(f.args[op.j])))
+		case eThisEqConst:
+			var tv store.Value
+			if sr.ovBase < 0 {
+				tv = sr.t.vals[sr.base+op.i]
+			} else {
+				tv = sr.field(op.i)
+			}
+			st = append(st, store.BoolV(tv.Equal(op.val)))
+		case eField:
+			rs := &f.vars[op.i]
+			if rs.n < 1 {
+				z, err := f.zeroOrUnbound(rs, op)
+				if err != nil {
+					f.stack = st[:0]
+					return store.Value{}, err
+				}
+				st = append(st, z)
+				break
+			}
+			st = append(st, rs.vals[op.j])
+		case eFieldIdx:
+			rs := &f.vars[op.i]
+			idx := st[len(st)-1].I
+			st = st[:len(st)-1]
+			if idx < 1 || idx > int64(rs.n) {
+				z, err := f.zeroOrUnbound(rs, op)
+				if err != nil {
+					f.stack = st[:0]
+					return store.Value{}, err
+				}
+				st = append(st, z)
+				break
+			}
+			st = append(st, rs.vals[(int(idx)-1)*rs.ncol+int(op.j)])
+		case eFieldMiss, eFieldMissIdx:
+			rs := &f.vars[op.i]
+			idx := int64(1)
+			if op.op == eFieldMissIdx {
+				idx = st[len(st)-1].I
+				st = st[:len(st)-1]
+			}
+			if idx >= 1 && idx <= int64(rs.n) {
+				f.stack = st[:0]
+				return store.Value{}, fmt.Errorf("cluster: result lacks field %q", op.s)
+			}
+			z, err := f.zeroOrUnbound(rs, op)
+			if err != nil {
+				f.stack = st[:0]
+				return store.Value{}, err
+			}
+			st = append(st, z)
+		case eAggCount:
+			st = append(st, store.IntV(int64(f.vars[op.i].n)))
+		case eAggSum:
+			rs := &f.vars[op.i]
+			var total int64
+			for r := 0; r < rs.n; r++ {
+				total += rs.vals[r*rs.ncol+int(op.j)].I
+			}
+			st = append(st, store.IntV(total))
+		case eAggMin, eAggMax, eAggAny:
+			rs := &f.vars[op.i]
+			if rs.n == 0 {
+				z, err := f.zeroOrUnbound(rs, op)
+				if err != nil {
+					f.stack = st[:0]
+					return store.Value{}, err
+				}
+				st = append(st, z)
+				break
+			}
+			best := rs.vals[op.j]
+			if op.op != eAggAny {
+				for r := 1; r < rs.n; r++ {
+					val := rs.vals[r*rs.ncol+int(op.j)]
+					if (op.op == eAggMin && val.Less(best)) || (op.op == eAggMax && best.Less(val)) {
+						best = val
+					}
+				}
+			}
+			st = append(st, best)
+		case eUUID:
+			if u == nil {
+				f.stack = st[:0]
+				return store.Value{}, fmt.Errorf("cluster: uuid() outside insert")
+			}
+			st = append(st, u.Take())
+		case eAndShort:
+			if t := st[len(st)-1]; t.T == ast.TBool && !t.B {
+				pc += int(op.i)
+			}
+		case eOrShort:
+			if t := st[len(st)-1]; t.T == ast.TBool && t.B {
+				pc += int(op.i)
+			}
+		default:
+			r := st[len(st)-1]
+			st = st[:len(st)-1]
+			l := st[len(st)-1]
+			var res store.Value
+			switch op.op {
+			case eAdd:
+				res = store.IntV(l.I + r.I)
+			case eSub:
+				res = store.IntV(l.I - r.I)
+			case eMul:
+				res = store.IntV(l.I * r.I)
+			case eDiv:
+				if r.I == 0 {
+					f.stack = st[:0]
+					return store.Value{}, fmt.Errorf("cluster: division by zero")
+				}
+				res = store.IntV(l.I / r.I)
+			case eLt:
+				res = store.BoolV(l.Less(r))
+			case eLe:
+				res = store.BoolV(l.Less(r) || l.Equal(r))
+			case eEq:
+				res = store.BoolV(l.Equal(r))
+			case eNe:
+				res = store.BoolV(!l.Equal(r))
+			case eGt:
+				res = store.BoolV(r.Less(l))
+			case eGe:
+				res = store.BoolV(r.Less(l) || l.Equal(r))
+			case eAnd:
+				res = store.BoolV(l.B && r.B)
+			case eOr:
+				res = store.BoolV(l.B || r.B)
+			}
+			st[len(st)-1] = res
+		}
+	}
+	out := st[len(st)-1]
+	f.stack = st[:0]
+	return out, nil
+}
+
+// zeroOrUnbound mirrors the interpreter's zeroOf: an out-of-range read on a
+// bound result set yields the schema zero of the field; reading a variable
+// no select has bound yet is an error.
+func (f *cframe) zeroOrUnbound(rs *crset, op *eop) (store.Value, error) {
+	if !rs.bound {
+		return store.Value{}, fmt.Errorf("cluster: unknown variable %q", op.s)
+	}
+	return op.val, nil
+}
+
+// coverlay buffers an SC transaction's uncommitted writes in compiled
+// addressing: per table, flat per-row field arrays with set bitmaps, plus
+// the sorted list of keys the transaction created (absent from the base
+// store). It is reset and reused across attempts.
+type coverlay struct {
+	ms      *MatStore
+	tabs    []covTab
+	touched []int32
+}
+
+type covTab struct {
+	idx      map[store.Key]int32
+	keys     []store.Key
+	baseSlot []int32
+	vals     []store.Value // row*nf + field
+	set      []bool
+	newKeys  []store.Key // sorted; keys with no base row
+}
+
+func newCOverlay(ms *MatStore) *coverlay {
+	ov := &coverlay{ms: ms, tabs: make([]covTab, len(ms.tabs))}
+	return ov
+}
+
+// reset drops all buffered state, keeping allocated capacity.
+func (o *coverlay) reset() {
+	for _, tid := range o.touched {
+		t := &o.tabs[tid]
+		clear(t.idx)
+		t.keys = t.keys[:0]
+		t.baseSlot = t.baseSlot[:0]
+		t.vals = t.vals[:0]
+		t.set = t.set[:0]
+		t.newKeys = t.newKeys[:0]
+	}
+	o.touched = o.touched[:0]
+}
+
+// buffer records one pending write.
+func (o *coverlay) buffer(w cwrite) {
+	t := &o.tabs[w.tid]
+	if t.idx == nil {
+		t.idx = map[store.Key]int32{}
+	}
+	if len(t.keys) == 0 {
+		o.touched = append(o.touched, w.tid)
+	}
+	nf := int(o.ms.tabs[w.tid].ct.nf)
+	row, ok := t.idx[w.key]
+	if !ok {
+		row = int32(len(t.keys))
+		t.idx[w.key] = row
+		t.keys = append(t.keys, w.key)
+		slot := int32(-1)
+		if s, ok := o.ms.tabs[w.tid].index[w.key]; ok {
+			slot = s
+		} else {
+			i := sort.Search(len(t.newKeys), func(i int) bool { return t.newKeys[i] >= w.key })
+			t.newKeys = append(t.newKeys, "")
+			copy(t.newKeys[i+1:], t.newKeys[i:])
+			t.newKeys[i] = w.key
+		}
+		t.baseSlot = append(t.baseSlot, slot)
+		for i := 0; i < nf; i++ {
+			t.vals = append(t.vals, store.Value{})
+			t.set = append(t.set, false)
+		}
+	}
+	at := int(row)*nf + int(w.fid)
+	t.vals[at] = w.val
+	t.set[at] = true
+}
+
+// commitWrites appends the buffered writes to dst in deterministic order:
+// ascending table id, sorted key, ascending field index. (The interpreter
+// emits name-sorted order instead; batches share one timestamp, so replica
+// state is identical either way — see DESIGN.md §9.)
+func (o *coverlay) commitWrites(dst []cwrite, rowScratch []int32) ([]cwrite, []int32) {
+	// Insertion sorts: the touched-table and per-table row counts are tiny
+	// (an SC transaction's write set), and sort.Slice would allocate its
+	// closure and swapper on every commit.
+	for i := 1; i < len(o.touched); i++ {
+		for j := i; j > 0 && o.touched[j] < o.touched[j-1]; j-- {
+			o.touched[j], o.touched[j-1] = o.touched[j-1], o.touched[j]
+		}
+	}
+	for _, tid := range o.touched {
+		t := &o.tabs[tid]
+		nf := int(o.ms.tabs[tid].ct.nf)
+		rowScratch = rowScratch[:0]
+		for r := range t.keys {
+			rowScratch = append(rowScratch, int32(r))
+		}
+		for i := 1; i < len(rowScratch); i++ {
+			for j := i; j > 0 && t.keys[rowScratch[j]] < t.keys[rowScratch[j-1]]; j-- {
+				rowScratch[j], rowScratch[j-1] = rowScratch[j-1], rowScratch[j]
+			}
+		}
+		for _, r := range rowScratch {
+			base := int(r) * nf
+			for fid := 0; fid < nf; fid++ {
+				if t.set[base+fid] {
+					dst = append(dst, cwrite{tid: tid, fid: int32(fid), key: t.keys[r], val: t.vals[base+fid]})
+				}
+			}
+		}
+	}
+	return dst, rowScratch
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -54,8 +55,13 @@ type Config struct {
 	// Duration is the measured virtual time; Warmup precedes it.
 	Duration time.Duration
 	Warmup   time.Duration
-	Seed     int64
-	Mode     Mode
+	// Ops, when positive, switches the run to the ops-bounded mode: it
+	// stops after Ops measured commits instead of at Duration, which makes
+	// benchmark iterations and CI checks size-exact (ns and allocs per
+	// transaction) regardless of the host. Warmup still applies.
+	Ops  int64
+	Seed int64
+	Mode Mode
 	// SerializableTxns names the transactions run under SC in ModeATSC.
 	SerializableTxns map[string]bool
 	// StmtCost is the per-statement service time that consumes replica
@@ -72,6 +78,14 @@ type Config struct {
 	// LockTimeout aborts SC transactions that wait longer than this for a
 	// record lock (microseconds); 0 derives it from the topology.
 	LockTimeout int64
+	// UseInterpreter forces the AST-walking reference executor for every
+	// transaction. The default runs the compiled executor (DESIGN.md §9),
+	// which produces identical histories; the interpreter survives as the
+	// differential-testing oracle.
+	UseInterpreter bool
+	// Trace, when non-nil, records the run's execution history (applied
+	// write batches, commits, aborts) for differential testing.
+	Trace *Trace
 }
 
 // Result is the outcome of one run: a figure point plus counters.
@@ -125,7 +139,8 @@ func run(cfg Config, drain bool) (*driver, Result, error) {
 		cfg.LockTimeout = 8*cfg.Topology.majorityRTT(primary) + 20_000
 	}
 
-	base := NewMatStore(cfg.Program)
+	cp := CompileProgram(cfg.Program)
+	base := newMatStore(cp)
 	for _, r := range cfg.Rows {
 		if err := base.Load(r.Table, r.Row); err != nil {
 			return nil, Result{}, err
@@ -133,6 +148,7 @@ func run(cfg Config, drain bool) (*driver, Result, error) {
 	}
 	d := &driver{
 		cfg:      cfg,
+		cp:       cp,
 		sim:      &Sim{},
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		replicas: [3]*replica{},
@@ -151,20 +167,39 @@ func run(cfg Config, drain bool) (*driver, Result, error) {
 	total := warmup + cfg.Duration.Microseconds()
 	d.measureFrom = warmup
 	d.measureUntil = total
+	if cfg.Ops > 0 {
+		d.measureUntil = math.MaxInt64
+	}
 
 	for c := 0; c < cfg.Clients; c++ {
-		cl := &client{d: d, id: c, home: c % 3}
+		cl := newClient(d, c)
 		d.sim.At(int64(c%97), cl.nextTxn) // stagger arrivals slightly
 	}
-	d.sim.Run(total)
+	if cfg.Ops > 0 {
+		// Ops-bounded: the closed loops stop launching once the target is
+		// hit, so the queue drains by itself.
+		d.sim.Run(math.MaxInt64)
+	} else {
+		d.sim.Run(total)
+	}
 	if drain {
 		// Stop the closed loops and drain in-flight transactions and
 		// replication so the replicas converge (FinalState inspection).
 		d.stopped = true
-		d.sim.Run(total + 3_600_000_000)
+		d.sim.Run(d.sim.Now() + 3_600_000_000)
 	}
 
 	secs := cfg.Duration.Seconds()
+	if cfg.Ops > 0 {
+		end := d.stopAt
+		if end == 0 {
+			end = d.sim.Now()
+		}
+		secs = float64(end-d.measureFrom) / 1e6
+		if secs <= 0 {
+			secs = 1e-6
+		}
+	}
 	res := Result{
 		Committed: d.committed,
 		Aborted:   d.aborted,
@@ -172,7 +207,9 @@ func run(cfg Config, drain bool) (*driver, Result, error) {
 			Clients:    cfg.Clients,
 			Throughput: float64(d.committed) / secs,
 			MeanMs:     float64(d.lat.Mean().Microseconds()) / 1000,
+			P50Ms:      float64(d.lat.Percentile(50).Microseconds()) / 1000,
 			P95Ms:      float64(d.lat.Percentile(95).Microseconds()) / 1000,
+			P99Ms:      float64(d.lat.Percentile(99).Microseconds()) / 1000,
 		},
 	}
 	if d.execErr != nil {
@@ -183,6 +220,7 @@ func run(cfg Config, drain bool) (*driver, Result, error) {
 
 type driver struct {
 	cfg          Config
+	cp           *Compiled
 	sim          *Sim
 	rng          *rand.Rand
 	replicas     [3]*replica
@@ -194,24 +232,23 @@ type driver struct {
 	measureFrom  int64
 	measureUntil int64
 	stopped      bool
+	stopAt       int64
 	tsSeq        int64
 	execErr      error
+	// replication pools: batches and their delivery events are recycled so
+	// steady-state replication allocates nothing; lockPool recycles lock
+	// entries released with no waiters.
+	batchPool []*repBatch
+	repPool   []*repEv
+	lockPool  []*lockState
+	timerPool []*lockTimer
+	wakePool  []*wakeEv
 }
 
 type replica struct {
 	id      int
 	state   *MatStore
 	station station
-}
-
-type lockKey struct {
-	table string
-	key   store.Key
-}
-
-type lockState struct {
-	owner   *txnRun
-	waiters []*txnRun
 }
 
 // ts produces a unique, strictly monotone merge timestamp. Event-loop
@@ -229,10 +266,64 @@ func (d *driver) fail(err error) {
 	}
 }
 
+// countAbort records one SC abort if it falls inside the measurement
+// window; like commits, aborts during an ops-bounded run's drain tail are
+// not measured, so Result pairs exactly Ops commits with the aborts that
+// happened while they accumulated.
+func (d *driver) countAbort() {
+	now := d.sim.Now()
+	if now >= d.measureFrom && now <= d.measureUntil && !(d.cfg.Ops > 0 && d.stopped) {
+		d.aborted++
+	}
+}
+
+// finishTxn records one completed transaction for the owning client and, in
+// ops-bounded mode, stops the run when the target is reached.
+func (d *driver) finishTxn(c *client) {
+	now := d.sim.Now()
+	measured := now >= d.measureFrom && now <= d.measureUntil
+	if d.cfg.Ops > 0 && d.committed >= d.cfg.Ops {
+		// Target reached: in-flight transactions still complete while the
+		// queue drains, but exactly Ops commits are measured.
+		measured = false
+	}
+	if measured {
+		d.committed++
+		d.lat.Add(time.Duration(now-c.startAt) * time.Microsecond)
+		if d.cfg.Ops > 0 && d.committed >= d.cfg.Ops {
+			d.stopped = true
+			d.stopAt = now
+		}
+	}
+	if d.cfg.Trace != nil {
+		d.cfg.Trace.commit(now, c.id, c.txnName, measured)
+	}
+}
+
 type client struct {
-	d    *driver
-	id   int
-	home int
+	d       *driver
+	id      int
+	home    int
+	startAt int64
+	txnName string
+	// Compiled-executor state, allocated once per client and reused for
+	// every transaction it runs (DESIGN.md §9).
+	fr       *cframe
+	finishFn func()
+	ecPhase  int
+	ecTick   func()
+	scRun    *cTxnRun
+}
+
+func newClient(d *driver, id int) *client {
+	c := &client{d: d, id: id, home: id % 3}
+	c.fr = newCFrame(d.cp)
+	c.finishFn = func() {
+		d.finishTxn(c)
+		c.nextTxn()
+	}
+	c.ecTick = c.ecStep
+	return c
 }
 
 // nextTxn draws a transaction from the mix and launches it under the
@@ -249,20 +340,23 @@ func (c *client) nextTxn() {
 		return
 	}
 	args := m.Args(d.rng, d.cfg.Scale)
-	start := d.sim.Now()
-	finish := func() {
-		if d.sim.Now() >= d.measureFrom && d.sim.Now() <= d.measureUntil {
-			d.committed++
-			d.lat.Add(time.Duration(d.sim.Now()-start) * time.Microsecond)
-		}
-		c.nextTxn()
+	c.startAt = d.sim.Now()
+	c.txnName = m.Txn
+	var ct *ctxn
+	if !d.cfg.UseInterpreter {
+		ct = d.cp.txns[m.Txn]
 	}
 	sc := d.cfg.Mode == ModeSC || (d.cfg.Mode == ModeATSC && d.cfg.SerializableTxns[m.Txn])
-	if sc {
+	switch {
+	case sc && ct != nil:
+		c.runSC(ct, args)
+	case sc:
 		run := &txnRun{c: c, txn: txn, args: args}
-		run.start(finish)
-	} else {
-		c.runEC(txn, args, finish)
+		run.start(c.finishFn)
+	case ct != nil:
+		c.runECCompiled(ct, args)
+	default:
+		c.runEC(txn, args, c.finishFn)
 	}
 }
 
@@ -281,9 +375,11 @@ func pickWeighted(rng *rand.Rand, mix []benchmarks.MixEntry) int {
 	return len(mix) - 1
 }
 
-// runEC executes a transaction against the client's home replica: each
-// statement is one client-replica round trip plus service time; writes
-// apply locally and replicate asynchronously with LWW merging.
+// runEC executes a transaction on the AST interpreter against the client's
+// home replica: each statement is one client-replica round trip plus
+// service time; writes apply locally and replicate asynchronously with LWW
+// merging. This is the reference executor the compiled path is
+// differential-tested against.
 func (c *client) runEC(txn *ast.Txn, args map[string]store.Value, finish func()) {
 	d := c.d
 	r := d.replicas[c.home]
@@ -315,6 +411,9 @@ func (c *client) runEC(txn *ast.Txn, args map[string]store.Value, finish func())
 				for _, w := range writes {
 					r.state.Apply(w, ts)
 				}
+				if d.cfg.Trace != nil && len(writes) > 0 {
+					d.cfg.Trace.applyOps(d.sim.Now(), r.id, ts, writes)
+				}
 				c.replicate(r.id, writes, ts)
 				d.sim.At(d.cfg.Topology.ClientRTT/2, step)
 			})
@@ -323,7 +422,7 @@ func (c *client) runEC(txn *ast.Txn, args map[string]store.Value, finish func())
 	step()
 }
 
-// replicate ships writes to the other replicas asynchronously.
+// replicate ships interpreter writes to the other replicas asynchronously.
 func (c *client) replicate(from int, writes []WriteOp, ts int64) {
 	if len(writes) == 0 {
 		return
@@ -342,29 +441,29 @@ func (c *client) replicate(from int, writes []WriteOp, ts int64) {
 			for _, w := range ws {
 				target.state.Apply(w, ts)
 			}
+			if d.cfg.Trace != nil {
+				d.cfg.Trace.applyOps(d.sim.Now(), target.id, ts, ws)
+			}
 		})
 	}
 }
 
-// txnRun is one SC transaction attempt: statements execute at the primary
-// under two-phase record locking with buffered writes; lock waits that
-// exceed the timeout abort and retry the whole transaction.
+// txnRun is one interpreter SC transaction attempt: statements execute at
+// the primary under two-phase record locking with buffered writes; lock
+// waits that exceed the timeout abort and retry the whole transaction.
 type txnRun struct {
-	c         *client
-	txn       *ast.Txn
-	args      map[string]store.Value
-	e         *TxnExec
-	overlay   *Overlay
-	held      []lockKey
-	gen       int // invalidates stale wakeups/timeouts after abort
-	waitEpoch int // distinguishes successive waits within one attempt
-	waiting   bool
-	blockedOn *lockState // the lock this run is waiting for, if any
-	wake      func()
-	finish    func()
+	lockCore
+	c       *client
+	txn     *ast.Txn
+	args    map[string]store.Value
+	e       *TxnExec
+	overlay *Overlay
+	finish  func()
 }
 
 func (t *txnRun) start(finish func()) {
+	t.lockCore.d = t.c.d
+	t.lockCore.onAbort = t.abort
 	t.finish = finish
 	t.begin()
 }
@@ -374,13 +473,17 @@ func (t *txnRun) begin() {
 	t.gen++
 	t.e = NewTxnExec(d.cfg.Program, t.txn, t.args)
 	t.overlay = NewOverlay(d.replicas[primary].state)
-	t.held = nil
+	t.held = t.held[:0]
 	// Client → primary.
-	rtt := d.cfg.Topology.ClientRTT
-	if t.c.home != primary {
-		rtt = d.cfg.Topology.RTT[t.c.home][primary]
+	d.sim.At(t.c.primaryRTT()/2, t.step)
+}
+
+// primaryRTT is the round trip between the client and the primary replica.
+func (c *client) primaryRTT() int64 {
+	if c.home != primary {
+		return c.d.cfg.Topology.RTT[c.home][primary]
 	}
-	d.sim.At(rtt/2, t.step)
+	return c.d.cfg.Topology.ClientRTT
 }
 
 // step advances one statement: footprint → locks → service → execute.
@@ -429,104 +532,16 @@ func (t *txnRun) step() {
 	})
 }
 
-// acquire takes the locks (FIFO) or queues behind a holder; a timeout
-// aborts and retries the transaction.
-func (t *txnRun) acquire(want []lockKey, cont func()) {
-	d := t.c.d
-	for _, lk := range want {
-		ls := d.locks[lk]
-		if ls == nil {
-			ls = &lockState{}
-			d.locks[lk] = ls
-		}
-		if ls.owner == nil || ls.owner == t {
-			if ls.owner == nil {
-				ls.owner = t
-				t.held = append(t.held, lk)
-			}
-			continue
-		}
-		// Deadlock detection: walk the wait-for chain from the lock's
-		// owner; if it leads back to us, abort immediately (the requester
-		// is the victim, as in MongoDB's write-conflict aborts) instead of
-		// stalling until the timeout.
-		if t.wouldDeadlock(ls) {
-			t.abort()
-			return
-		}
-		// Blocked: wait on this lock, retry the full set on wake-up. The
-		// epoch ties the timeout to this particular wait, so a timer from
-		// an earlier wait that ended cannot abort a later one prematurely.
-		ls.waiters = append(ls.waiters, t)
-		t.waiting = true
-		t.blockedOn = ls
-		t.waitEpoch++
-		gen, epoch := t.gen, t.waitEpoch
-		t.wake = func() {
-			if t.gen != gen || !t.waiting {
-				return
-			}
-			t.waiting = false
-			t.blockedOn = nil
-			t.acquire(want, cont)
-		}
-		d.sim.At(d.cfg.LockTimeout, func() {
-			if t.gen == gen && t.waiting && t.waitEpoch == epoch {
-				t.abort()
-			}
-		})
-		return
-	}
-	cont()
-}
-
-// wouldDeadlock reports whether waiting on ls closes a wait-for cycle
-// through us.
-func (t *txnRun) wouldDeadlock(ls *lockState) bool {
-	cur := ls.owner
-	for hops := 0; cur != nil && hops < 64; hops++ {
-		if cur == t {
-			return true
-		}
-		if cur.blockedOn == nil {
-			return false
-		}
-		cur = cur.blockedOn.owner
-	}
-	return false
-}
-
 func (t *txnRun) abort() {
 	d := t.c.d
-	if d.sim.Now() >= d.measureFrom && d.sim.Now() <= d.measureUntil {
-		d.aborted++
+	d.countAbort()
+	if d.cfg.Trace != nil {
+		d.cfg.Trace.abort(d.sim.Now(), t.c.id, t.txn.Name)
 	}
-	t.waiting = false
-	t.blockedOn = nil
-	t.release()
-	t.gen++
+	t.abortLocks()
 	// Retry after a short randomized backoff.
 	back := int64(d.rng.Intn(4000) + 500)
 	d.sim.At(back, t.begin)
-}
-
-func (t *txnRun) release() {
-	d := t.c.d
-	for _, lk := range t.held {
-		ls := d.locks[lk]
-		if ls == nil || ls.owner != t {
-			continue
-		}
-		ls.owner = nil
-		waiters := ls.waiters
-		ls.waiters = nil
-		for _, w := range waiters {
-			if w.wake != nil {
-				d.sim.At(0, w.wake)
-			}
-		}
-	}
-	t.held = nil
 }
 
 // commit applies the buffered writes at the primary, replicates them, and
@@ -538,11 +553,10 @@ func (t *txnRun) commit() {
 	for _, w := range writes {
 		d.replicas[primary].state.Apply(w, ts)
 	}
+	if d.cfg.Trace != nil && len(writes) > 0 {
+		d.cfg.Trace.applyOps(d.sim.Now(), primary, ts, writes)
+	}
 	t.c.replicate(primary, writes, ts)
 	t.release()
-	rtt := d.cfg.Topology.ClientRTT
-	if t.c.home != primary {
-		rtt = d.cfg.Topology.RTT[t.c.home][primary]
-	}
-	d.sim.At(rtt/2, t.finish)
+	d.sim.At(t.c.primaryRTT()/2, t.finish)
 }

@@ -92,33 +92,61 @@ func TestSCLivenessUnderContention(t *testing.T) {
 // TestFinalStateConservation runs the same transfer workload through both
 // modes and checks conservation of the total balance by inspecting the
 // replicas' final states via a custom driver round: EC must exhibit at
-// least one violation across seeds (lost updates), SC never.
+// least one violation across seeds (lost updates), SC never. Both
+// executors — the compiled default and the AST oracle — are held to the
+// same behavior, and to identical totals seed by seed.
 func TestFinalStateConservation(t *testing.T) {
-	sumAfter := func(mode Mode, seed int64) int64 {
+	type runKey struct {
+		mode   Mode
+		seed   int64
+		interp bool
+	}
+	memo := map[runKey]int64{} // each FinalState call is a full simulation
+	sumAfter := func(mode Mode, seed int64, interp bool) int64 {
+		k := runKey{mode, seed, interp}
+		if total, ok := memo[k]; ok {
+			return total
+		}
 		cfg := transferConfig(t, mode, seed)
+		cfg.UseInterpreter = interp
 		st, err := FinalState(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var total int64
-		for _, k := range st.Keys("ACC") {
-			total += st.Read("ACC", k, "bal").I
+		for _, kk := range st.Keys("ACC") {
+			total += st.Read("ACC", kk, "bal").I
 		}
+		memo[k] = total
 		return total
 	}
 	const want = 8 * 1000
-	for seed := int64(0); seed < 3; seed++ {
-		if got := sumAfter(ModeSC, seed); got != want {
-			t.Errorf("SC seed %d: total = %d, want %d (locking broken)", seed, got, want)
+	for _, interp := range []bool{false, true} {
+		name := "compiled"
+		if interp {
+			name = "interpreter"
+		}
+		for seed := int64(0); seed < 3; seed++ {
+			if got := sumAfter(ModeSC, seed, interp); got != want {
+				t.Errorf("%s SC seed %d: total = %d, want %d (locking broken)", name, seed, got, want)
+			}
+		}
+		ecViolated := false
+		for seed := int64(0); seed < 5 && !ecViolated; seed++ {
+			if sumAfter(ModeEC, seed, interp) != want {
+				ecViolated = true
+			}
+		}
+		if !ecViolated {
+			t.Errorf("%s EC conserved money across 5 seeds; lost updates should occur under contention", name)
 		}
 	}
-	ecViolated := false
-	for seed := int64(0); seed < 5 && !ecViolated; seed++ {
-		if sumAfter(ModeEC, seed) != want {
-			ecViolated = true
+	// The engines must agree on the exact (violated or not) final totals.
+	for _, mode := range []Mode{ModeEC, ModeSC} {
+		for seed := int64(0); seed < 5; seed++ {
+			if c, i := sumAfter(mode, seed, false), sumAfter(mode, seed, true); c != i {
+				t.Errorf("%v seed %d: compiled total %d != interpreter total %d", mode, seed, c, i)
+			}
 		}
-	}
-	if !ecViolated {
-		t.Error("EC conserved money across 5 seeds; lost updates should occur under contention")
 	}
 }

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"atropos/internal/benchmarks"
+)
+
+// TestLatencyPercentilesGolden pins the latency distribution of an
+// ops-bounded SmallBank run per topology: virtual time makes the
+// percentiles machine-independent, the fixed ops target makes the sample
+// count exact, and the seeded reservoir makes the percentile estimate
+// reproducible — so any drift in the simulator's timing model, the
+// reservoir's sampling, or the executor's statement scheduling shows up as
+// an exact-value diff. Regenerate deliberately with -run
+// TestLatencyPercentilesGolden -v after an intentional timing-model change.
+func TestLatencyPercentilesGolden(t *testing.T) {
+	golden := map[string][3]float64{ // topology -> {p50, p95, p99} in ms
+		"VA":     {42.75, 86.15, 86.75},
+		"US":     {43, 86.5, 87},
+		"Global": {43, 86.5, 87.25},
+	}
+	b := benchmarks.SmallBank
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := benchmarks.Scale{Records: 50}
+	for _, topo := range Topologies() {
+		cfg := Config{
+			Program:  prog,
+			Mix:      b.Mix,
+			Scale:    scale,
+			Rows:     b.Rows(scale),
+			Topology: topo,
+			Clients:  24,
+			Duration: time.Hour, // unused: the run stops at Ops
+			Warmup:   200 * time.Millisecond,
+			Ops:      2000,
+			Seed:     23,
+			Mode:     ModeEC,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", topo.Name, err)
+		}
+		if res.Committed != cfg.Ops {
+			t.Fatalf("%s: committed %d, want %d", topo.Name, res.Committed, cfg.Ops)
+		}
+		got := [3]float64{res.Point.P50Ms, res.Point.P95Ms, res.Point.P99Ms}
+		want := golden[topo.Name]
+		if got != want {
+			t.Errorf("%s: p50/p95/p99 = %v, golden %v", topo.Name, got, want)
+			t.Logf("regen: %q: {%s},", topo.Name, fmt.Sprintf("%v, %v, %v", got[0], got[1], got[2]))
+		}
+	}
+}

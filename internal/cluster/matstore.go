@@ -8,9 +8,11 @@ import (
 	"atropos/internal/store"
 )
 
-// DBView is the read interface transactions execute against: a replica's
-// materialized state, optionally overlaid with a transaction's buffered
-// writes (SC mode reads-your-writes before commit).
+// DBView is the read interface the AST-walking executor runs against: a
+// replica's materialized state, optionally overlaid with a transaction's
+// buffered writes (SC mode reads-your-writes before commit). The compiled
+// executor bypasses it and addresses MatStore rows directly by table id,
+// row slot, and field index (DESIGN.md §9).
 type DBView interface {
 	Schema(table string) *ast.Schema
 	Read(table string, key store.Key, field string) store.Value
@@ -18,9 +20,9 @@ type DBView interface {
 	Keys(table string) []store.Key
 }
 
-// WriteOp is one field write produced by a statement, applied by the
-// caller (immediately under EC, at commit under SC) and shipped to the
-// other replicas.
+// WriteOp is one field write in the interpreter's name-based form, applied
+// by the caller (immediately under EC, at commit under SC) and shipped to
+// the other replicas.
 type WriteOp struct {
 	Table string
 	Key   store.Key
@@ -28,108 +30,160 @@ type WriteOp struct {
 	Val   store.Value
 }
 
-// MatStore is a replica's materialized state: current field values with
-// per-field last-writer-wins timestamps for replication merging.
+// cwrite is the compiled executor's write: table id and field index instead
+// of names.
+type cwrite struct {
+	tid int32
+	fid int32
+	key store.Key
+	val store.Value
+}
+
+// MatStore is a replica's materialized state: per table, a flat
+// []store.Value of rows-by-field-index with parallel last-writer-wins
+// timestamps, a key→slot index, and a sorted key view for deterministic
+// scans. Rows live at stable slots in arrival order; scans follow the
+// sorted view.
 type MatStore struct {
-	prog   *ast.Program
-	tables map[string]*matTable
+	cp   *Compiled
+	tabs []mtable
 }
 
-type matTable struct {
-	rows map[store.Key]*matRow
-	keys []store.Key // sorted, for deterministic scans
-}
-
-type matRow struct {
-	fields store.Row
-	ts     map[string]int64
+type mtable struct {
+	ct    *ctable
+	index map[store.Key]int32
+	keys  []store.Key   // by slot (append-only)
+	vals  []store.Value // slot*nf + field
+	ts    []int64
+	// idx orders the slots by key (chunked — see keyIndex).
+	idx keyIndex
+	// view is the sorted []store.Key the string-based DBView.Keys exposes
+	// to the interpreter oracle, materialized lazily from idx.
+	view   []store.Key
+	viewOK bool
 }
 
 // NewMatStore creates an empty replica state for the program.
 func NewMatStore(prog *ast.Program) *MatStore {
-	ms := &MatStore{prog: prog, tables: map[string]*matTable{}}
-	for _, s := range prog.Schemas {
-		ms.tables[s.Name] = &matTable{rows: map[store.Key]*matRow{}}
+	return newMatStore(CompileProgram(prog))
+}
+
+func newMatStore(cp *Compiled) *MatStore {
+	ms := &MatStore{cp: cp, tabs: make([]mtable, len(cp.tables))}
+	for i := range cp.tables {
+		ms.tabs[i] = mtable{ct: &cp.tables[i], index: map[store.Key]int32{}}
 	}
 	return ms
+}
+
+// newSlot appends a zero row (alive=false) for key and indexes it.
+func (t *mtable) newSlot(k store.Key) int32 {
+	slot := int32(len(t.keys))
+	t.keys = append(t.keys, k)
+	t.vals = append(t.vals, t.ct.zeros...)
+	t.ts = append(t.ts, t.ct.tszero...)
+	t.index[k] = slot
+	t.idx.insert(t.keys, k, slot)
+	t.viewOK = false
+	return slot
+}
+
+// sortedKeys materializes the sorted key view (interpreter oracle only —
+// the compiled executor scans the chunked index directly). A fresh slice
+// is built per mutation epoch so previously returned views stay stable.
+func (t *mtable) sortedKeys() []store.Key {
+	if !t.viewOK {
+		t.view = make([]store.Key, 0, len(t.keys))
+		for p := t.idx.begin(); t.idx.valid(p); p = t.idx.next(p) {
+			t.view = append(t.view, t.keys[t.idx.at(p)])
+		}
+		t.viewOK = true
+	}
+	return t.view
+}
+
+func (t *mtable) read(slot, fid int32) store.Value {
+	return t.vals[slot*t.ct.nf+fid]
 }
 
 // Load installs an initial record (alive, timestamp 0). Missing fields get
 // zero values; the key derives from the schema's primary-key fields.
 func (ms *MatStore) Load(table string, row store.Row) error {
-	s := ms.prog.Schema(table)
-	if s == nil {
+	tid, ct := ms.cp.table(table)
+	if ct == nil {
 		return fmt.Errorf("cluster: unknown table %q", table)
 	}
-	t := ms.tables[table]
-	full := store.Row{}
-	for _, f := range s.Fields {
-		if v, ok := row[f.Name]; ok {
-			full[f.Name] = v
-		} else {
-			full[f.Name] = store.Zero(f.Type)
+	t := &ms.tabs[tid]
+	full := make([]store.Value, ct.nf)
+	copy(full, ct.zeros)
+	full[ct.alive] = store.BoolV(true)
+	for f, v := range row {
+		id, ok := ct.fieldID[f]
+		if !ok {
+			continue
 		}
+		full[id] = v
 	}
-	if v, ok := row[ast.AliveField]; ok {
-		full[ast.AliveField] = v
-	} else {
-		full[ast.AliveField] = store.BoolV(true)
+	var kb []byte
+	for _, pkID := range ct.pk {
+		if len(kb) > 0 {
+			kb = append(kb, '\x1f')
+		}
+		kb = store.AppendKey(kb, full[pkID])
 	}
-	var pk []store.Value
-	for _, f := range s.PrimaryKey() {
-		pk = append(pk, full[f.Name])
+	key := store.Key(kb)
+	slot, ok := t.index[key]
+	if !ok {
+		slot = t.newSlot(key)
 	}
-	key := store.MakeKey(pk...)
-	if _, exists := t.rows[key]; !exists {
-		t.insertKey(key)
+	base := slot * ct.nf
+	copy(t.vals[base:base+ct.nf], full)
+	for i := int32(0); i < ct.nf; i++ {
+		t.ts[base+i] = 0
 	}
-	t.rows[key] = &matRow{fields: full, ts: map[string]int64{}}
 	return nil
 }
 
 // Clone copies the state (used to give each replica an identical start).
+// The flat layout makes this a handful of slice copies per table.
 func (ms *MatStore) Clone() *MatStore {
-	out := &MatStore{prog: ms.prog, tables: map[string]*matTable{}}
-	for name, t := range ms.tables {
-		nt := &matTable{rows: make(map[store.Key]*matRow, len(t.rows)), keys: append([]store.Key(nil), t.keys...)}
-		for k, r := range t.rows {
-			nr := &matRow{fields: r.fields.Clone(), ts: make(map[string]int64, len(r.ts))}
-			for f, ts := range r.ts {
-				nr.ts[f] = ts
-			}
-			nt.rows[k] = nr
+	out := &MatStore{cp: ms.cp, tabs: make([]mtable, len(ms.tabs))}
+	for i := range ms.tabs {
+		t := &ms.tabs[i]
+		nt := mtable{
+			ct:    t.ct,
+			index: make(map[store.Key]int32, len(t.index)),
+			keys:  append([]store.Key(nil), t.keys...),
+			vals:  append([]store.Value(nil), t.vals...),
+			ts:    append([]int64(nil), t.ts...),
+			idx:   t.idx.clone(),
 		}
-		out.tables[name] = nt
+		for k, s := range t.index {
+			nt.index[k] = s
+		}
+		out.tabs[i] = nt
 	}
 	return out
 }
 
-func (t *matTable) insertKey(k store.Key) {
-	i := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= k })
-	t.keys = append(t.keys, "")
-	copy(t.keys[i+1:], t.keys[i:])
-	t.keys[i] = k
-}
-
 // Schema implements DBView.
-func (ms *MatStore) Schema(table string) *ast.Schema { return ms.prog.Schema(table) }
+func (ms *MatStore) Schema(table string) *ast.Schema { return ms.cp.prog.Schema(table) }
 
 // Read implements DBView; unknown records read zero values.
 func (ms *MatStore) Read(table string, key store.Key, field string) store.Value {
-	t := ms.tables[table]
-	if t != nil {
-		if r, ok := t.rows[key]; ok {
-			if v, ok := r.fields[field]; ok {
-				return v
-			}
-		}
+	tid, ct := ms.cp.table(table)
+	if ct == nil {
+		return store.Value{}
 	}
-	if s := ms.prog.Schema(table); s != nil {
-		if f := s.Field(field); f != nil {
-			return store.Zero(f.Type)
-		}
+	fid, ok := ct.fieldID[field]
+	if !ok {
+		return store.Value{}
 	}
-	return store.Value{}
+	t := &ms.tabs[tid]
+	if slot, ok := t.index[key]; ok {
+		return t.read(slot, fid)
+	}
+	return ct.zeros[fid]
 }
 
 // Alive implements DBView.
@@ -140,42 +194,71 @@ func (ms *MatStore) Alive(table string, key store.Key) bool {
 
 // Keys implements DBView (sorted).
 func (ms *MatStore) Keys(table string) []store.Key {
-	t := ms.tables[table]
-	if t == nil {
+	tid, ct := ms.cp.table(table)
+	if ct == nil {
 		return nil
 	}
-	return t.keys
+	return ms.tabs[tid].sortedKeys()
 }
 
 // Apply merges one write with last-writer-wins semantics at the given
-// timestamp (timestamps must be unique across the run; the driver encodes
-// virtual time and a sequence number).
+// timestamp (timestamps must be unique across the run; the driver issues a
+// strictly monotone sequence).
 func (ms *MatStore) Apply(w WriteOp, ts int64) {
-	t := ms.tables[w.Table]
-	if t == nil {
+	tid, ct := ms.cp.table(w.Table)
+	if ct == nil {
 		return
 	}
-	r, ok := t.rows[w.Key]
+	fid, ok := ct.fieldID[w.Field]
 	if !ok {
-		r = &matRow{fields: store.Row{}, ts: map[string]int64{}}
-		// Initialize declared fields to zero so reads are well-typed.
-		if s := ms.prog.Schema(w.Table); s != nil {
-			for _, f := range s.Fields {
-				r.fields[f.Name] = store.Zero(f.Type)
-			}
-			r.fields[ast.AliveField] = store.BoolV(false)
-		}
-		t.rows[w.Key] = r
-		t.insertKey(w.Key)
+		return
 	}
-	if ts >= r.ts[w.Field] {
-		r.fields[w.Field] = w.Val
-		r.ts[w.Field] = ts
+	ms.applyOne(tid, fid, w.Key, w.Val, ts)
+}
+
+func (ms *MatStore) applyOne(tid, fid int32, key store.Key, val store.Value, ts int64) {
+	t := &ms.tabs[tid]
+	slot, ok := t.index[key]
+	if !ok {
+		slot = t.newSlot(key)
+	}
+	at := slot*t.ct.nf + fid
+	if ts >= t.ts[at] {
+		t.vals[at] = val
+		t.ts[at] = ts
+	}
+}
+
+// applyC merges a compiled write batch. Batches are key-adjacent (updates
+// emit key-major, inserts write one key), so the key→slot resolution is
+// cached across consecutive writes.
+func (ms *MatStore) applyC(ws []cwrite, ts int64) {
+	lastTid := int32(-1)
+	var lastKey store.Key
+	var t *mtable
+	var slot int32
+	for i := range ws {
+		w := &ws[i]
+		if w.tid != lastTid || w.key != lastKey {
+			t = &ms.tabs[w.tid]
+			s, ok := t.index[w.key]
+			if !ok {
+				s = t.newSlot(w.key)
+			}
+			slot = s
+			lastTid, lastKey = w.tid, w.key
+		}
+		at := slot*t.ct.nf + w.fid
+		if ts >= t.ts[at] {
+			t.vals[at] = w.val
+			t.ts[at] = ts
+		}
 	}
 }
 
 // Overlay is a DBView layering a transaction's buffered writes over a
-// base state (SC transactions read their own uncommitted writes).
+// base state (the interpreter's SC transactions read their own uncommitted
+// writes through it; the compiled executor uses coverlay).
 type Overlay struct {
 	Base   DBView
 	writes map[string]map[store.Key]store.Row

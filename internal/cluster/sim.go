@@ -18,13 +18,15 @@
 // so runs are deterministic given a seed.
 package cluster
 
-import "container/heap"
-
 // Sim is a virtual-time discrete-event loop. Times are in microseconds.
+// The queue is a hand-rolled binary min-heap rather than container/heap:
+// the interface-based API boxes every event into an `any`, one heap
+// allocation per scheduled event — millions per run — where the typed
+// version amortizes to zero.
 type Sim struct {
 	now   int64
 	seq   int64
-	queue eventHeap
+	queue []event
 }
 
 type event struct {
@@ -33,18 +35,12 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Now returns the current virtual time in microseconds.
 func (s *Sim) Now() int64 { return s.now }
@@ -55,21 +51,60 @@ func (s *Sim) At(delay int64, fn func()) {
 		delay = 0
 	}
 	s.seq++
-	heap.Push(&s.queue, event{at: s.now + delay, seq: s.seq, fn: fn})
+	q := append(s.queue, event{at: s.now + delay, seq: s.seq, fn: fn})
+	// Sift up.
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&q[i], &q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	s.queue = q
 }
 
 // Run processes events until the queue drains or virtual time passes
 // until (microseconds).
 func (s *Sim) Run(until int64) {
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(event)
+	for len(s.queue) > 0 {
+		e := s.queue[0]
 		if e.at > until {
 			s.now = until
 			return
 		}
+		s.pop()
 		s.now = e.at
 		e.fn()
 	}
+}
+
+// pop removes the minimum event and restores the heap.
+func (s *Sim) pop() {
+	q := s.queue
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the fn reference
+	q = q[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && eventLess(&q[l], &q[least]) {
+			least = l
+		}
+		if r < n && eventLess(&q[r], &q[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	s.queue = q
 }
 
 // station is a FIFO k-server queue modeled by per-server busy-until

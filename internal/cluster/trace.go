@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Trace records a run's execution history — every applied write batch with
+// its merge timestamp and replica, every commit with its virtual time and
+// client, every SC abort — as one canonical string per event. The
+// differential tests assert that the compiled executor and the AST
+// interpreter produce byte-identical traces for a fixed seed (DESIGN.md
+// §9). Writes within a batch are sorted by table/key/field name before
+// rendering: the two engines emit batch members in different (state-
+// equivalent) orders, and the canonical form erases exactly that
+// difference and nothing else.
+type Trace struct {
+	Events []string
+}
+
+func (tr *Trace) add(s string) { tr.Events = append(tr.Events, s) }
+
+// applyC records a compiled write batch applied at a replica.
+func (tr *Trace) applyC(now int64, rep int, ts int64, cp *Compiled, ws []cwrite) {
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		ct := &cp.tables[w.tid]
+		parts[i] = fmt.Sprintf("%s/%q.%s=%s", ct.name, string(w.key), ct.fields[w.fid], w.val)
+	}
+	tr.addApply(now, rep, ts, parts)
+}
+
+// applyOps records an interpreter write batch applied at a replica.
+func (tr *Trace) applyOps(now int64, rep int, ts int64, ws []WriteOp) {
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = fmt.Sprintf("%s/%q.%s=%s", w.Table, string(w.Key), w.Field, w.Val)
+	}
+	tr.addApply(now, rep, ts, parts)
+}
+
+func (tr *Trace) addApply(now int64, rep int, ts int64, parts []string) {
+	sort.Strings(parts)
+	tr.add(fmt.Sprintf("%d r%d ts%d %s", now, rep, ts, strings.Join(parts, " ")))
+}
+
+func (tr *Trace) commit(now int64, client int, txn string, measured bool) {
+	tag := "commit"
+	if !measured {
+		tag = "commit-unmeasured"
+	}
+	tr.add(fmt.Sprintf("%d c%d %s %s", now, client, tag, txn))
+}
+
+func (tr *Trace) abort(now int64, client int, txn string) {
+	tr.add(fmt.Sprintf("%d c%d abort %s", now, client, txn))
+}

@@ -102,12 +102,19 @@ type Table1Baseline struct {
 // PanelBaseline is one benchmark's Fig. 12 panel: the wall clock of the
 // whole panel (repair + row migration + its four deployment simulations,
 // run at the recorded parallelism) and the simulated metrics per series.
+// SimWallMs covers only the four deployment simulations; SimTxnsPerSec is
+// the simulator's own throughput (simulated committed transactions per
+// wall-clock second) — informational, like every wall-clock column: the
+// drift gate never compares it.
 type PanelBaseline struct {
-	Benchmark string           `json:"benchmark"`
-	Topology  string           `json:"topology"`
-	Clients   int              `json:"clients"`
-	WallMs    float64          `json:"wall_ms"`
-	Series    []SeriesBaseline `json:"series"`
+	Benchmark     string           `json:"benchmark"`
+	Topology      string           `json:"topology"`
+	Clients       int              `json:"clients"`
+	WallMs        float64          `json:"wall_ms"`
+	SimWallMs     float64          `json:"sim_wall_ms"`
+	SimTxns       int64            `json:"sim_txns"`
+	SimTxnsPerSec float64          `json:"sim_txns_per_sec"`
+	Series        []SeriesBaseline `json:"series"`
 }
 
 // SeriesBaseline is one deployment's simulated measurement (the figure's
@@ -215,6 +222,11 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 			Topology:  res.Topology,
 			Clients:   cfg.Clients,
 			WallMs:    ms(time.Since(start)),
+			SimWallMs: ms(res.SimWall),
+			SimTxns:   res.Committed,
+		}
+		if res.SimWall > 0 {
+			panel.SimTxnsPerSec = float64(res.Committed) / res.SimWall.Seconds()
 		}
 		for _, s := range res.Series {
 			p := s.Points[0]

@@ -124,6 +124,9 @@ func TestPerfParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
+	// SimWall is wall-clock and legitimately differs between runs; every
+	// simulated measurement must be identical.
+	seq.SimWall, par.SimWall = 0, 0
 	if !reflect.DeepEqual(seq, par) {
 		t.Errorf("panel differs:\n seq %+v\n par %+v", seq, par)
 	}

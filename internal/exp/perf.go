@@ -24,8 +24,12 @@ type PerfConfig struct {
 	ClientCounts []int
 	Duration     time.Duration // per point; the paper uses 90 s
 	Warmup       time.Duration
-	Scale        benchmarks.Scale
-	Seed         int64
+	// Ops, when positive, makes every deployment point ops-bounded: each
+	// run stops after Ops measured commits instead of at Duration
+	// (machine-independent sizing for benchmarks and CI).
+	Ops   int64
+	Scale benchmarks.Scale
+	Seed  int64
 	// Parallelism bounds the number of deployment simulations run
 	// concurrently (the panel's 4 variants × client counts are mutually
 	// independent); <= 0 selects GOMAXPROCS.
@@ -42,6 +46,13 @@ type PerfResult struct {
 	Topology  string
 	// Series order: EC, AT-EC, SC, AT-SC (the paper's legend).
 	Series []metrics.Series
+	// Committed is the total number of transactions simulated across the
+	// panel's runs, and SimWall the wall-clock time those simulations took
+	// (excluding the repair pipeline and row migration) — their ratio is
+	// the simulator's own throughput, reported as sim_txns_per_sec in the
+	// perf baseline.
+	Committed int64
+	SimWall   time.Duration
 }
 
 // Perf runs one panel. The AT variants run the repaired program on an
@@ -101,6 +112,8 @@ func Perf(cfg PerfConfig) (*PerfResult, error) {
 	for i := range points {
 		points[i] = make([]metrics.Point, nc)
 	}
+	committed := make([]int64, len(variants)*nc)
+	simStart := time.Now()
 	err = ForEach(Workers(cfg.Parallelism), len(variants)*nc, func(i int) error {
 		v, clients := variants[i/nc], cfg.ClientCounts[i%nc]
 		run, err := cluster.Run(cluster.Config{
@@ -112,6 +125,7 @@ func Perf(cfg PerfConfig) (*PerfResult, error) {
 			Clients:          clients,
 			Duration:         cfg.Duration,
 			Warmup:           cfg.Warmup,
+			Ops:              cfg.Ops,
 			Seed:             cfg.Seed + int64(clients),
 			Mode:             v.mode,
 			SerializableTxns: v.serTxns,
@@ -120,12 +134,16 @@ func Perf(cfg PerfConfig) (*PerfResult, error) {
 			return fmt.Errorf("perf: %s %s %d clients: %w", b.Name, v.label, clients, err)
 		}
 		points[i/nc][i%nc] = run.Point
+		committed[i] = run.Committed
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := &PerfResult{Benchmark: b.Name, Topology: cfg.Topology.Name}
+	out := &PerfResult{Benchmark: b.Name, Topology: cfg.Topology.Name, SimWall: time.Since(simStart)}
+	for _, c := range committed {
+		out.Committed += c
+	}
 	for i, v := range variants {
 		out.Series = append(out.Series, metrics.Series{Label: v.label, Points: points[i]})
 	}

@@ -69,7 +69,9 @@ type Point struct {
 	Clients    int
 	Throughput float64 // transactions per second
 	MeanMs     float64 // mean latency in milliseconds
+	P50Ms      float64
 	P95Ms      float64
+	P99Ms      float64
 }
 
 // Series is a labelled performance curve (one line in Figs. 12–15).

@@ -46,6 +46,28 @@ func TestPercentileOrdering(t *testing.T) {
 	}
 }
 
+// TestReservoirDeterministic: the seeded reservoir makes the percentile
+// estimate a pure function of (seed, sample sequence) even after
+// replacement kicks in — the property the cluster simulator's golden
+// latency test (internal/cluster) builds on.
+func TestReservoirDeterministic(t *testing.T) {
+	run := func() (time.Duration, time.Duration) {
+		l := NewLatencies(32, 5)
+		for i := 1; i <= 1000; i++ {
+			l.Add(time.Duration(i*i%997) * time.Millisecond)
+		}
+		return l.Percentile(50), l.Percentile(99)
+	}
+	p50a, p99a := run()
+	p50b, p99b := run()
+	if p50a != p50b || p99a != p99b {
+		t.Fatalf("reservoir not deterministic: (%v,%v) vs (%v,%v)", p50a, p99a, p50b, p99b)
+	}
+	if p50a > p99a {
+		t.Fatalf("p50 %v > p99 %v", p50a, p99a)
+	}
+}
+
 // TestReservoirBounded is a property test: however many samples arrive,
 // the reservoir never exceeds its capacity and mean stays within the
 // sample range.

@@ -331,6 +331,32 @@ func lookupConjunct(t *ast.Txn, table string, wAnchor ast.Expr, q ast.WhereEqual
 // repair's try_repair and post-processing probe Merge speculatively, so
 // the failing probes must not pay (or leak) a whole-program clone.
 func Merge(p *ast.Program, txn, label1, label2 string) (*ast.Program, error) {
+	mergedWhere, err := checkMerge(p, txn, label1, label2)
+	if err != nil {
+		return nil, err
+	}
+	// mergedWhere points into p; every use below deep-clones it, so the
+	// clone never aliases the input program.
+	out := ast.CloneProgram(p)
+	applyMerge(out.Txn(txn), label1, label2, mergedWhere)
+	return out, nil
+}
+
+// MergeInPlace is Merge without the whole-program clone: the transaction is
+// mutated directly. Exhaustive merge loops (repair's post-processing) use
+// it to avoid paying a program clone per successful merge.
+func MergeInPlace(p *ast.Program, txn, label1, label2 string) error {
+	mergedWhere, err := checkMerge(p, txn, label1, label2)
+	if err != nil {
+		return err
+	}
+	applyMerge(p.Txn(txn), label1, label2, mergedWhere)
+	return nil
+}
+
+// checkMerge runs Merge's feasibility checks (pure reads against p) and
+// returns the where clause the merged command keeps.
+func checkMerge(p *ast.Program, txn, label1, label2 string) (ast.Expr, error) {
 	pt := p.Txn(txn)
 	if pt == nil {
 		return nil, errf("merge", "unknown transaction %q", txn)
@@ -370,11 +396,12 @@ func Merge(p *ast.Program, txn, label1, label2 string) (*ast.Program, error) {
 	default:
 		return nil, errf("merge", "%s: %s is not mergeable (inserts are already atomic)", txn, label1)
 	}
+	return mergedWhere, nil
+}
 
-	// mergedWhere points into p; every use below deep-clones it, so the
-	// clone never aliases the input program.
-	out := ast.CloneProgram(p)
-	t := out.Txn(txn)
+// applyMerge performs the validated merge on t. mergedWhere may alias the
+// program that owns t; every use deep-clones it.
+func applyMerge(t *ast.Txn, label1, label2 string, mergedWhere ast.Expr) {
 	c1 := findCommand(t, label1)
 	c2 := findCommand(t, label2)
 
@@ -430,7 +457,6 @@ func Merge(p *ast.Program, txn, label1, label2 string) (*ast.Program, error) {
 		replaceCommand(t, label1, merged)
 		removeCommand(t, label2)
 	}
-	return out, nil
 }
 
 func cloneAssignsList(as []ast.Assign) []ast.Assign {

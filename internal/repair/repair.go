@@ -606,29 +606,35 @@ func postprocess(p *ast.Program, res *Result, moved map[string]map[string]bool) 
 }
 
 // mergeAll exhaustively merges same-kind commands that provably select the
-// same records.
+// same records. Merges apply in place (no whole-program clone per
+// success) and the scan continues from the merge point: merging c2 into c1
+// removes c2 and may change c1's shape, so the inner scan resumes at the
+// same i with the refreshed command list instead of restarting the whole
+// transaction — a merge can only enable pairs involving commands at or
+// after i, and the outer fixpoint loop catches pairs a merge enabled
+// earlier in the list.
 func mergeAll(p *ast.Program) int {
 	merged := 0
 	for _, t := range p.Txns {
 		for {
+			progress := false
 			cmds := ast.Commands(t.Body)
-			done := true
-		search:
 			for i := 0; i < len(cmds); i++ {
 				for j := i + 1; j < len(cmds); j++ {
 					if cmds[i].TableName() != cmds[j].TableName() || !sameKind(cmds[i], cmds[j]) {
 						continue
 					}
-					if np, err := refactor.Merge(p, t.Name, cmds[i].CmdLabel(), cmds[j].CmdLabel()); err == nil {
-						// Merge clones the program; splice the merged txn back.
-						*t = *np.Txn(t.Name)
+					if err := refactor.MergeInPlace(p, t.Name, cmds[i].CmdLabel(), cmds[j].CmdLabel()); err == nil {
 						merged++
-						done = false
-						break search
+						progress = true
+						// c2 is gone and c1 changed: refresh the list and
+						// rescan c1 against its new successors.
+						cmds = ast.Commands(t.Body)
+						j = i
 					}
 				}
 			}
-			if done {
+			if !progress {
 				break
 			}
 		}

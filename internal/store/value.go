@@ -10,7 +10,7 @@ package store
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"atropos/internal/ast"
 )
@@ -85,20 +85,33 @@ type Key string
 
 // MakeKey encodes a tuple of primary-key values.
 func MakeKey(vals ...Value) Key {
-	parts := make([]string, len(vals))
+	return Key(AppendKey(nil, vals...))
+}
+
+// AppendKey appends the encoding MakeKey(vals...) produces to buf and
+// returns it; hot paths (the cluster simulator's compiled executor) reuse
+// the buffer to build keys and scan prefixes without a fresh allocation
+// per statement.
+func AppendKey(buf []byte, vals ...Value) []byte {
 	for i, v := range vals {
+		if i > 0 {
+			buf = append(buf, '\x1f')
+		}
 		switch v.T {
 		case ast.TInt:
-			parts[i] = fmt.Sprintf("i%d", v.I)
+			buf = append(buf, 'i')
+			buf = strconv.AppendInt(buf, v.I, 10)
 		case ast.TBool:
-			parts[i] = fmt.Sprintf("b%t", v.B)
+			buf = append(buf, 'b')
+			buf = strconv.AppendBool(buf, v.B)
 		case ast.TString:
-			parts[i] = "s" + v.S
+			buf = append(buf, 's')
+			buf = append(buf, v.S...)
 		default:
-			parts[i] = "?"
+			buf = append(buf, '?')
 		}
 	}
-	return Key(strings.Join(parts, "\x1f"))
+	return buf
 }
 
 // Row is a record's field valuation (including the implicit alive field).
