@@ -10,7 +10,7 @@ COVER_FLOOR ?= 60
 # Seconds each fuzz target runs under `make fuzz` / the nightly workflow.
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race bench bench-compare cover drift fuzz baseline
+.PHONY: ci fmt vet build test race bench bench-compare cover drift fuzz baseline profile
 
 ci: fmt vet build race bench cover drift
 
@@ -34,12 +34,19 @@ race:
 	$(GO) test -race ./...
 
 # One pass over every experiment benchmark and hot-path microbenchmark —
-# a smoke test that each driver still runs, not a measurement. The output
-# lands in bench-smoke.txt, which the CI bench job uploads as an artifact.
+# a smoke test that each driver still runs, not a measurement — followed by
+# the allocation-regression gate: allocs/op of the repair pipeline
+# (BenchmarkTable1_*) and the compiled simulator (BenchmarkSim*) are
+# deterministic and machine-independent, so they are compared against the
+# checked-in BENCH_allocs.json thresholds (>15% regression fails; wall
+# clock stays informational, like the drift gate). The output lands in
+# bench-smoke.txt, which the CI bench job uploads as an artifact.
 # (Redirect + cat rather than tee: a pipe would mask go test's exit code.)
 bench:
 	@$(GO) test -bench . -benchtime 1x -run '^$$' $(BENCH_PKGS) > bench-smoke.txt; \
-	status=$$?; cat bench-smoke.txt; exit $$status
+	status=$$?; cat bench-smoke.txt; \
+	if [ $$status -ne 0 ]; then exit $$status; fi
+	$(GO) run ./cmd/allocgate -bench bench-smoke.txt -thresholds BENCH_allocs.json
 
 # Benchmark pattern/packages/repetitions for `make bench-compare`. The
 # default pattern covers the detect→encode→solve hot path (Table 1 repairs,
@@ -92,7 +99,24 @@ drift:
 fuzz:
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzRepairRandomProgram$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzDetectSessionEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzCOWDeepCloneEquivalence$$' -fuzztime $(FUZZTIME)
 
 # Regenerate the committed perf snapshot (see EXPERIMENTS.md §Baselines).
 baseline:
 	$(GO) run ./cmd/atropos-exp -exp baseline -duration 2 -out BENCH_baseline.json
+
+# Capture CPU + allocation profiles of the two hot surfaces — the repair
+# pipeline (Table 1 over all nine benchmarks) and the compiled cluster
+# simulator (the TPC-C Fig. 12 panel) — so perf work starts from pprof
+# instead of guesswork:
+#
+#	make profile
+#	go tool pprof -top -sample_index=alloc_objects profiles/repair.mem.pprof
+#	go tool pprof -http=:8080 profiles/sim-tpcc.cpu.pprof
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/atropos-exp -exp table1 \
+		-cpuprofile profiles/repair.cpu.pprof -memprofile profiles/repair.mem.pprof > /dev/null
+	$(GO) run ./cmd/atropos-exp -exp fig12 -bench TPC-C -duration 5 -clients 50 \
+		-cpuprofile profiles/sim-tpcc.cpu.pprof -memprofile profiles/sim-tpcc.mem.pprof > /dev/null
+	@ls -l profiles/

@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -52,10 +54,43 @@ var (
 	outPath  = flag.String("out", "", "write the baseline snapshot to this file (baseline experiment)")
 	incr     = flag.Bool("incremental", true, "use the cached incremental detection engine in the repair pipelines")
 	baseline = flag.String("baseline", "BENCH_baseline.json", "committed snapshot the drift experiment compares against")
+	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memProf  = flag.String("memprofile", "", "write an allocation profile of the experiment to this file")
 )
 
 func main() {
 	flag.Parse()
+	// The heap-profile defer is registered first so it runs last (LIFO):
+	// the CPU profile is stopped and flushed before the heap is written,
+	// and a heap-profile failure warns instead of exiting so it can never
+	// truncate the CPU profile.
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "atropos-exp: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained + cumulative allocs
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "atropos-exp: -memprofile:", err)
+			}
+		}()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	switch *expName {
 	case "table1":
 		runTable1()

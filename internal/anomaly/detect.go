@@ -33,6 +33,7 @@ type cmdInst struct {
 // repair pipeline's repeated detection passes).
 func Detect(prog *ast.Program, model Model) (*Report, error) {
 	d := &detector{prog: prog, model: model, encoders: map[[2]string]*pairEncoder{}}
+	defer d.releaseEncoders()
 	report := &Report{Model: model}
 	for _, t := range prog.Txns {
 		pairs, err := d.detectTxn(t)
@@ -196,6 +197,17 @@ func chainHist(h uint64, a1, a2 string) uint64 {
 	return logic.ChainString(logic.ChainString(h, a1), a2)
 }
 
+// releaseEncoders returns every encoder's solver memory to the shared pool
+// once the detector's results are extracted. Nothing a detector publishes
+// aliases encoder memory: reported pairs, cached cycle results, and cache
+// keys carry only immutable strings and freshly built field slices.
+func (d *detector) releaseEncoders() {
+	for _, enc := range d.encoders {
+		enc.enc.Release()
+	}
+	clear(d.encoders)
+}
+
 func (d *detector) encoderFor(t, w *ast.Txn) (*pairEncoder, error) {
 	key := [2]string{t.Name, w.Name}
 	if enc, ok := d.encoders[key]; ok {
@@ -286,7 +298,7 @@ func (pe *pairEncoder) internRel(name func(i, j int) string) [][]logic.Sym {
 // its query cache on the encoding.
 func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model, hashed bool) (*pairEncoder, error) {
 	pe := &pairEncoder{
-		enc:       logic.NewEncoder(),
+		enc:       logic.AcquireEncoder(),
 		deps:      map[int]map[int]bool{},
 		edgeNames: map[int]map[int][]edgeProp{},
 	}

@@ -3,7 +3,6 @@ package anomaly
 import (
 	"maps"
 	"slices"
-	"strings"
 	"sync"
 
 	"atropos/internal/ast"
@@ -148,15 +147,24 @@ func (s *DetectSession) Reset() {
 // all applicable cached work. The report equals Detect(prog, model)'s.
 func (s *DetectSession) Detect(prog *ast.Program) (*Report, error) {
 	n := len(prog.Txns)
-	// Precompute each transaction's printed form and table set once per
-	// pass; fingerprinting consults every (txn, witness) combination.
-	printed := make([]string, n)
+	// Precompute each transaction's structural hash and table set once per
+	// pass; fingerprinting consults every (txn, witness) combination. The
+	// hashes are memoized on the transaction nodes (ast.HashTxn), and the
+	// refactoring engine is copy-on-write, so a transaction the previous
+	// refactoring step did not touch keeps its node — hashing it again here
+	// is one atomic load, where the pre-hash-consing engine re-printed
+	// every transaction on each of the pipeline's three detection passes.
+	// This sequential prepass also publishes every memo before the workers
+	// fan out below.
+	hashes := make([]uint64, n)
 	tables := make([]map[string]bool, n)
 	for i, t := range prog.Txns {
-		var b strings.Builder
-		ast.FormatTxn(&b, t)
-		printed[i] = b.String()
+		hashes[i] = ast.HashTxn(t)
 		tables[i] = txnTables(t)
+	}
+	schemaHash := make(map[string]uint64, len(prog.Schemas))
+	for _, sch := range prog.Schemas {
+		schemaHash[sch.Name] = ast.HashSchema(sch)
 	}
 	type txnOut struct {
 		pairs                    []AccessPair
@@ -164,13 +172,14 @@ func (s *DetectSession) Detect(prog *ast.Program) (*Report, error) {
 	}
 	outs := make([]txnOut, n)
 	err := pool.ForEach(pool.Workers(s.parallelism), n, func(i int) error {
-		fp := fingerprintTxn(prog, i, printed, tables, s.model)
+		fp := fingerprintTxn(prog, i, hashes, tables, schemaHash, s.model)
 		if e, ok := s.lookupTxn(fp); ok {
 			outs[i] = txnOut{pairs: e.pairs, issued: e.issued}
 			return nil
 		}
 		d := &detector{prog: prog, model: s.model, encoders: map[[2]string]*pairEncoder{}, session: s}
 		pairs, err := d.detectTxn(prog.Txns[i])
+		d.releaseEncoders()
 		if err != nil {
 			return err
 		}
@@ -237,24 +246,21 @@ func (s *DetectSession) query(key queryKey, solve func() cycleResult) (r cycleRe
 }
 
 // fingerprintTxn digests everything transaction i's detection outcome can
-// depend on: its own text, the text of every potential witness (a
-// transaction touching at least one common table, in program order — the
-// first satisfiable witness is the one reported), the schemas of every
+// depend on: its own structural hash, the hash of every potential witness
+// (a transaction touching at least one common table, in program order —
+// the first satisfiable witness is the one reported), the schemas of every
 // table it or those witnesses touch, and the consistency model.
 // Transactions sharing no table with it cannot contribute a dependency
 // edge and are excluded, so refactoring them does not invalidate i.
-// printed and tables are the per-transaction precomputations of Detect.
-func fingerprintTxn(prog *ast.Program, i int, printed []string, tables []map[string]bool, model Model) uint64 {
-	// Chained manual FNV (logic.ChainString) instead of a hash.Hash64:
-	// hashing strings directly avoids the io.WriteString []byte conversion
-	// per component. ChainString terminates each string, so components
-	// keep distinct boundaries.
+// hashes, tables, and schemaHash are the per-pass precomputations of
+// Detect: structural hashes (ast.HashTxn / ast.HashSchema) replaced the
+// printed-text digests the session used before hash-consing, so a pass
+// over a mostly-shared program prints nothing at all.
+func fingerprintTxn(prog *ast.Program, i int, hashes []uint64, tables []map[string]bool, schemaHash map[string]uint64, model Model) uint64 {
 	h := logic.ChainString(logic.ChainSeed, model.String())
-	h = logic.ChainString(h, printed[i])
-	relevant := map[string]bool{}
-	for tb := range tables[i] {
-		relevant[tb] = true
-	}
+	h = logic.ChainUint64(h, hashes[i])
+	relevant := tables[i]
+	var merged map[string]bool
 	for j := range prog.Txns {
 		overlap := false
 		for tb := range tables[j] {
@@ -267,17 +273,24 @@ func fingerprintTxn(prog *ast.Program, i int, printed []string, tables []map[str
 			continue
 		}
 		h = logic.ChainString(h, "\x00witness\x00")
-		h = logic.ChainString(h, printed[j])
-		for tb := range tables[j] {
-			relevant[tb] = true
+		h = logic.ChainUint64(h, hashes[j])
+		if j != i {
+			if merged == nil {
+				merged = make(map[string]bool, len(relevant)+len(tables[j]))
+				for tb := range relevant {
+					merged[tb] = true
+				}
+				relevant = merged
+			}
+			for tb := range tables[j] {
+				merged[tb] = true
+			}
 		}
 	}
 	for _, name := range slices.Sorted(maps.Keys(relevant)) {
-		if sch := prog.Schema(name); sch != nil {
+		if sh, ok := schemaHash[name]; ok {
 			h = logic.ChainString(h, "\x00schema\x00")
-			var b strings.Builder
-			ast.FormatSchema(&b, sch)
-			h = logic.ChainString(h, b.String())
+			h = logic.ChainUint64(h, sh)
 		}
 	}
 	return h

@@ -7,6 +7,19 @@
 // which models row presence; INSERT and DELETE are definable in terms of
 // updates to it (paper §3). Commands carry stable labels (S1, U1, ...)
 // assigned by the parser and used in anomaly reports.
+//
+// # Immutability and hash-consing
+//
+// Statement, expression, and transaction nodes carry a lazily computed,
+// memoized structural hash (see hash.go) and may be freely shared between
+// programs: the refactoring engine is copy-on-write, so a refactored
+// program aliases every node the refactoring did not touch. The contract
+// (DESIGN.md §10) is that a node must not be mutated once it is reachable
+// from a program handed to detection, repair, or another long-lived
+// consumer; builders (the parser, progen, tests) may mutate nodes freely
+// while the tree is still private to them. CloneProgram remains available
+// for callers that need an unshared deep copy (the deep-clone differential
+// oracle in internal/refactor uses it).
 package ast
 
 import "fmt"
@@ -129,6 +142,8 @@ type Txn struct {
 	Params []*Param
 	Body   []Stmt
 	Ret    Expr // nil when the transaction returns nothing
+
+	memo memoHash
 }
 
 // Param returns the parameter with the given name, or nil.
@@ -172,6 +187,8 @@ type Select struct {
 	Fields []string
 	Table  string
 	Where  Expr
+
+	memo memoHash
 }
 
 // Update is UPDATE R SET f̄ = ē WHERE φ.
@@ -180,6 +197,8 @@ type Update struct {
 	Table string
 	Sets  []Assign
 	Where Expr
+
+	memo memoHash
 }
 
 // Insert is INSERT INTO R VALUES (f̄ = ē). Per paper §3 it is sugar for an
@@ -189,6 +208,8 @@ type Insert struct {
 	Label  string
 	Table  string
 	Values []Assign
+
+	memo memoHash
 }
 
 // Assign pairs a field name with the expression assigned to it.
@@ -201,6 +222,8 @@ type Assign struct {
 type If struct {
 	Cond Expr
 	Then []Stmt
+
+	memo memoHash
 }
 
 // Iterate is iterate(e){c̄}: run the body e times; the current index is
@@ -208,6 +231,8 @@ type If struct {
 type Iterate struct {
 	Count Expr
 	Body  []Stmt
+
+	memo memoHash
 }
 
 // Skip is the no-op statement.
@@ -223,8 +248,10 @@ func (*Skip) isStmt()    {}
 // CmdLabel implements DBCommand.
 func (s *Select) CmdLabel() string { return s.Label }
 
-// SetCmdLabel implements DBCommand.
-func (s *Select) SetCmdLabel(l string) { s.Label = l }
+// SetCmdLabel implements DBCommand. It drops the node's own hash memo, but
+// callers must not relabel a command that is already shared (enclosing
+// nodes would keep stale memos); builders relabel before sharing.
+func (s *Select) SetCmdLabel(l string) { s.Label = l; s.memo.reset() }
 
 // TableName implements DBCommand.
 func (s *Select) TableName() string { return s.Table }
@@ -232,8 +259,8 @@ func (s *Select) TableName() string { return s.Table }
 // CmdLabel implements DBCommand.
 func (u *Update) CmdLabel() string { return u.Label }
 
-// SetCmdLabel implements DBCommand.
-func (u *Update) SetCmdLabel(l string) { u.Label = l }
+// SetCmdLabel implements DBCommand (see Select.SetCmdLabel on sharing).
+func (u *Update) SetCmdLabel(l string) { u.Label = l; u.memo.reset() }
 
 // TableName implements DBCommand.
 func (u *Update) TableName() string { return u.Table }
@@ -241,8 +268,8 @@ func (u *Update) TableName() string { return u.Table }
 // CmdLabel implements DBCommand.
 func (i *Insert) CmdLabel() string { return i.Label }
 
-// SetCmdLabel implements DBCommand.
-func (i *Insert) SetCmdLabel(l string) { i.Label = l }
+// SetCmdLabel implements DBCommand (see Select.SetCmdLabel on sharing).
+func (i *Insert) SetCmdLabel(l string) { i.Label = l; i.memo.reset() }
 
 // TableName implements DBCommand.
 func (i *Insert) TableName() string { return i.Table }
@@ -253,16 +280,32 @@ type Expr interface {
 }
 
 // IntLit is an integer constant.
-type IntLit struct{ Val int64 }
+type IntLit struct {
+	Val int64
+
+	memo memoHash
+}
 
 // BoolLit is a boolean constant.
-type BoolLit struct{ Val bool }
+type BoolLit struct {
+	Val bool
+
+	memo memoHash
+}
 
 // StringLit is a string constant.
-type StringLit struct{ Val string }
+type StringLit struct {
+	Val string
+
+	memo memoHash
+}
 
 // Arg references a transaction parameter.
-type Arg struct{ Name string }
+type Arg struct {
+	Name string
+
+	memo memoHash
+}
 
 // BinOp enumerates binary operators: arithmetic ⊕, comparison ⊙, boolean ∘.
 type BinOp int
@@ -327,13 +370,19 @@ func (op BinOp) IsLogical() bool { return op == OpAnd || op == OpOr }
 type Binary struct {
 	Op   BinOp
 	L, R Expr
+
+	memo memoHash
 }
 
 // IterVar is the iter expression: the current iterate counter.
 type IterVar struct{}
 
 // ThisField is this.f — a field reference inside a where clause.
-type ThisField struct{ Field string }
+type ThisField struct {
+	Field string
+
+	memo memoHash
+}
 
 // FieldAt is at_e(x.f): the value of field f in the e-th record held in x.
 // A nil Index means at1 (the sole/first record), the common case.
@@ -341,6 +390,8 @@ type FieldAt struct {
 	Var   string
 	Field string
 	Index Expr
+
+	memo memoHash
 }
 
 // AggFn enumerates aggregation functions over query results.
@@ -378,6 +429,8 @@ type Agg struct {
 	Fn    AggFn
 	Var   string
 	Field string
+
+	memo memoHash
 }
 
 // UUID is the uuid() expression: a globally fresh value (paper Fig. 3).

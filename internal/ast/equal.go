@@ -3,9 +3,19 @@ package ast
 // EqualExpr reports structural equality of two expressions. Two nil
 // expressions are equal. Used by the repair engine to decide whether two
 // where clauses always select the same records (merge precondition R1).
+//
+// Interned expressions (see Intern) compare in O(1): pointer-identical
+// nodes whose memoized hash proves them uuid-free are equal without a
+// walk. uuid() stays never-equal — even to itself — so the fast path
+// requires a computed memo with the uuid bit clear.
 func EqualExpr(a, b Expr) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
+	}
+	if a == b {
+		if h := memoizedExprHash(a); h != 0 && h&hashUUID == 0 {
+			return true
+		}
 	}
 	switch x := a.(type) {
 	case *IntLit:

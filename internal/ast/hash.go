@@ -1,0 +1,354 @@
+package ast
+
+import "sync/atomic"
+
+// Structural hashing (DESIGN.md §10). Every statement, expression, and
+// transaction node carries a memoized 64-bit structural hash: the first
+// HashX call walks the subtree, every later call is an atomic load. The
+// memo is sound because nodes are immutable once shared (see the package
+// comment): the copy-on-write refactoring engine builds new nodes instead
+// of mutating, so a node pointer is a stable identity for its content and
+// unchanged subtrees hash in O(1) across the repair pipeline's detection
+// passes.
+//
+// Layout of a hash word: bit 63 (hashUUID) marks subtrees containing a
+// uuid() expression — such trees are never structurally equal (uuid() is
+// fresh per evaluation), so equality fast paths and the cons table skip
+// them. The remaining bits are an FNV-1a-style digest. A computed hash is
+// never 0; 0 is the "not yet computed" sentinel.
+
+// memoHash is the per-node memo slot. It is accessed atomically so that a
+// first hash computed concurrently by two goroutines races benignly (both
+// write the same value) and passes the race detector.
+type memoHash struct{ v atomic.Uint64 }
+
+func (m *memoHash) load() uint64   { return m.v.Load() }
+func (m *memoHash) store(h uint64) { m.v.Store(h) }
+func (m *memoHash) reset()         { m.v.Store(0) }
+
+const (
+	hashSeed   uint64 = 14695981039346656037 // FNV-64 offset basis
+	hashPrime  uint64 = 1099511628211        // FNV-64 prime
+	hashUUID   uint64 = 1 << 63              // subtree contains uuid()
+	hashDigest        = ^hashUUID            // digest bits of a hash word
+)
+
+// Per-node-kind tags keep distinct shapes with equal leaves distinct.
+const (
+	tagNil uint64 = iota + 0x9e37
+	tagIntLit
+	tagBoolLit
+	tagStringLit
+	tagArg
+	tagBinary
+	tagIterVar
+	tagThisField
+	tagFieldAt
+	tagAgg
+	tagUUID
+	tagSelect
+	tagUpdate
+	tagInsert
+	tagIf
+	tagIterate
+	tagSkip
+	tagTxn
+	tagSchema
+	tagField
+	tagParam
+	tagAssign
+	tagRet
+	tagProgram
+)
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * hashPrime }
+
+func hashUint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = hashByte(h, byte(v))
+		v >>= 8
+	}
+	return h
+}
+
+// hashString digests s with a terminator so consecutive strings keep
+// distinct boundaries ("ab","c" vs "a","bc").
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = hashByte(h, s[i])
+	}
+	return hashByte(h, 0xff)
+}
+
+// hashSub folds a child hash word's digest bits into h and accumulates its
+// uuid bit into *uuid. Intermediate FNV products may set bit 63, so the
+// uuid flag is tracked out of band and stamped onto the digest by finish.
+func hashSub(h, child uint64, uuid *uint64) uint64 {
+	*uuid |= child & hashUUID
+	return hashUint(h, child&hashDigest)
+}
+
+// finish masks the accumulator to digest bits, stamps the uuid flag, and
+// normalizes so a computed hash is never the 0 sentinel.
+func finish(h, uuid uint64) uint64 {
+	h = h&hashDigest | uuid
+	if h&hashDigest == 0 {
+		h |= 1
+	}
+	return h
+}
+
+// HashExpr returns the memoized structural hash of e; nil hashes to a
+// fixed value. Two expressions with equal hashes are structurally equal
+// with overwhelming probability (64-bit digest); unequal hashes are
+// definitely structurally different.
+func HashExpr(e Expr) uint64 {
+	switch x := e.(type) {
+	case nil:
+		return finish(hashUint(hashSeed, tagNil), 0)
+	case *IntLit:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		h := finish(hashUint(hashUint(hashSeed, tagIntLit), uint64(x.Val)), 0)
+		x.memo.store(h)
+		return h
+	case *BoolLit:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		v := uint64(0)
+		if x.Val {
+			v = 1
+		}
+		h := finish(hashUint(hashUint(hashSeed, tagBoolLit), v), 0)
+		x.memo.store(h)
+		return h
+	case *StringLit:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		h := finish(hashString(hashUint(hashSeed, tagStringLit), x.Val), 0)
+		x.memo.store(h)
+		return h
+	case *Arg:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		h := finish(hashString(hashUint(hashSeed, tagArg), x.Name), 0)
+		x.memo.store(h)
+		return h
+	case *Binary:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		var uuid uint64
+		h := hashUint(hashUint(hashSeed, tagBinary), uint64(x.Op))
+		h = hashSub(h, HashExpr(x.L), &uuid)
+		h = hashSub(h, HashExpr(x.R), &uuid)
+		h = finish(h, uuid)
+		x.memo.store(h)
+		return h
+	case *IterVar:
+		return finish(hashUint(hashSeed, tagIterVar), 0)
+	case *ThisField:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		h := finish(hashString(hashUint(hashSeed, tagThisField), x.Field), 0)
+		x.memo.store(h)
+		return h
+	case *FieldAt:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		var uuid uint64
+		h := hashString(hashString(hashUint(hashSeed, tagFieldAt), x.Var), x.Field)
+		h = hashSub(h, HashExpr(x.Index), &uuid)
+		h = finish(h, uuid)
+		x.memo.store(h)
+		return h
+	case *Agg:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		h := hashUint(hashUint(hashSeed, tagAgg), uint64(x.Fn))
+		h = finish(hashString(hashString(h, x.Var), x.Field), 0)
+		x.memo.store(h)
+		return h
+	case *UUID:
+		return finish(hashUint(hashSeed, tagUUID), hashUUID)
+	default:
+		return finish(hashUint(hashSeed, tagNil), 0)
+	}
+}
+
+// memoizedExprHash returns e's hash if it has already been computed and
+// memoized, else 0. It never computes: EqualExpr's pointer fast path must
+// stay allocation- and walk-free.
+func memoizedExprHash(e Expr) uint64 {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.memo.load()
+	case *BoolLit:
+		return x.memo.load()
+	case *StringLit:
+		return x.memo.load()
+	case *Arg:
+		return x.memo.load()
+	case *Binary:
+		return x.memo.load()
+	case *ThisField:
+		return x.memo.load()
+	case *FieldAt:
+		return x.memo.load()
+	case *Agg:
+		return x.memo.load()
+	default:
+		return 0
+	}
+}
+
+// HashStmt returns the memoized structural hash of s, including command
+// labels (anomaly reports address commands by label, so two programs that
+// differ only in labels must fingerprint differently).
+func HashStmt(s Stmt) uint64 {
+	switch x := s.(type) {
+	case nil:
+		return finish(hashUint(hashSeed, tagNil), 0)
+	case *Select:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		h := hashString(hashUint(hashSeed, tagSelect), x.Label)
+		h = hashString(h, x.Var)
+		if x.Star {
+			h = hashByte(h, 1)
+		} else {
+			h = hashByte(h, 0)
+		}
+		for _, f := range x.Fields {
+			h = hashString(h, f)
+		}
+		h = hashString(h, x.Table)
+		var uuid uint64
+		h = finish(hashSub(h, HashExpr(x.Where), &uuid), uuid)
+		x.memo.store(h)
+		return h
+	case *Update:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		var uuid uint64
+		h := hashString(hashUint(hashSeed, tagUpdate), x.Label)
+		h = hashString(h, x.Table)
+		h = hashAssigns(h, x.Sets, &uuid)
+		h = finish(hashSub(h, HashExpr(x.Where), &uuid), uuid)
+		x.memo.store(h)
+		return h
+	case *Insert:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		var uuid uint64
+		h := hashString(hashUint(hashSeed, tagInsert), x.Label)
+		h = hashString(h, x.Table)
+		h = finish(hashAssigns(h, x.Values, &uuid), uuid)
+		x.memo.store(h)
+		return h
+	case *If:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		var uuid uint64
+		h := hashSub(hashUint(hashSeed, tagIf), HashExpr(x.Cond), &uuid)
+		h = finish(hashStmts(h, x.Then, &uuid), uuid)
+		x.memo.store(h)
+		return h
+	case *Iterate:
+		if h := x.memo.load(); h != 0 {
+			return h
+		}
+		var uuid uint64
+		h := hashSub(hashUint(hashSeed, tagIterate), HashExpr(x.Count), &uuid)
+		h = finish(hashStmts(h, x.Body, &uuid), uuid)
+		x.memo.store(h)
+		return h
+	case *Skip:
+		return finish(hashUint(hashSeed, tagSkip), 0)
+	default:
+		return finish(hashUint(hashSeed, tagNil), 0)
+	}
+}
+
+func hashAssigns(h uint64, as []Assign, uuid *uint64) uint64 {
+	for _, a := range as {
+		h = hashUint(h, tagAssign)
+		h = hashString(h, a.Field)
+		h = hashSub(h, HashExpr(a.Expr), uuid)
+	}
+	return h
+}
+
+func hashStmts(h uint64, body []Stmt, uuid *uint64) uint64 {
+	for _, s := range body {
+		h = hashSub(h, HashStmt(s), uuid)
+	}
+	return h
+}
+
+// HashTxn returns the memoized structural hash of a transaction: name,
+// parameters, body (labels included), and return expression. The repair
+// pipeline's detection passes fingerprint transactions with it; because
+// refactoring is copy-on-write, an untouched transaction keeps its node —
+// and thus its memo — so re-fingerprinting it costs one atomic load.
+func HashTxn(t *Txn) uint64 {
+	if h := t.memo.load(); h != 0 {
+		return h
+	}
+	h := hashString(hashUint(hashSeed, tagTxn), t.Name)
+	for _, p := range t.Params {
+		h = hashUint(h, tagParam)
+		h = hashString(h, p.Name)
+		h = hashUint(h, uint64(p.Type))
+	}
+	var uuid uint64
+	h = hashStmts(h, t.Body, &uuid)
+	h = hashUint(h, tagRet)
+	h = finish(hashSub(h, HashExpr(t.Ret), &uuid), uuid)
+	t.memo.store(h)
+	return h
+}
+
+// HashSchema digests a schema declaration. Schemas are small and — unlike
+// statements — still mutated in place by the deep-clone legacy path
+// (GCSchemas), so their hash is recomputed on every call rather than
+// memoized.
+func HashSchema(s *Schema) uint64 {
+	h := hashString(hashUint(hashSeed, tagSchema), s.Name)
+	for _, f := range s.Fields {
+		h = hashUint(h, tagField)
+		h = hashString(h, f.Name)
+		h = hashUint(h, uint64(f.Type))
+		if f.PK {
+			h = hashByte(h, 1)
+		} else {
+			h = hashByte(h, 0)
+		}
+	}
+	return finish(h, 0)
+}
+
+// HashProgram digests a whole program (schemas then transactions). Not
+// memoized: Program headers are rebuilt freely by the COW engine.
+func HashProgram(p *Program) uint64 {
+	h := hashUint(hashSeed, tagProgram)
+	for _, s := range p.Schemas {
+		h = hashUint(h, HashSchema(s))
+	}
+	var uuid uint64
+	for _, t := range p.Txns {
+		h = hashSub(h, HashTxn(t), &uuid)
+	}
+	return finish(h, uuid)
+}

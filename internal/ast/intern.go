@@ -1,0 +1,104 @@
+package ast
+
+import "sync"
+
+// Hash-consing of expressions (DESIGN.md §10): Intern canonicalizes an
+// expression tree against a global, size-bounded cons table so that
+// structurally equal expressions share one node. Interned expressions make
+// EqualExpr O(1) on the repair hot path (pointer identity plus a memoized
+// uuid-freeness check) and let speculative refactoring candidates share
+// their rebuilt where clauses instead of re-allocating them per probe.
+//
+// The table is keyed by structural hash with EqualExpr verifying bucket
+// collisions, so a (vanishingly unlikely) 64-bit collision degrades to an
+// unshared node, never to a wrong merge. Subtrees containing uuid() are
+// never interned: uuid() is fresh per evaluation, so two occurrences are
+// never equal and sharing them would let the equality fast path lie.
+//
+// The bound caps memory for adversarial workloads (fuzzers generating
+// unbounded distinct literals): once full, Intern still canonicalizes
+// against existing entries but stops inserting new ones.
+
+const consTableMax = 1 << 16
+
+var consTable = struct {
+	sync.Mutex
+	m map[uint64][]Expr
+	n int
+}{m: make(map[uint64][]Expr)}
+
+// Intern returns the canonical node for e, interning its children bottom-up.
+// The result prints and compares identically to e; callers must treat it as
+// shared and immutable. nil interns to nil.
+func Intern(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Binary:
+		l, r := Intern(x.L), Intern(x.R)
+		if l != x.L || r != x.R {
+			e = &Binary{Op: x.Op, L: l, R: r}
+		}
+	case *FieldAt:
+		if idx := Intern(x.Index); idx != x.Index {
+			e = &FieldAt{Var: x.Var, Field: x.Field, Index: idx}
+		}
+	}
+	h := HashExpr(e)
+	if h&hashUUID != 0 {
+		return e
+	}
+	consTable.Lock()
+	defer consTable.Unlock()
+	for _, c := range consTable.m[h] {
+		if EqualExpr(c, e) {
+			return c
+		}
+	}
+	if consTable.n < consTableMax {
+		consTable.m[h] = append(consTable.m[h], e)
+		consTable.n++
+	}
+	return e
+}
+
+// InternTxnExprs canonicalizes every expression of a transaction in place.
+// It is a builder-side operation: the parser and generators call it while
+// the transaction is still private to them, before it is shared or hashed.
+func InternTxnExprs(t *Txn) {
+	var walk func(body []Stmt)
+	walk = func(body []Stmt) {
+		for _, s := range body {
+			switch x := s.(type) {
+			case *Select:
+				x.Where = Intern(x.Where)
+			case *Update:
+				x.Where = Intern(x.Where)
+				for i := range x.Sets {
+					x.Sets[i].Expr = Intern(x.Sets[i].Expr)
+				}
+			case *Insert:
+				for i := range x.Values {
+					x.Values[i].Expr = Intern(x.Values[i].Expr)
+				}
+			case *If:
+				x.Cond = Intern(x.Cond)
+				walk(x.Then)
+			case *Iterate:
+				x.Count = Intern(x.Count)
+				walk(x.Body)
+			}
+		}
+	}
+	walk(t.Body)
+	t.Ret = Intern(t.Ret)
+}
+
+// InternProgramExprs canonicalizes every expression of a program in place
+// (same builder-side caveat as InternTxnExprs).
+func InternProgramExprs(p *Program) {
+	for _, t := range p.Txns {
+		InternTxnExprs(t)
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"atropos/internal/anomaly"
+	"atropos/internal/ast"
 	"atropos/internal/benchmarks"
 	"atropos/internal/cluster"
+	"atropos/internal/progen"
 	"atropos/internal/repair"
 )
 
@@ -63,6 +65,10 @@ type Baseline struct {
 	// Repairs is Table 1's Time column: per-benchmark analyze+repair wall
 	// time, plus the anomaly counts guarding against "fast because wrong".
 	Repairs []RepairBaseline `json:"repairs"`
+	// Corpus is the generated-program repair-throughput measurement: N
+	// progen programs at fixed seeds repaired back to back, the workload
+	// shape of ROADMAP-scale corpus evaluations.
+	Corpus CorpusBaseline `json:"corpus"`
 	// Table1 compares the sequential and parallel corpus pipelines.
 	Table1 Table1Baseline `json:"table1"`
 	// Panels is one Fig. 12 deployment point per benchmark × mode.
@@ -91,6 +97,23 @@ type RepairBaseline struct {
 	AllocsPerRepair uint64  `json:"allocs_per_repair"`
 	BytesPerRepair  uint64  `json:"bytes_per_repair"`
 }
+
+// CorpusBaseline is the progen-corpus repair measurement: Programs fixed
+// seeds (0..Programs-1) repaired under EC. The anomaly totals are
+// deterministic and machine-independent — the drift gate compares them —
+// while WallMs, RepairsPerSec, and TotalAllocs are informational like
+// every other wall-clock column.
+type CorpusBaseline struct {
+	Programs       int     `json:"programs"`
+	WallMs         float64 `json:"wall_ms"`
+	RepairsPerSec  float64 `json:"repairs_per_sec"`
+	TotalAllocs    uint64  `json:"total_allocs"`
+	TotalInitial   int     `json:"total_initial_anomalies"`
+	TotalRemaining int     `json:"total_remaining_anomalies"`
+}
+
+// corpusPrograms is the fixed corpus size; seeds are 0..corpusPrograms-1.
+const corpusPrograms = 32
 
 // Table1Baseline is the corpus-wide pipeline wall clock.
 type Table1Baseline struct {
@@ -180,6 +203,33 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 			BytesPerRepair:  after.TotalAlloc - before.TotalAlloc,
 		})
 	}
+	// Corpus repair throughput: generated programs at fixed seeds, repaired
+	// back to back. Programs are generated up front so the measurement
+	// covers repair, not generation.
+	corpus := make([]*ast.Program, corpusPrograms)
+	for i := range corpus {
+		corpus[i] = progen.Program(int64(i))
+	}
+	var cBefore, cAfter runtime.MemStats
+	runtime.ReadMemStats(&cBefore)
+	corpusStart := time.Now()
+	for _, p := range corpus {
+		rep, err := repair.RepairWith(p, anomaly.EC, repair.Options{Incremental: !cfg.NonIncremental})
+		if err != nil {
+			return nil, err
+		}
+		out.Corpus.TotalInitial += len(rep.Initial)
+		out.Corpus.TotalRemaining += len(rep.Remaining)
+	}
+	corpusWall := time.Since(corpusStart)
+	runtime.ReadMemStats(&cAfter)
+	out.Corpus.Programs = corpusPrograms
+	out.Corpus.WallMs = ms(corpusWall)
+	out.Corpus.TotalAllocs = cAfter.Mallocs - cBefore.Mallocs
+	if corpusWall > 0 {
+		out.Corpus.RepairsPerSec = float64(corpusPrograms) / corpusWall.Seconds()
+	}
+
 	if cfg.CountsOnly {
 		return out, nil
 	}

@@ -64,5 +64,18 @@ func CountDrift(got, want *Baseline) []string {
 			drift = append(drift, fmt.Sprintf("%s: in committed baseline but not measured", w.Benchmark))
 		}
 	}
+	// Corpus anomaly totals are deterministic (fixed progen seeds) and
+	// engine-independent; a zero Programs count marks a pre-corpus
+	// baseline, which is not itself drift.
+	if want.Corpus.Programs != 0 {
+		check := func(field string, gv, wv int) {
+			if gv != wv {
+				drift = append(drift, fmt.Sprintf("corpus: %s = %d, baseline %d", field, gv, wv))
+			}
+		}
+		check("programs", got.Corpus.Programs, want.Corpus.Programs)
+		check("total_initial_anomalies", got.Corpus.TotalInitial, want.Corpus.TotalInitial)
+		check("total_remaining_anomalies", got.Corpus.TotalRemaining, want.Corpus.TotalRemaining)
+	}
 	return drift
 }

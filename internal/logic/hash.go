@@ -57,6 +57,10 @@ func ChainString(h uint64, s string) uint64 { return fnvString(h, s) }
 // ChainSeed is the initial value for a ChainString sequence.
 const ChainSeed uint64 = fnvOffset
 
+// ChainUint64 folds a 64-bit value into a ChainString-style chain (the
+// anomaly session chains transaction/schema structural hashes with it).
+func ChainUint64(h, v uint64) uint64 { return fnvUint64(h, v) }
+
 func hashInto(in *Interner, h uint64, f Formula) uint64 {
 	switch x := f.(type) {
 	case *Prop:

@@ -25,6 +25,14 @@ func NewInterner() *Interner {
 	return &Interner{index: map[string]Sym{}}
 }
 
+// reset empties the interner keeping its map buckets and slice capacity;
+// previously returned name strings stay valid (strings are immutable), but
+// previously returned Syms are meaningless afterwards.
+func (in *Interner) reset() {
+	in.names = in.names[:0]
+	clear(in.index)
+}
+
 // Intern returns the Sym for name, assigning the next free Sym on first
 // sight.
 func (in *Interner) Intern(name string) Sym {

@@ -14,6 +14,7 @@ package logic
 
 import (
 	"fmt"
+	"sync"
 
 	"atropos/internal/sat"
 )
@@ -167,9 +168,55 @@ func (e *Encoder) RecordFormulaHashes() { e.recordHashes = true }
 // NewEncoder creates an encoder over a fresh solver.
 func NewEncoder() *Encoder {
 	e := &Encoder{S: sat.New(), in: NewInterner()}
+	e.init()
+	return e
+}
+
+// init asserts the shared true constant; split out so reset can replay it.
+func (e *Encoder) init() {
 	e.trueVar = e.S.NewVar()
 	e.S.AddClause(sat.NewLit(e.trueVar, false))
-	return e
+}
+
+// reset restores the encoder (and its solver and interner) to freshly
+// constructed state while keeping every backing array and map bucket.
+func (e *Encoder) reset() {
+	e.S.Reset()
+	e.in.reset()
+	e.vars = e.vars[:0]
+	e.atoms = e.atoms[:0]
+	e.slab = e.slab[:0]
+	e.order = e.order[:0]
+	e.recordHashes = false
+	e.assertHashes = e.assertHashes[:0]
+	e.hash = 0
+	e.hashDirty = false
+	e.scratch = e.scratch[:0]
+	e.init()
+}
+
+// encoderPool recycles encoders — and, transitively, their solvers' clause
+// arenas, watch lists, and per-variable arrays — across AcquireEncoder /
+// Release cycles. The anomaly detector builds one encoder per (txn,
+// witness) pair and discards it with the transaction; without reuse, the
+// per-variable array growth of those throwaway solvers dominated the whole
+// repair pipeline's allocated bytes.
+var encoderPool = sync.Pool{New: func() any { return NewEncoder() }}
+
+// AcquireEncoder returns a pooled encoder, indistinguishable from
+// NewEncoder()'s result. Release it when the encoding is no longer needed;
+// letting it be garbage collected instead is safe but wastes the reuse.
+func AcquireEncoder() *Encoder {
+	return encoderPool.Get().(*Encoder)
+}
+
+// Release resets the encoder and returns it to the pool. The caller must
+// not use the encoder — or anything aliasing its solver's memory — after
+// Release. Interned name strings remain valid: strings are immutable and
+// independent of the interner that produced them.
+func (e *Encoder) Release() {
+	e.reset()
+	encoderPool.Put(e)
 }
 
 // Sym interns a proposition name.
@@ -372,7 +419,7 @@ func (e *Encoder) AssertStrictTotalOrder(n int, name func(i, j int) string) {
 func (e *Encoder) AssertStrictTotalOrderS(n int, name func(i, j int) Sym) {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			e.Assert(IffF(e.Atom(name(i, j)), NotF(e.Atom(name(j, i)))))
+			e.AssertIffNotS(name(i, j), name(j, i))
 		}
 	}
 	e.AssertTransitiveS(n, name)
@@ -394,10 +441,56 @@ func (e *Encoder) AssertTransitiveS(n int, name func(i, j int) Sym) {
 				if k == i || k == j {
 					continue
 				}
-				e.Assert(ImpliesF(AndF(e.Atom(name(i, j)), e.Atom(name(j, k))), e.Atom(name(i, k))))
+				e.AssertImpliesAnd2S(name(i, j), name(j, k), name(i, k))
 			}
 		}
 	}
+}
+
+// AssertImpliesAnd2S asserts (a ∧ b) → c. It is the allocation-free fast
+// path for the axiom helpers' inner loop — O(n³) assertions per relation —
+// and is defined to be indistinguishable from
+// Assert(ImpliesF(AndF(Atom(a), Atom(b)), Atom(c))): the same recorded
+// formula hash, and the same aux-variable and clause sequence (variable
+// numbering pins which model a satisfiable query returns, which the
+// incremental session's replay parity depends on — DESIGN.md §7).
+func (e *Encoder) AssertImpliesAnd2S(a, b, c Sym) {
+	if e.recordHashes {
+		h := fnvByte(fnvByte(fnvOffset, 7), 5) // Implies(And(...
+		h = fnvString(fnvByte(h, 1), e.in.Name(a))
+		h = fnvString(fnvByte(h, 1), e.in.Name(b))
+		h = fnvByte(h, 0xfe) // ...)
+		h = fnvString(fnvByte(h, 1), e.in.Name(c))
+		e.assertHashes = append(e.assertHashes, h)
+		e.hashDirty = true
+	}
+	base := len(e.scratch)
+	e.scratch = append(e.scratch, sat.NewLit(e.VarS(a), false), sat.NewLit(e.VarS(b), false))
+	y1 := e.defineAnd(e.scratch[base:])
+	e.scratch = e.scratch[:base]
+	e.scratch = append(e.scratch, y1.Neg(), sat.NewLit(e.VarS(c), false))
+	y2 := e.defineOr(e.scratch[base:])
+	e.scratch = e.scratch[:base]
+	e.S.AddClause(y2)
+}
+
+// AssertIffNotS asserts a ↔ ¬b, indistinguishable from
+// Assert(IffF(Atom(a), NotF(Atom(b)))) (see AssertImpliesAnd2S).
+func (e *Encoder) AssertIffNotS(a, b Sym) {
+	if e.recordHashes {
+		h := fnvString(fnvByte(fnvByte(fnvOffset, 8), 1), e.in.Name(a)) // Iff(a,
+		h = fnvString(fnvByte(fnvByte(h, 4), 1), e.in.Name(b))          // Not(b))
+		e.assertHashes = append(e.assertHashes, h)
+		e.hashDirty = true
+	}
+	la := sat.NewLit(e.VarS(a), false)
+	lb := sat.NewLit(e.VarS(b), true)
+	y := sat.NewLit(e.S.NewVar(), false)
+	e.S.AddClause(y.Neg(), la.Neg(), lb)
+	e.S.AddClause(y.Neg(), la, lb.Neg())
+	e.S.AddClause(y, la, lb)
+	e.S.AddClause(y, la.Neg(), lb.Neg())
+	e.S.AddClause(y)
 }
 
 // String renders a formula for diagnostics; Atoms print as @sym (use

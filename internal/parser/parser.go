@@ -21,6 +21,11 @@ func Parse(src string) (*ast.Program, error) {
 		return nil, err
 	}
 	AssignLabels(prog)
+	// Hash-cons the freshly built expressions while the program is still
+	// private to the parser: structurally equal where clauses and values
+	// share one canonical node from the start, which makes the repair
+	// engine's EqualExpr checks O(1) (see ast.Intern).
+	ast.InternProgramExprs(prog)
 	return prog, nil
 }
 

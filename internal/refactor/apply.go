@@ -18,15 +18,21 @@ func errf(rule, format string, args ...any) *Error {
 	return &Error{Rule: rule, Msg: fmt.Sprintf(format, args...)}
 }
 
+// shareExpr is the copy-on-write engine's expression "copy": nodes are
+// immutable once shared, so sharing the original is sound. The deep-clone
+// engine passes ast.CloneExpr instead.
+func shareExpr(e ast.Expr) ast.Expr { return e }
+
 // IntroSchema implements the (intro ρ) rule: add a fresh, empty schema.
 // The returned program is a copy; p is not modified.
 func IntroSchema(p *ast.Program, name string) (*ast.Program, error) {
 	if p.Schema(name) != nil {
 		return nil, errf("intro-schema", "schema %q already exists", name)
 	}
-	out := ast.CloneProgram(p)
-	out.Schemas = append(out.Schemas, &ast.Schema{Name: name})
-	return out, nil
+	if DeepClone() {
+		return deepIntroSchema(p, name), nil
+	}
+	return cowIntroSchema(p, name), nil
 }
 
 // IntroField implements the (intro ρ.f) rule: add a fresh field to an
@@ -39,10 +45,10 @@ func IntroField(p *ast.Program, table string, field ast.Field) (*ast.Program, er
 	if s.HasField(field.Name) {
 		return nil, errf("intro-field", "schema %s already has field %q", table, field.Name)
 	}
-	out := ast.CloneProgram(p)
-	cp := field
-	out.Schema(table).Fields = append(out.Schema(table).Fields, &cp)
-	return out, nil
+	if DeepClone() {
+		return deepIntroField(p, table, field), nil
+	}
+	return cowIntroField(p, table, field), nil
 }
 
 // ApplyCorr implements the (intro v) rule: rewrite every access to
@@ -81,22 +87,17 @@ func ApplyCorr(p *ast.Program, v ValueCorr) (*ast.Program, error) {
 	if !v.Logging && v.Agg != ast.AggAny {
 		return nil, errf("intro-v", "redirect rule requires the any aggregator")
 	}
-
-	out := ast.CloneProgram(p)
-	for _, t := range out.Txns {
-		if err := rewriteTxn(out, t, v); err != nil {
-			return nil, err
-		}
+	if DeepClone() {
+		return deepApplyCorr(p, v)
 	}
-	return out, nil
+	return cowApplyCorr(p, v)
 }
 
-// rewriteTxn applies [[·]]_v to one transaction in place.
-func rewriteTxn(p *ast.Program, t *ast.Txn, v ValueCorr) error {
-	src := p.Schema(v.SrcTable)
-
-	// Pass 1: find the variables bound by selects that will be redirected,
-	// and validate that every access to (SrcTable, SrcField) is rewritable.
+// validateRewriteTxn is pass 1 of [[·]]_v on one transaction: find the
+// variables bound by selects that will be redirected, and validate that
+// every access to (SrcTable, SrcField) is rewritable. Pure reads; shared
+// by both engines.
+func validateRewriteTxn(t *ast.Txn, src *ast.Schema, v ValueCorr) (map[string]bool, error) {
 	redirected := map[string]bool{}
 	var failure error
 	ast.WalkStmts(t.Body, func(s ast.Stmt) bool {
@@ -153,122 +154,59 @@ func rewriteTxn(p *ast.Program, t *ast.Txn, v ValueCorr) error {
 		}
 		return true
 	})
-	if failure != nil {
-		return failure
-	}
+	return redirected, failure
+}
 
-	// Pass 2: rewrite the commands.
-	var rerr error
-	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
-		if rerr != nil {
-			return []ast.Stmt{s}
-		}
-		c, ok := s.(ast.DBCommand)
-		if !ok || c.TableName() != v.SrcTable {
-			return []ast.Stmt{s}
-		}
-		switch x := c.(type) {
-		case *ast.Select:
-			if len(x.Fields) != 1 || x.Fields[0] != v.SrcField {
-				return []ast.Stmt{s}
-			}
-			nw, err := redirectWhere(x.Where, src, v)
-			if err != nil {
-				rerr = err
-				return []ast.Stmt{s}
-			}
-			return []ast.Stmt{&ast.Select{
-				Label: x.Label, Var: x.Var,
-				Fields: []string{v.DstField},
-				Table:  v.DstTable,
-				Where:  nw,
-			}}
-		case *ast.Update:
-			if len(x.Sets) != 1 || x.Sets[0].Field != v.SrcField {
-				return []ast.Stmt{s}
-			}
-			ns, err := rewriteUpdate(x, src, v, t)
-			if err != nil {
-				rerr = err
-				return []ast.Stmt{s}
-			}
-			return []ast.Stmt{ns}
-		default:
-			return []ast.Stmt{s}
-		}
-	})
-	if rerr != nil {
-		return rerr
-	}
-
-	// Pass 3: rewrite accesses through redirected variables everywhere
-	// (commands' embedded expressions and the return expression): R2.
-	rewriteExpr := func(e ast.Expr) ast.Expr {
-		return ast.MapExpr(e, func(x ast.Expr) ast.Expr {
-			switch fa := x.(type) {
-			case *ast.FieldAt:
-				if redirected[fa.Var] && fa.Field == v.SrcField {
-					if v.Logging {
-						if fa.Index != nil {
-							rerr = errf("intro-v", "%s: indexed access %s cannot be rewritten under the logger rule", t.Name, ast.ExprString(fa))
-							return x
-						}
-						return &ast.Agg{Fn: ast.AggSum, Var: fa.Var, Field: v.DstField}
-					}
-					return &ast.FieldAt{Var: fa.Var, Field: v.DstField, Index: fa.Index}
-				}
-			case *ast.Agg:
-				if redirected[fa.Var] && fa.Field == v.SrcField {
-					// Under logging only sum survives: one source record maps
-					// to many log rows, so count/min/max/any would aggregate
-					// over log entries rather than records.
-					if v.Logging && fa.Fn != ast.AggSum {
-						rerr = errf("intro-v", "%s: %s aggregation cannot be rewritten under the logger rule", t.Name, ast.ExprString(fa))
+// redirectedAccessRewriter builds pass 3's expression rewriter: accesses
+// through redirected variables are retargeted to the destination field
+// (R2). It reports failures through *rerr; copyExpr is the engine's
+// expression copy (share or deep clone). The rewriter's fn contract
+// matches both ast.MapExpr and ast.MapExprCOW: return the argument
+// unchanged to signal "no rewrite".
+func redirectedAccessRewriter(t *ast.Txn, v ValueCorr, redirected map[string]bool, rerr *error) func(ast.Expr) ast.Expr {
+	return func(x ast.Expr) ast.Expr {
+		switch fa := x.(type) {
+		case *ast.FieldAt:
+			if redirected[fa.Var] && fa.Field == v.SrcField {
+				if v.Logging {
+					if fa.Index != nil {
+						*rerr = errf("intro-v", "%s: indexed access %s cannot be rewritten under the logger rule", t.Name, ast.ExprString(fa))
 						return x
 					}
-					return &ast.Agg{Fn: fa.Fn, Var: fa.Var, Field: v.DstField}
+					return &ast.Agg{Fn: ast.AggSum, Var: fa.Var, Field: v.DstField}
 				}
+				return &ast.FieldAt{Var: fa.Var, Field: v.DstField, Index: fa.Index}
 			}
-			return x
-		})
-	}
-	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
-		switch x := s.(type) {
-		case *ast.Select:
-			x.Where = rewriteExpr(x.Where)
-		case *ast.Update:
-			x.Where = rewriteExpr(x.Where)
-			for i := range x.Sets {
-				x.Sets[i].Expr = rewriteExpr(x.Sets[i].Expr)
+		case *ast.Agg:
+			if redirected[fa.Var] && fa.Field == v.SrcField {
+				// Under logging only sum survives: one source record maps
+				// to many log rows, so count/min/max/any would aggregate
+				// over log entries rather than records.
+				if v.Logging && fa.Fn != ast.AggSum {
+					*rerr = errf("intro-v", "%s: %s aggregation cannot be rewritten under the logger rule", t.Name, ast.ExprString(fa))
+					return x
+				}
+				return &ast.Agg{Fn: fa.Fn, Var: fa.Var, Field: v.DstField}
 			}
-		case *ast.Insert:
-			for i := range x.Values {
-				x.Values[i].Expr = rewriteExpr(x.Values[i].Expr)
-			}
-		case *ast.If:
-			x.Cond = rewriteExpr(x.Cond)
-		case *ast.Iterate:
-			x.Count = rewriteExpr(x.Count)
 		}
-		return []ast.Stmt{s}
-	})
-	t.Ret = rewriteExpr(t.Ret)
-	return rerr
+		return x
+	}
 }
 
 // redirectWhere implements redirect(φ, θ̂) (§4.2.1): the well-formed where
 // clause's primary-key equalities become equalities on the θ̂-image fields.
 // As a generalization, a clause that is not a full key-equality conjunction
 // (e.g. a range scan) is still redirectable when every field it references
-// is θ̂-mapped: each this.f is replaced by this.θ̂(f).
-func redirectWhere(w ast.Expr, src *ast.Schema, v ValueCorr) (ast.Expr, error) {
+// is θ̂-mapped: each this.f is replaced by this.θ̂(f). copyExpr is the
+// engine's expression copy.
+func redirectWhere(w ast.Expr, src *ast.Schema, v ValueCorr, copyExpr func(ast.Expr) ast.Expr) (ast.Expr, error) {
 	if pins, ok := ast.WellFormedWhere(w, src); ok {
 		var out ast.Expr
 		for _, pk := range src.PrimaryKey() {
 			conj := &ast.Binary{
 				Op: ast.OpEq,
 				L:  &ast.ThisField{Field: v.Theta[pk.Name]},
-				R:  ast.CloneExpr(pins[pk.Name]),
+				R:  copyExpr(pins[pk.Name]),
 			}
 			if out == nil {
 				out = conj
@@ -283,7 +221,7 @@ func redirectWhere(w ast.Expr, src *ast.Schema, v ValueCorr) (ast.Expr, error) {
 			return nil, errf("intro-v", "where clause %q references un-mapped field %q", ast.ExprString(w), f)
 		}
 	}
-	out := ast.MapExpr(ast.CloneExpr(w), func(e ast.Expr) ast.Expr {
+	out := ast.MapExpr(copyExpr(w), func(e ast.Expr) ast.Expr {
 		if tf, ok := e.(*ast.ThisField); ok {
 			return &ast.ThisField{Field: v.Theta[tf.Field]}
 		}
@@ -310,19 +248,19 @@ func whereRedirectable(w ast.Expr, src *ast.Schema, v ValueCorr) bool {
 // rewriteUpdate rewrites an update of the moved field: the redirect rule
 // retargets it; the logger rule turns increment-shaped updates into inserts
 // (Fig. 11: U4.1 becomes an insert into COURSE_CO_ST_CNT_LOG).
-func rewriteUpdate(x *ast.Update, src *ast.Schema, v ValueCorr, t *ast.Txn) (ast.Stmt, error) {
+func rewriteUpdate(x *ast.Update, src *ast.Schema, v ValueCorr, t *ast.Txn, copyExpr func(ast.Expr) ast.Expr) (ast.Stmt, error) {
 	if !v.Logging {
-		nw, err := redirectWhere(x.Where, src, v)
+		nw, err := redirectWhere(x.Where, src, v, copyExpr)
 		if err != nil {
 			return nil, err
 		}
 		return &ast.Update{
 			Label: x.Label, Table: v.DstTable,
-			Sets:  []ast.Assign{{Field: v.DstField, Expr: ast.CloneExpr(x.Sets[0].Expr)}},
+			Sets:  []ast.Assign{{Field: v.DstField, Expr: copyExpr(x.Sets[0].Expr)}},
 			Where: nw,
 		}, nil
 	}
-	delta, err := incrementDelta(x, v, t)
+	delta, err := incrementDelta(x, v, t, copyExpr)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +270,7 @@ func rewriteUpdate(x *ast.Update, src *ast.Schema, v ValueCorr, t *ast.Txn) (ast
 	}
 	values := []ast.Assign{}
 	for _, pk := range src.PrimaryKey() {
-		values = append(values, ast.Assign{Field: v.Theta[pk.Name], Expr: ast.CloneExpr(pins[pk.Name])})
+		values = append(values, ast.Assign{Field: v.Theta[pk.Name], Expr: copyExpr(pins[pk.Name])})
 	}
 	values = append(values,
 		ast.Assign{Field: ast.LogIDField, Expr: &ast.UUID{}},
@@ -344,7 +282,7 @@ func rewriteUpdate(x *ast.Update, src *ast.Schema, v ValueCorr, t *ast.Txn) (ast
 // incrementDelta recognizes the increment shapes f = e + at1(x.f),
 // f = at1(x.f) + e, and f = at1(x.f) - e, where x was selected from the
 // same record (equal where clause), and returns the logged delta.
-func incrementDelta(x *ast.Update, v ValueCorr, t *ast.Txn) (ast.Expr, error) {
+func incrementDelta(x *ast.Update, v ValueCorr, t *ast.Txn, copyExpr func(ast.Expr) ast.Expr) (ast.Expr, error) {
 	bin, ok := x.Sets[0].Expr.(*ast.Binary)
 	if !ok || (bin.Op != ast.OpAdd && bin.Op != ast.OpSub) {
 		return nil, errf("intro-v", "%s: assignment %q is not increment-shaped", x.Label, ast.ExprString(x.Sets[0].Expr))
@@ -376,7 +314,7 @@ func incrementDelta(x *ast.Update, v ValueCorr, t *ast.Txn) (ast.Expr, error) {
 	// those accesses are values at insert time, and the expression-rewrite
 	// pass redirects them to log sums. Only the top-level occurrence is
 	// consumed by the increment shape.
-	delta = ast.CloneExpr(delta)
+	delta = copyExpr(delta)
 	if neg {
 		delta = &ast.Binary{Op: ast.OpSub, L: &ast.IntLit{Val: 0}, R: delta}
 	}

@@ -1,0 +1,296 @@
+package refactor
+
+import (
+	"atropos/internal/ast"
+)
+
+// The copy-on-write engine (DESIGN.md §10): every rule returns a program
+// that path-copies only the spine from the edited node up to the Program
+// header. A speculative probe that edits one command in one transaction
+// allocates a Program header, one transaction, the rewritten statements,
+// and the rebuilt expressions — everything else (all other transactions,
+// all schemas, every untouched statement and expression) is shared with
+// the input. Sound because shared AST nodes are immutable (ast package
+// contract); validated against the deep-clone engine by the differential
+// tests in internal/repair.
+
+func cowIntroSchema(p *ast.Program, name string) *ast.Program {
+	schemas := make([]*ast.Schema, len(p.Schemas), len(p.Schemas)+1)
+	copy(schemas, p.Schemas)
+	schemas = append(schemas, &ast.Schema{Name: name})
+	return ast.WithSchemas(p, schemas)
+}
+
+func cowIntroField(p *ast.Program, table string, field ast.Field) *ast.Program {
+	schemas := make([]*ast.Schema, len(p.Schemas))
+	copy(schemas, p.Schemas)
+	for i, s := range schemas {
+		if s.Name != table {
+			continue
+		}
+		fields := make([]*ast.Field, len(s.Fields), len(s.Fields)+1)
+		copy(fields, s.Fields)
+		cp := field
+		schemas[i] = &ast.Schema{Name: s.Name, Fields: append(fields, &cp)}
+		break
+	}
+	return ast.WithSchemas(p, schemas)
+}
+
+func cowApplyCorr(p *ast.Program, v ValueCorr) (*ast.Program, error) {
+	out := &ast.Program{Schemas: p.Schemas, Txns: make([]*ast.Txn, len(p.Txns))}
+	copy(out.Txns, p.Txns)
+	for i, t := range p.Txns {
+		nt, err := cowRewriteTxn(p, t, v)
+		if err != nil {
+			return nil, err
+		}
+		out.Txns[i] = nt
+	}
+	return out, nil
+}
+
+// cowRewriteTxn applies [[·]]_v to one transaction, sharing it when the
+// correspondence does not touch it.
+func cowRewriteTxn(p *ast.Program, t *ast.Txn, v ValueCorr) (*ast.Txn, error) {
+	src := p.Schema(v.SrcTable)
+
+	// Pass 1: validate and collect redirected variables.
+	redirected, err := validateRewriteTxn(t, src, v)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: rewrite the commands.
+	var rerr error
+	body, bodyChanged := ast.MapStmtsCOW(t.Body, func(s ast.Stmt) []ast.Stmt {
+		if rerr != nil {
+			return []ast.Stmt{s}
+		}
+		c, ok := s.(ast.DBCommand)
+		if !ok || c.TableName() != v.SrcTable {
+			return []ast.Stmt{s}
+		}
+		switch x := c.(type) {
+		case *ast.Select:
+			if len(x.Fields) != 1 || x.Fields[0] != v.SrcField {
+				return []ast.Stmt{s}
+			}
+			nw, err := redirectWhere(x.Where, src, v, shareExpr)
+			if err != nil {
+				rerr = err
+				return []ast.Stmt{s}
+			}
+			return []ast.Stmt{&ast.Select{
+				Label: x.Label, Var: x.Var,
+				Fields: []string{v.DstField},
+				Table:  v.DstTable,
+				Where:  ast.Intern(nw),
+			}}
+		case *ast.Update:
+			if len(x.Sets) != 1 || x.Sets[0].Field != v.SrcField {
+				return []ast.Stmt{s}
+			}
+			ns, err := rewriteUpdate(x, src, v, t, shareExpr)
+			if err != nil {
+				rerr = err
+				return []ast.Stmt{s}
+			}
+			return []ast.Stmt{ns}
+		default:
+			return []ast.Stmt{s}
+		}
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	nt := t
+	if bodyChanged {
+		nt = &ast.Txn{Name: t.Name, Params: t.Params, Body: body, Ret: t.Ret}
+	}
+
+	// Pass 3: rewrite accesses through redirected variables everywhere
+	// (commands' embedded expressions and the return expression): R2.
+	fn := redirectedAccessRewriter(nt, v, redirected, &rerr)
+	nt, _ = ast.MapTxnExprsCOW(nt, func(e ast.Expr) ast.Expr { return ast.MapExprCOW(e, fn) })
+	if rerr != nil {
+		return nil, rerr
+	}
+	return nt, nil
+}
+
+func cowSplitUpdate(p *ast.Program, txn, label string, groups [][]string) (*ast.Program, error) {
+	ti := ast.TxnIndex(p, txn)
+	if ti < 0 {
+		return nil, errf("split", "unknown transaction %q", txn)
+	}
+	t := p.Txns[ti]
+	var serr error
+	found := false
+	body, _ := ast.MapStmtsCOW(t.Body, func(s ast.Stmt) []ast.Stmt {
+		u, ok := s.(*ast.Update)
+		if !ok || u.Label != label {
+			return []ast.Stmt{s}
+		}
+		found = true
+		parts, err := splitUpdateParts(u, txn, label, groups, shareExpr)
+		if err != nil {
+			serr = err
+			return []ast.Stmt{s}
+		}
+		return parts
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	if !found {
+		return nil, errf("split", "no update labelled %q in %s", label, txn)
+	}
+	return ast.WithTxn(p, ti, &ast.Txn{Name: t.Name, Params: t.Params, Body: body, Ret: t.Ret}), nil
+}
+
+func cowSplitSelect(p *ast.Program, txn, label string, groups [][]string) (*ast.Program, error) {
+	ti := ast.TxnIndex(p, txn)
+	if ti < 0 {
+		return nil, errf("split", "unknown transaction %q", txn)
+	}
+	t := p.Txns[ti]
+	var serr error
+	found := false
+	fieldVar := map[string]string{} // field -> new variable
+	var oldVar string
+	body, _ := ast.MapStmtsCOW(t.Body, func(s ast.Stmt) []ast.Stmt {
+		sel, ok := s.(*ast.Select)
+		if !ok || sel.Label != label {
+			return []ast.Stmt{s}
+		}
+		if sel.Star {
+			serr = errf("split", "%s.%s: cannot split SELECT *", txn, label)
+			return []ast.Stmt{s}
+		}
+		found = true
+		oldVar = sel.Var
+		parts, err := splitSelectParts(sel, txn, label, groups, fieldVar, shareExpr)
+		if err != nil {
+			serr = err
+			return []ast.Stmt{s}
+		}
+		return parts
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	if !found {
+		return nil, errf("split", "no select labelled %q in %s", label, txn)
+	}
+	nt := &ast.Txn{Name: t.Name, Params: t.Params, Body: body, Ret: t.Ret}
+	// Rewrite accesses x.f to the new variable holding f.
+	fn := splitVarRewriter(oldVar, fieldVar)
+	nt, _ = ast.MapTxnExprsCOW(nt, func(e ast.Expr) ast.Expr { return ast.MapExprCOW(e, fn) })
+	return ast.WithTxn(p, ti, nt), nil
+}
+
+// cowMerge performs the validated merge, path-copying only the merged
+// transaction. mergedWhere may alias p — sharing it is sound.
+func cowMerge(p *ast.Program, txn, label1, label2 string, mergedWhere ast.Expr) *ast.Program {
+	ti := ast.TxnIndex(p, txn)
+	t := p.Txns[ti]
+	c1 := findCommand(t, label1)
+	c2 := findCommand(t, label2)
+
+	var repl ast.Stmt
+	var rewriteVars func(ast.Expr) ast.Expr
+	switch x1 := c1.(type) {
+	case *ast.Select:
+		x2 := c2.(*ast.Select)
+		repl = mergedSelect(x1, x2, mergedWhere)
+		// Uses of c2's variable now read from the merged select.
+		rewriteVars = mergeVarRewriter(x2.Var, x1.Var)
+	case *ast.Update:
+		x2 := c2.(*ast.Update)
+		repl = mergedUpdate(x1, x2, mergedWhere, shareExpr)
+	}
+
+	body, _ := ast.MapStmtsCOW(t.Body, func(s ast.Stmt) []ast.Stmt {
+		c, ok := s.(ast.DBCommand)
+		if !ok {
+			return []ast.Stmt{s}
+		}
+		switch c.CmdLabel() {
+		case label1:
+			return []ast.Stmt{repl}
+		case label2:
+			return nil
+		}
+		return []ast.Stmt{s}
+	})
+	nt := &ast.Txn{Name: t.Name, Params: t.Params, Body: body, Ret: t.Ret}
+	if rewriteVars != nil {
+		nt, _ = ast.MapTxnExprsCOW(nt, func(e ast.Expr) ast.Expr { return ast.MapExprCOW(e, rewriteVars) })
+	}
+	return ast.WithTxn(p, ti, nt)
+}
+
+func cowRemoveDeadSelects(p *ast.Program) (*ast.Program, int) {
+	removed := 0
+	out := p
+	for {
+		changed := false
+		for i := range out.Txns {
+			t := out.Txns[i]
+			dead := DeadSelects(t)
+			if len(dead) == 0 {
+				continue
+			}
+			deadSet := map[string]bool{}
+			for _, label := range dead {
+				deadSet[label] = true
+			}
+			body, _ := ast.MapStmtsCOW(t.Body, func(s ast.Stmt) []ast.Stmt {
+				if sel, ok := s.(*ast.Select); ok && deadSet[sel.Label] {
+					return nil
+				}
+				return []ast.Stmt{s}
+			})
+			if out == p {
+				out = &ast.Program{Schemas: p.Schemas, Txns: make([]*ast.Txn, len(p.Txns))}
+				copy(out.Txns, p.Txns)
+			}
+			out.Txns[i] = &ast.Txn{Name: t.Name, Params: t.Params, Body: body, Ret: t.Ret}
+			removed += len(dead)
+			changed = true
+		}
+		if !changed {
+			return out, removed
+		}
+	}
+}
+
+func cowGCSchemas(p *ast.Program, moved map[string]map[string]bool) (*ast.Program, []string) {
+	acc := accessedFields(p)
+	var kept []*ast.Schema
+	var removedTables []string
+	for _, s := range p.Schemas {
+		fields, used := acc[s.Name]
+		movedHere := moved[s.Name]
+		if gcDropsTable(s, used, movedHere) {
+			removedTables = append(removedTables, s.Name)
+			continue
+		}
+		var keptFields []*ast.Field
+		dropped := false
+		for _, f := range s.Fields {
+			if f.PK || fields[f.Name] || !movedHere[f.Name] {
+				keptFields = append(keptFields, f)
+			} else {
+				dropped = true
+			}
+		}
+		if dropped {
+			kept = append(kept, &ast.Schema{Name: s.Name, Fields: keptFields})
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	return ast.WithSchemas(p, kept), removedTables
+}

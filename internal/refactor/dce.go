@@ -8,7 +8,8 @@ import (
 // elimination (a select whose variable is never read is obsolete — the key
 // enabling condition for the logger rule) and garbage collection of schemas
 // and fields the refactored program no longer accesses (Fig. 3 drops the
-// COURSE and EMAIL tables entirely).
+// COURSE and EMAIL tables entirely). Both are functional: they return a
+// (possibly node-sharing) copy and leave the input program untouched.
 
 // DeadSelects returns the labels of selects in t whose bound variable is
 // never read by a later expression or the return expression.
@@ -31,22 +32,13 @@ func DeadSelects(t *ast.Txn) []string {
 
 // RemoveDeadSelects deletes unused selects from every transaction,
 // iterating to a fixpoint (removing a select can orphan the selects that
-// fed its where clause). The input program is modified in place.
-func RemoveDeadSelects(p *ast.Program) int {
-	removed := 0
-	for {
-		changed := false
-		for _, t := range p.Txns {
-			for _, label := range DeadSelects(t) {
-				removeCommand(t, label)
-				removed++
-				changed = true
-			}
-		}
-		if !changed {
-			return removed
-		}
+// fed its where clause). It returns the pruned program — sharing every
+// untouched transaction with p — and the number of selects removed.
+func RemoveDeadSelects(p *ast.Program) (*ast.Program, int) {
+	if DeepClone() {
+		return deepRemoveDeadSelects(p)
 	}
+	return cowRemoveDeadSelects(p)
 }
 
 // IsDeadSelect reports whether the select labelled label in txn is dead
@@ -99,34 +91,12 @@ func accessedFields(p *ast.Program) map[string]map[string]bool {
 // only when no command accesses it and at least one of its fields moved
 // (Fig. 3 drops COURSE and EMAIL). Fields and tables that are merely
 // unread keep their data: dropping them would lose information and break
-// the containment relation. Returns the removed table names. The program
-// is modified in place.
-func GCSchemas(p *ast.Program, moved map[string]map[string]bool) []string {
-	acc := accessedFields(p)
-	var kept []*ast.Schema
-	var removedTables []string
-	for _, s := range p.Schemas {
-		fields, used := acc[s.Name]
-		movedHere := moved[s.Name]
-		allMoved := len(movedHere) > 0
-		for _, f := range s.NonKeyFields() {
-			if !movedHere[f.Name] {
-				allMoved = false
-			}
-		}
-		if !used && allMoved {
-			removedTables = append(removedTables, s.Name)
-			continue
-		}
-		var keptFields []*ast.Field
-		for _, f := range s.Fields {
-			if f.PK || fields[f.Name] || !movedHere[f.Name] {
-				keptFields = append(keptFields, f)
-			}
-		}
-		s.Fields = keptFields
-		kept = append(kept, s)
+// the containment relation. It returns the collected program — sharing
+// every surviving schema and all transactions with p — and the removed
+// table names.
+func GCSchemas(p *ast.Program, moved map[string]map[string]bool) (*ast.Program, []string) {
+	if DeepClone() {
+		return deepGCSchemas(p, moved)
 	}
-	p.Schemas = kept
-	return removedTables
+	return cowGCSchemas(p, moved)
 }

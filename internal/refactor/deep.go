@@ -1,0 +1,443 @@
+package refactor
+
+import (
+	"fmt"
+
+	"atropos/internal/ast"
+)
+
+// The legacy deep-clone engine: the pre-COW implementation of every
+// refactoring rule, preserved as the differential oracle (see engine.go).
+// Each rule deep-clones the whole program and mutates its private clone,
+// so it can never corrupt shared nodes — the property the differential
+// tests lean on: if the COW engine ever mutated a shared subtree, its
+// output would diverge from this engine's on some later pipeline step.
+
+func deepIntroSchema(p *ast.Program, name string) *ast.Program {
+	out := ast.CloneProgram(p)
+	out.Schemas = append(out.Schemas, &ast.Schema{Name: name})
+	return out
+}
+
+func deepIntroField(p *ast.Program, table string, field ast.Field) *ast.Program {
+	out := ast.CloneProgram(p)
+	cp := field
+	out.Schema(table).Fields = append(out.Schema(table).Fields, &cp)
+	return out
+}
+
+func deepApplyCorr(p *ast.Program, v ValueCorr) (*ast.Program, error) {
+	out := ast.CloneProgram(p)
+	for _, t := range out.Txns {
+		if err := deepRewriteTxn(out, t, v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// deepRewriteTxn applies [[·]]_v to one transaction in place.
+func deepRewriteTxn(p *ast.Program, t *ast.Txn, v ValueCorr) error {
+	src := p.Schema(v.SrcTable)
+
+	// Pass 1: validate and collect redirected variables.
+	redirected, err := validateRewriteTxn(t, src, v)
+	if err != nil {
+		return err
+	}
+
+	// Pass 2: rewrite the commands.
+	var rerr error
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		if rerr != nil {
+			return []ast.Stmt{s}
+		}
+		c, ok := s.(ast.DBCommand)
+		if !ok || c.TableName() != v.SrcTable {
+			return []ast.Stmt{s}
+		}
+		switch x := c.(type) {
+		case *ast.Select:
+			if len(x.Fields) != 1 || x.Fields[0] != v.SrcField {
+				return []ast.Stmt{s}
+			}
+			nw, err := redirectWhere(x.Where, src, v, ast.CloneExpr)
+			if err != nil {
+				rerr = err
+				return []ast.Stmt{s}
+			}
+			return []ast.Stmt{&ast.Select{
+				Label: x.Label, Var: x.Var,
+				Fields: []string{v.DstField},
+				Table:  v.DstTable,
+				Where:  nw,
+			}}
+		case *ast.Update:
+			if len(x.Sets) != 1 || x.Sets[0].Field != v.SrcField {
+				return []ast.Stmt{s}
+			}
+			ns, err := rewriteUpdate(x, src, v, t, ast.CloneExpr)
+			if err != nil {
+				rerr = err
+				return []ast.Stmt{s}
+			}
+			return []ast.Stmt{ns}
+		default:
+			return []ast.Stmt{s}
+		}
+	})
+	if rerr != nil {
+		return rerr
+	}
+
+	// Pass 3: rewrite accesses through redirected variables everywhere
+	// (commands' embedded expressions and the return expression): R2.
+	fn := redirectedAccessRewriter(t, v, redirected, &rerr)
+	rewriteExpr := func(e ast.Expr) ast.Expr { return ast.MapExpr(e, fn) }
+	deepRewriteTxnExprs(t, rewriteExpr)
+	return rerr
+}
+
+// deepRewriteTxnExprs applies an expression rewriter to every expression in
+// the transaction, in place.
+func deepRewriteTxnExprs(t *ast.Txn, rewrite func(ast.Expr) ast.Expr) {
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		switch x := s.(type) {
+		case *ast.Select:
+			x.Where = rewrite(x.Where)
+		case *ast.Update:
+			x.Where = rewrite(x.Where)
+			for i := range x.Sets {
+				x.Sets[i].Expr = rewrite(x.Sets[i].Expr)
+			}
+		case *ast.Insert:
+			for i := range x.Values {
+				x.Values[i].Expr = rewrite(x.Values[i].Expr)
+			}
+		case *ast.If:
+			x.Cond = rewrite(x.Cond)
+		case *ast.Iterate:
+			x.Count = rewrite(x.Count)
+		}
+		return []ast.Stmt{s}
+	})
+	t.Ret = rewrite(t.Ret)
+}
+
+func deepSplitUpdate(p *ast.Program, txn, label string, groups [][]string) (*ast.Program, error) {
+	out := ast.CloneProgram(p)
+	t := out.Txn(txn)
+	if t == nil {
+		return nil, errf("split", "unknown transaction %q", txn)
+	}
+	var serr error
+	found := false
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		u, ok := s.(*ast.Update)
+		if !ok || u.Label != label {
+			return []ast.Stmt{s}
+		}
+		found = true
+		parts, err := splitUpdateParts(u, txn, label, groups, ast.CloneExpr)
+		if err != nil {
+			serr = err
+			return []ast.Stmt{s}
+		}
+		return parts
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	if !found {
+		return nil, errf("split", "no update labelled %q in %s", label, txn)
+	}
+	return out, nil
+}
+
+func deepSplitSelect(p *ast.Program, txn, label string, groups [][]string) (*ast.Program, error) {
+	out := ast.CloneProgram(p)
+	t := out.Txn(txn)
+	if t == nil {
+		return nil, errf("split", "unknown transaction %q", txn)
+	}
+	var serr error
+	found := false
+	fieldVar := map[string]string{} // field -> new variable
+	var oldVar string
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		sel, ok := s.(*ast.Select)
+		if !ok || sel.Label != label {
+			return []ast.Stmt{s}
+		}
+		if sel.Star {
+			serr = errf("split", "%s.%s: cannot split SELECT *", txn, label)
+			return []ast.Stmt{s}
+		}
+		found = true
+		oldVar = sel.Var
+		parts, err := splitSelectParts(sel, txn, label, groups, fieldVar, ast.CloneExpr)
+		if err != nil {
+			serr = err
+			return []ast.Stmt{s}
+		}
+		return parts
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	if !found {
+		return nil, errf("split", "no select labelled %q in %s", label, txn)
+	}
+	deepRewriteTxnExprs(t, func(e ast.Expr) ast.Expr {
+		return ast.MapExpr(e, splitVarRewriter(oldVar, fieldVar))
+	})
+	return out, nil
+}
+
+// deepMerge performs the validated merge on a deep clone of p.
+func deepMerge(p *ast.Program, txn, label1, label2 string, mergedWhere ast.Expr) *ast.Program {
+	// mergedWhere points into p; every use below deep-clones it, so the
+	// clone never aliases the input program.
+	out := ast.CloneProgram(p)
+	t := out.Txn(txn)
+	c1 := findCommand(t, label1)
+	c2 := findCommand(t, label2)
+
+	switch x1 := c1.(type) {
+	case *ast.Select:
+		x2 := c2.(*ast.Select)
+		merged := mergedSelect(x1, x2, ast.CloneExpr(mergedWhere))
+		deepReplaceCommand(t, label1, merged)
+		deepRemoveCommand(t, label2)
+		// Uses of c2's variable now read from the merged select.
+		deepRewriteTxnExprs(t, func(e ast.Expr) ast.Expr {
+			return ast.MapExpr(e, mergeVarRewriter(x2.Var, x1.Var))
+		})
+	case *ast.Update:
+		x2 := c2.(*ast.Update)
+		merged := mergedUpdate(x1, x2, ast.CloneExpr(mergedWhere), ast.CloneExpr)
+		deepReplaceCommand(t, label1, merged)
+		deepRemoveCommand(t, label2)
+	}
+	return out
+}
+
+// deepReplaceCommand swaps the command with the given label for a new
+// statement, in place.
+func deepReplaceCommand(t *ast.Txn, label string, repl ast.Stmt) {
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		if c, ok := s.(ast.DBCommand); ok && c.CmdLabel() == label {
+			return []ast.Stmt{repl}
+		}
+		return []ast.Stmt{s}
+	})
+}
+
+// deepRemoveCommand deletes the command with the given label, in place.
+func deepRemoveCommand(t *ast.Txn, label string) {
+	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
+		if c, ok := s.(ast.DBCommand); ok && c.CmdLabel() == label {
+			return nil
+		}
+		return []ast.Stmt{s}
+	})
+}
+
+func deepRemoveDeadSelects(p *ast.Program) (*ast.Program, int) {
+	out := ast.CloneProgram(p)
+	removed := 0
+	for {
+		changed := false
+		for _, t := range out.Txns {
+			for _, label := range DeadSelects(t) {
+				deepRemoveCommand(t, label)
+				removed++
+				changed = true
+			}
+		}
+		if !changed {
+			return out, removed
+		}
+	}
+}
+
+func deepGCSchemas(p *ast.Program, moved map[string]map[string]bool) (*ast.Program, []string) {
+	out := ast.CloneProgram(p)
+	acc := accessedFields(out)
+	var kept []*ast.Schema
+	var removedTables []string
+	for _, s := range out.Schemas {
+		fields, used := acc[s.Name]
+		movedHere := moved[s.Name]
+		if gcDropsTable(s, used, movedHere) {
+			removedTables = append(removedTables, s.Name)
+			continue
+		}
+		var keptFields []*ast.Field
+		for _, f := range s.Fields {
+			if f.PK || fields[f.Name] || !movedHere[f.Name] {
+				keptFields = append(keptFields, f)
+			}
+		}
+		s.Fields = keptFields
+		kept = append(kept, s)
+	}
+	out.Schemas = kept
+	return out, removedTables
+}
+
+// splitUpdateParts builds the per-group updates of SplitUpdate (Fig. 11:
+// U4 becomes U4.1 and U4.2); shared by both engines, parameterized over
+// the expression copy.
+func splitUpdateParts(u *ast.Update, txn, label string, groups [][]string, copyExpr func(ast.Expr) ast.Expr) ([]ast.Stmt, error) {
+	byField := map[string]ast.Assign{}
+	for _, a := range u.Sets {
+		byField[a.Field] = a
+	}
+	var parts []ast.Stmt
+	covered := 0
+	for i, g := range groups {
+		nu := &ast.Update{
+			Label: fmt.Sprintf("%s.%d", label, i+1),
+			Table: u.Table,
+			Where: copyExpr(u.Where),
+		}
+		for _, f := range g {
+			a, ok := byField[f]
+			if !ok {
+				return nil, errf("split", "%s.%s does not set field %q", txn, label, f)
+			}
+			nu.Sets = append(nu.Sets, ast.Assign{Field: f, Expr: copyExpr(a.Expr)})
+			covered++
+		}
+		parts = append(parts, nu)
+	}
+	if covered != len(u.Sets) {
+		return nil, errf("split", "%s.%s: groups cover %d of %d set fields", txn, label, covered, len(u.Sets))
+	}
+	return parts, nil
+}
+
+// splitSelectParts builds the per-group selects of SplitSelect, recording
+// the field → fresh-variable mapping in fieldVar.
+func splitSelectParts(sel *ast.Select, txn, label string, groups [][]string, fieldVar map[string]string, copyExpr func(ast.Expr) ast.Expr) ([]ast.Stmt, error) {
+	have := map[string]bool{}
+	for _, f := range sel.Fields {
+		have[f] = true
+	}
+	var parts []ast.Stmt
+	covered := 0
+	for i, g := range groups {
+		nv := fmt.Sprintf("%s_%d", sel.Var, i+1)
+		ns := &ast.Select{
+			Label: fmt.Sprintf("%s.%d", label, i+1),
+			Var:   nv,
+			Table: sel.Table,
+			Where: copyExpr(sel.Where),
+		}
+		for _, f := range g {
+			if !have[f] {
+				return nil, errf("split", "%s.%s does not select field %q", txn, label, f)
+			}
+			ns.Fields = append(ns.Fields, f)
+			fieldVar[f] = nv
+			covered++
+		}
+		parts = append(parts, ns)
+	}
+	if covered != len(sel.Fields) {
+		return nil, errf("split", "%s.%s: groups cover %d of %d fields", txn, label, covered, len(sel.Fields))
+	}
+	return parts, nil
+}
+
+// splitVarRewriter rewrites accesses x.f of the split select's old variable
+// to the new variable holding f.
+func splitVarRewriter(oldVar string, fieldVar map[string]string) func(ast.Expr) ast.Expr {
+	return func(x ast.Expr) ast.Expr {
+		switch fa := x.(type) {
+		case *ast.FieldAt:
+			if fa.Var == oldVar {
+				if nv, ok := fieldVar[fa.Field]; ok {
+					return &ast.FieldAt{Var: nv, Field: fa.Field, Index: fa.Index}
+				}
+			}
+		case *ast.Agg:
+			if fa.Var == oldVar {
+				if nv, ok := fieldVar[fa.Field]; ok {
+					return &ast.Agg{Fn: fa.Fn, Var: nv, Field: fa.Field}
+				}
+			}
+		}
+		return x
+	}
+}
+
+// mergeVarRewriter rewrites accesses of the removed select's variable to
+// the merged select's.
+func mergeVarRewriter(old, nw string) func(ast.Expr) ast.Expr {
+	return func(x ast.Expr) ast.Expr {
+		switch fa := x.(type) {
+		case *ast.FieldAt:
+			if fa.Var == old {
+				return &ast.FieldAt{Var: nw, Field: fa.Field, Index: fa.Index}
+			}
+		case *ast.Agg:
+			if fa.Var == old {
+				return &ast.Agg{Fn: fa.Fn, Var: nw, Field: fa.Field}
+			}
+		}
+		return x
+	}
+}
+
+// mergedSelect builds the merged select of two validated same-records
+// selects; where is already copied per the engine's discipline.
+func mergedSelect(x1, x2 *ast.Select, where ast.Expr) *ast.Select {
+	merged := &ast.Select{Label: x1.Label, Var: x1.Var, Table: x1.Table, Where: where}
+	if x1.Star || x2.Star {
+		merged.Star = true
+	} else {
+		seen := map[string]bool{}
+		for _, f := range append(append([]string(nil), x1.Fields...), x2.Fields...) {
+			if !seen[f] {
+				seen[f] = true
+				merged.Fields = append(merged.Fields, f)
+			}
+		}
+	}
+	return merged
+}
+
+// mergedUpdate builds the merged update of two validated same-records
+// updates (equal-valued duplicate sets validated by checkMerge).
+func mergedUpdate(x1, x2 *ast.Update, where ast.Expr, copyExpr func(ast.Expr) ast.Expr) *ast.Update {
+	merged := &ast.Update{Label: x1.Label, Table: x1.Table, Where: where}
+	for _, a := range x1.Sets {
+		merged.Sets = append(merged.Sets, ast.Assign{Field: a.Field, Expr: copyExpr(a.Expr)})
+	}
+	for _, a := range x2.Sets {
+		dup := false
+		for _, b := range x1.Sets {
+			if b.Field == a.Field {
+				dup = true // equal exprs: validated before applying
+			}
+		}
+		if !dup {
+			merged.Sets = append(merged.Sets, ast.Assign{Field: a.Field, Expr: copyExpr(a.Expr)})
+		}
+	}
+	return merged
+}
+
+// gcDropsTable decides whether GCSchemas drops a whole table: no command
+// accesses it and every non-key field's data moved elsewhere.
+func gcDropsTable(s *ast.Schema, used bool, movedHere map[string]bool) bool {
+	allMoved := len(movedHere) > 0
+	for _, f := range s.NonKeyFields() {
+		if !movedHere[f.Name] {
+			allMoved = false
+		}
+	}
+	return !used && allMoved
+}

@@ -1,0 +1,30 @@
+package refactor
+
+import "sync/atomic"
+
+// The refactoring rules have two interchangeable implementations:
+//
+//   - The default copy-on-write engine (cow.go): every rule returns a new
+//     program that path-copies only the spine from the edited node to the
+//     Program header and shares all untouched transactions, schemas,
+//     statements, and expressions with its input. Sound because AST nodes
+//     are immutable once shared (ast package contract, DESIGN.md §10).
+//   - The legacy deep-clone engine (deep.go): every rule deep-clones the
+//     whole program and mutates the private clone — the implementation the
+//     repair pipeline used before the COW rewrite.
+//
+// Both produce byte-identical programs, steps, and correspondences; the
+// legacy engine is kept as the differential oracle for the COW path (the
+// property and fuzz tests in internal/repair flip the switch and compare
+// whole pipelines). It is not intended for production use: it exists to
+// keep the old cost model — and the old aliasing discipline — runnable.
+var deepCloneEngine atomic.Bool
+
+// SetDeepClone selects the legacy deep-clone implementation of every
+// refactoring rule (true) or the default copy-on-write one (false). The
+// switch is global: it is a test-only differential-oracle hook, flipped
+// around sequential pipeline runs, not a per-call option.
+func SetDeepClone(on bool) { deepCloneEngine.Store(on) }
+
+// DeepClone reports whether the legacy deep-clone engine is selected.
+func DeepClone() bool { return deepCloneEngine.Load() }

@@ -1,8 +1,6 @@
 package refactor
 
 import (
-	"fmt"
-
 	"atropos/internal/ast"
 )
 
@@ -11,171 +9,29 @@ import (
 // command is involved in at most one anomalous access pair") and the
 // merging strategy of try_merge, including the same-records analysis that
 // decides when two where clauses always select the same records (condition
-// R1 of §4.2).
+// R1 of §4.2). The feasibility analyses here are pure reads shared by both
+// engines; the transformations live in cow.go (default) and deep.go (the
+// differential oracle).
 
 // SplitUpdate splits the update labelled label in transaction txn into one
 // update per field group, labelled label.1, label.2, ... (Fig. 11: U4
 // becomes U4.1 and U4.2). Groups must partition the update's set fields.
+// The returned program is a copy; p is not modified.
 func SplitUpdate(p *ast.Program, txn, label string, groups [][]string) (*ast.Program, error) {
-	out := ast.CloneProgram(p)
-	t := out.Txn(txn)
-	if t == nil {
-		return nil, errf("split", "unknown transaction %q", txn)
+	if DeepClone() {
+		return deepSplitUpdate(p, txn, label, groups)
 	}
-	var serr error
-	found := false
-	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
-		u, ok := s.(*ast.Update)
-		if !ok || u.Label != label {
-			return []ast.Stmt{s}
-		}
-		found = true
-		byField := map[string]ast.Assign{}
-		for _, a := range u.Sets {
-			byField[a.Field] = a
-		}
-		var parts []ast.Stmt
-		covered := 0
-		for i, g := range groups {
-			nu := &ast.Update{
-				Label: fmt.Sprintf("%s.%d", label, i+1),
-				Table: u.Table,
-				Where: ast.CloneExpr(u.Where),
-			}
-			for _, f := range g {
-				a, ok := byField[f]
-				if !ok {
-					serr = errf("split", "%s.%s does not set field %q", txn, label, f)
-					return []ast.Stmt{s}
-				}
-				nu.Sets = append(nu.Sets, ast.Assign{Field: f, Expr: ast.CloneExpr(a.Expr)})
-				covered++
-			}
-			parts = append(parts, nu)
-		}
-		if covered != len(u.Sets) {
-			serr = errf("split", "%s.%s: groups cover %d of %d set fields", txn, label, covered, len(u.Sets))
-			return []ast.Stmt{s}
-		}
-		return parts
-	})
-	if serr != nil {
-		return nil, serr
-	}
-	if !found {
-		return nil, errf("split", "no update labelled %q in %s", label, txn)
-	}
-	return out, nil
+	return cowSplitUpdate(p, txn, label, groups)
 }
 
 // SplitSelect splits the select labelled label into one select per field
 // group with fresh variables, rewriting downstream accesses accordingly.
+// The returned program is a copy; p is not modified.
 func SplitSelect(p *ast.Program, txn, label string, groups [][]string) (*ast.Program, error) {
-	out := ast.CloneProgram(p)
-	t := out.Txn(txn)
-	if t == nil {
-		return nil, errf("split", "unknown transaction %q", txn)
+	if DeepClone() {
+		return deepSplitSelect(p, txn, label, groups)
 	}
-	var serr error
-	found := false
-	fieldVar := map[string]string{} // field -> new variable
-	var oldVar string
-	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
-		sel, ok := s.(*ast.Select)
-		if !ok || sel.Label != label {
-			return []ast.Stmt{s}
-		}
-		if sel.Star {
-			serr = errf("split", "%s.%s: cannot split SELECT *", txn, label)
-			return []ast.Stmt{s}
-		}
-		found = true
-		oldVar = sel.Var
-		have := map[string]bool{}
-		for _, f := range sel.Fields {
-			have[f] = true
-		}
-		var parts []ast.Stmt
-		covered := 0
-		for i, g := range groups {
-			nv := fmt.Sprintf("%s_%d", sel.Var, i+1)
-			ns := &ast.Select{
-				Label: fmt.Sprintf("%s.%d", label, i+1),
-				Var:   nv,
-				Table: sel.Table,
-				Where: ast.CloneExpr(sel.Where),
-			}
-			for _, f := range g {
-				if !have[f] {
-					serr = errf("split", "%s.%s does not select field %q", txn, label, f)
-					return []ast.Stmt{s}
-				}
-				ns.Fields = append(ns.Fields, f)
-				fieldVar[f] = nv
-				covered++
-			}
-			parts = append(parts, ns)
-		}
-		if covered != len(sel.Fields) {
-			serr = errf("split", "%s.%s: groups cover %d of %d fields", txn, label, covered, len(sel.Fields))
-			return []ast.Stmt{s}
-		}
-		return parts
-	})
-	if serr != nil {
-		return nil, serr
-	}
-	if !found {
-		return nil, errf("split", "no select labelled %q in %s", label, txn)
-	}
-	// Rewrite accesses x.f to the new variable holding f.
-	rewrite := func(e ast.Expr) ast.Expr {
-		return ast.MapExpr(e, func(x ast.Expr) ast.Expr {
-			switch fa := x.(type) {
-			case *ast.FieldAt:
-				if fa.Var == oldVar {
-					if nv, ok := fieldVar[fa.Field]; ok {
-						return &ast.FieldAt{Var: nv, Field: fa.Field, Index: fa.Index}
-					}
-				}
-			case *ast.Agg:
-				if fa.Var == oldVar {
-					if nv, ok := fieldVar[fa.Field]; ok {
-						return &ast.Agg{Fn: fa.Fn, Var: nv, Field: fa.Field}
-					}
-				}
-			}
-			return x
-		})
-	}
-	rewriteTxnExprs(t, rewrite)
-	return out, nil
-}
-
-// rewriteTxnExprs applies an expression rewriter to every expression in the
-// transaction.
-func rewriteTxnExprs(t *ast.Txn, rewrite func(ast.Expr) ast.Expr) {
-	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
-		switch x := s.(type) {
-		case *ast.Select:
-			x.Where = rewrite(x.Where)
-		case *ast.Update:
-			x.Where = rewrite(x.Where)
-			for i := range x.Sets {
-				x.Sets[i].Expr = rewrite(x.Sets[i].Expr)
-			}
-		case *ast.Insert:
-			for i := range x.Values {
-				x.Values[i].Expr = rewrite(x.Values[i].Expr)
-			}
-		case *ast.If:
-			x.Cond = rewrite(x.Cond)
-		case *ast.Iterate:
-			x.Count = rewrite(x.Count)
-		}
-		return []ast.Stmt{s}
-	})
-	t.Ret = rewrite(t.Ret)
+	return cowSplitSelect(p, txn, label, groups)
 }
 
 // SameRecords decides whether two commands of one transaction always select
@@ -326,32 +182,19 @@ func lookupConjunct(t *ast.Txn, table string, wAnchor ast.Expr, q ast.WhereEqual
 // kind, on the same table, provably select the same records, and no
 // conflicting command sits between them.
 //
-// All feasibility checks run against p itself — they are pure reads — and
-// the program is deep-cloned only once a merge is known to go through:
-// repair's try_repair and post-processing probe Merge speculatively, so
-// the failing probes must not pay (or leak) a whole-program clone.
+// All feasibility checks run against p itself — they are pure reads — so
+// failing speculative probes (repair's try_repair and post-processing
+// probe Merge exhaustively) cost no allocation at all. A successful merge
+// path-copies only the merged transaction under the default engine.
 func Merge(p *ast.Program, txn, label1, label2 string) (*ast.Program, error) {
 	mergedWhere, err := checkMerge(p, txn, label1, label2)
 	if err != nil {
 		return nil, err
 	}
-	// mergedWhere points into p; every use below deep-clones it, so the
-	// clone never aliases the input program.
-	out := ast.CloneProgram(p)
-	applyMerge(out.Txn(txn), label1, label2, mergedWhere)
-	return out, nil
-}
-
-// MergeInPlace is Merge without the whole-program clone: the transaction is
-// mutated directly. Exhaustive merge loops (repair's post-processing) use
-// it to avoid paying a program clone per successful merge.
-func MergeInPlace(p *ast.Program, txn, label1, label2 string) error {
-	mergedWhere, err := checkMerge(p, txn, label1, label2)
-	if err != nil {
-		return err
+	if DeepClone() {
+		return deepMerge(p, txn, label1, label2, mergedWhere), nil
 	}
-	applyMerge(p.Txn(txn), label1, label2, mergedWhere)
-	return nil
+	return cowMerge(p, txn, label1, label2, mergedWhere), nil
 }
 
 // checkMerge runs Merge's feasibility checks (pure reads against p) and
@@ -397,74 +240,6 @@ func checkMerge(p *ast.Program, txn, label1, label2 string) (ast.Expr, error) {
 		return nil, errf("merge", "%s: %s is not mergeable (inserts are already atomic)", txn, label1)
 	}
 	return mergedWhere, nil
-}
-
-// applyMerge performs the validated merge on t. mergedWhere may alias the
-// program that owns t; every use deep-clones it.
-func applyMerge(t *ast.Txn, label1, label2 string, mergedWhere ast.Expr) {
-	c1 := findCommand(t, label1)
-	c2 := findCommand(t, label2)
-
-	switch x1 := c1.(type) {
-	case *ast.Select:
-		x2 := c2.(*ast.Select)
-		merged := &ast.Select{Label: x1.Label, Var: x1.Var, Table: x1.Table, Where: ast.CloneExpr(mergedWhere)}
-		if x1.Star || x2.Star {
-			merged.Star = true
-		} else {
-			seen := map[string]bool{}
-			for _, f := range append(append([]string(nil), x1.Fields...), x2.Fields...) {
-				if !seen[f] {
-					seen[f] = true
-					merged.Fields = append(merged.Fields, f)
-				}
-			}
-		}
-		replaceCommand(t, label1, merged)
-		removeCommand(t, label2)
-		// Uses of c2's variable now read from the merged select.
-		old, nw := x2.Var, x1.Var
-		rewriteTxnExprs(t, func(e ast.Expr) ast.Expr {
-			return ast.MapExpr(e, func(x ast.Expr) ast.Expr {
-				switch fa := x.(type) {
-				case *ast.FieldAt:
-					if fa.Var == old {
-						return &ast.FieldAt{Var: nw, Field: fa.Field, Index: fa.Index}
-					}
-				case *ast.Agg:
-					if fa.Var == old {
-						return &ast.Agg{Fn: fa.Fn, Var: nw, Field: fa.Field}
-					}
-				}
-				return x
-			})
-		})
-	case *ast.Update:
-		x2 := c2.(*ast.Update)
-		merged := &ast.Update{Label: x1.Label, Table: x1.Table, Where: ast.CloneExpr(mergedWhere)}
-		merged.Sets = append(merged.Sets, cloneAssignsList(x1.Sets)...)
-		for _, a := range x2.Sets {
-			dup := false
-			for _, b := range x1.Sets {
-				if b.Field == a.Field {
-					dup = true // equal exprs: validated before cloning
-				}
-			}
-			if !dup {
-				merged.Sets = append(merged.Sets, ast.Assign{Field: a.Field, Expr: ast.CloneExpr(a.Expr)})
-			}
-		}
-		replaceCommand(t, label1, merged)
-		removeCommand(t, label2)
-	}
-}
-
-func cloneAssignsList(as []ast.Assign) []ast.Assign {
-	out := make([]ast.Assign, len(as))
-	for i, a := range as {
-		out[i] = ast.Assign{Field: a.Field, Expr: ast.CloneExpr(a.Expr)}
-	}
-	return out
 }
 
 // checkNoConflictBetween refuses the merge when a command between c1 and c2
@@ -527,24 +302,4 @@ func findCommand(t *ast.Txn, label string) ast.DBCommand {
 		return true
 	})
 	return found
-}
-
-// replaceCommand swaps the command with the given label for a new statement.
-func replaceCommand(t *ast.Txn, label string, repl ast.Stmt) {
-	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
-		if c, ok := s.(ast.DBCommand); ok && c.CmdLabel() == label {
-			return []ast.Stmt{repl}
-		}
-		return []ast.Stmt{s}
-	})
-}
-
-// removeCommand deletes the command with the given label.
-func removeCommand(t *ast.Txn, label string) {
-	t.Body = ast.MapStmts(t.Body, func(s ast.Stmt) []ast.Stmt {
-		if c, ok := s.(ast.DBCommand); ok && c.CmdLabel() == label {
-			return nil
-		}
-		return []ast.Stmt{s}
-	})
 }

@@ -407,7 +407,8 @@ txn dead(k: int) {
 }
 `
 	p := mustProg(t, src)
-	if n := RemoveDeadSelects(p); n != 1 {
+	p, n := RemoveDeadSelects(p)
+	if n != 1 {
 		t.Fatalf("removed %d selects, want 1 (x unused)", n)
 	}
 	cmds := ast.Commands(p.Txn("dead").Body)
@@ -426,7 +427,7 @@ txn chain(k: int) {
 `
 	p := mustProg(t, src)
 	// y is dead; removing it makes x dead too.
-	if n := RemoveDeadSelects(p); n != 2 {
+	if _, n := RemoveDeadSelects(p); n != 2 {
 		t.Fatalf("removed %d selects, want 2 (cascade)", n)
 	}
 }
@@ -448,7 +449,7 @@ txn rd(k: int) {
 		"MOVED": {"x": true},
 		"USED":  {"b": true},
 	}
-	removed := GCSchemas(p, moved)
+	p, removed := GCSchemas(p, moved)
 	if len(removed) != 1 || removed[0] != "MOVED" {
 		t.Fatalf("removed = %v, want [MOVED]", removed)
 	}

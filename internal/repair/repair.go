@@ -39,6 +39,18 @@ type Result struct {
 	// three detection passes. With the incremental session, Solved <
 	// Queries; a fresh-oracle run solves everything it issues.
 	Stats anomaly.SessionStats
+
+	// stepBuf is the reused formatting scratch behind stepf: the pair loop
+	// logs one step per access pair, and formatting each into a fresh
+	// Sprintf string was measurable allocation churn on large benchmarks.
+	stepBuf []byte
+}
+
+// stepf appends one formatted entry to Steps, formatting through the
+// reused scratch buffer so only the retained string itself allocates.
+func (r *Result) stepf(format string, args ...any) {
+	r.stepBuf = fmt.Appendf(r.stepBuf[:0], format, args...)
+	r.Steps = append(r.Steps, string(r.stepBuf))
 }
 
 // RepairedCount returns how many of the initial pairs were eliminated.
@@ -87,8 +99,11 @@ func RepairWith(prog *ast.Program, model anomaly.Model, opts Options) (*Result, 
 	}
 	res.Initial = initial.Pairs
 
-	p := ast.CloneProgram(prog)
-	p = preprocess(p, initial.Pairs, res)
+	// The refactoring engine is functional (copy-on-write by default), so
+	// the pipeline threads programs instead of mutating a private clone:
+	// prog is never touched, and each step shares everything it does not
+	// edit with its predecessor.
+	p := preprocess(prog, initial.Pairs, res)
 
 	// Re-detect: preprocessing changed command labels (U4 → U4.1, U4.2).
 	rep, err := detect(p)
@@ -98,9 +113,9 @@ func RepairWith(prog *ast.Program, model anomaly.Model, opts Options) (*Result, 
 	for _, pair := range rep.Pairs {
 		if p2, desc, ok := tryRepair(p, pair, res); ok {
 			p = p2
-			res.Steps = append(res.Steps, fmt.Sprintf("repaired %s: %s", pair, desc))
+			res.stepf("repaired %s: %s", pair, desc)
 		} else {
-			res.Steps = append(res.Steps, fmt.Sprintf("unrepaired %s: %s", pair, desc))
+			res.stepf("unrepaired %s: %s", pair, desc)
 		}
 	}
 
@@ -111,7 +126,7 @@ func RepairWith(prog *ast.Program, model anomaly.Model, opts Options) (*Result, 
 		}
 		moved[c.SrcTable][c.SrcField] = true
 	}
-	postprocess(p, res, moved)
+	p = postprocess(p, res, moved)
 
 	final, err := detect(p)
 	if err != nil {
@@ -216,7 +231,7 @@ func preprocess(p *ast.Program, pairs []anomaly.AccessPair, res *Result) *ast.Pr
 		}
 		if err == nil {
 			p = np
-			res.Steps = append(res.Steps, fmt.Sprintf("split %s.%s into %d commands %v", k.txn, k.label, len(partition), partition))
+			res.stepf("split %s.%s into %d commands %v", k.txn, k.label, len(partition), partition)
 		}
 	}
 	return p
@@ -588,48 +603,55 @@ func findSelectVar(t *ast.Txn, v string) *ast.Select {
 
 // postprocess removes dead code, merges whatever became mergeable, and
 // garbage-collects the schemas and fields the refactoring obsoleted
-// (Fig. 10 post_process).
-func postprocess(p *ast.Program, res *Result, moved map[string]map[string]bool) {
-	if n := refactor.RemoveDeadSelects(p); n > 0 {
-		res.Steps = append(res.Steps, fmt.Sprintf("removed %d dead selects", n))
+// (Fig. 10 post_process). It returns the cleaned program.
+func postprocess(p *ast.Program, res *Result, moved map[string]map[string]bool) *ast.Program {
+	p, n := refactor.RemoveDeadSelects(p)
+	if n > 0 {
+		res.stepf("removed %d dead selects", n)
 	}
-	merged := mergeAll(p)
+	p, merged := mergeAll(p)
 	if merged > 0 {
-		res.Steps = append(res.Steps, fmt.Sprintf("merged %d command pairs in post-processing", merged))
+		res.stepf("merged %d command pairs in post-processing", merged)
 	}
-	if n := refactor.RemoveDeadSelects(p); n > 0 {
-		res.Steps = append(res.Steps, fmt.Sprintf("removed %d dead selects", n))
+	p, n = refactor.RemoveDeadSelects(p)
+	if n > 0 {
+		res.stepf("removed %d dead selects", n)
 	}
-	if removed := refactor.GCSchemas(p, moved); len(removed) > 0 {
-		res.Steps = append(res.Steps, fmt.Sprintf("dropped obsolete tables %v", removed))
+	p, removed := refactor.GCSchemas(p, moved)
+	if len(removed) > 0 {
+		res.stepf("dropped obsolete tables %v", removed)
 	}
+	return p
 }
 
 // mergeAll exhaustively merges same-kind commands that provably select the
-// same records. Merges apply in place (no whole-program clone per
-// success) and the scan continues from the merge point: merging c2 into c1
+// same records. Failing probes are free — Merge validates before building
+// anything — and a successful merge path-copies only the merged
+// transaction. The scan continues from the merge point: merging c2 into c1
 // removes c2 and may change c1's shape, so the inner scan resumes at the
 // same i with the refreshed command list instead of restarting the whole
 // transaction — a merge can only enable pairs involving commands at or
 // after i, and the outer fixpoint loop catches pairs a merge enabled
 // earlier in the list.
-func mergeAll(p *ast.Program) int {
+func mergeAll(p *ast.Program) (*ast.Program, int) {
 	merged := 0
-	for _, t := range p.Txns {
+	for ti := range p.Txns {
+		name := p.Txns[ti].Name
 		for {
 			progress := false
-			cmds := ast.Commands(t.Body)
+			cmds := ast.Commands(p.Txns[ti].Body)
 			for i := 0; i < len(cmds); i++ {
 				for j := i + 1; j < len(cmds); j++ {
 					if cmds[i].TableName() != cmds[j].TableName() || !sameKind(cmds[i], cmds[j]) {
 						continue
 					}
-					if err := refactor.MergeInPlace(p, t.Name, cmds[i].CmdLabel(), cmds[j].CmdLabel()); err == nil {
+					if np, err := refactor.Merge(p, name, cmds[i].CmdLabel(), cmds[j].CmdLabel()); err == nil {
+						p = np
 						merged++
 						progress = true
 						// c2 is gone and c1 changed: refresh the list and
 						// rescan c1 against its new successors.
-						cmds = ast.Commands(t.Body)
+						cmds = ast.Commands(p.Txns[ti].Body)
 						j = i
 					}
 				}
@@ -639,5 +661,5 @@ func mergeAll(p *ast.Program) int {
 			}
 		}
 	}
-	return merged
+	return p, merged
 }

@@ -108,6 +108,7 @@ type Solver struct {
 	nProblem int    // problem clauses added (any size), for the reduce cap
 
 	watches  [][]watcher // indexed by literal
+	wslab    []watcher   // chunked backing store seeding fresh watch lists
 	assigns  []lbool     // indexed by variable
 	polarity []bool      // saved phase, indexed by variable
 	level    []int
@@ -175,6 +176,46 @@ func New() *Solver {
 	s.seenVar = make([]bool, 0, initialVarCap)
 	s.heap = newVarHeap(&s.activity)
 	return s
+}
+
+// Reset restores the solver to its freshly constructed state while keeping
+// every backing array: a reset solver behaves identically to sat.New()'s —
+// same clause refs, same variable numbering, same search — but re-adding a
+// similarly sized problem allocates almost nothing. The anomaly detector
+// recycles solvers across its (txn, witness) encoders through this.
+func (s *Solver) Reset() {
+	s.arena = s.arena[:0]
+	s.clauses = s.clauses[:0]
+	s.learnts = s.learnts[:0]
+	s.nProblem = 0
+	// Watch lists must drop to nil, not truncate: live lists may alias
+	// wslab windows that the next use re-carves for other literals.
+	for i := range s.watches {
+		s.watches[i] = nil
+	}
+	s.watches = s.watches[:0]
+	s.wslab = s.wslab[:0]
+	s.assigns = s.assigns[:0]
+	s.polarity = s.polarity[:0]
+	s.level = s.level[:0]
+	s.reason = s.reason[:0]
+	s.trail = s.trail[:0]
+	s.trailLim = s.trailLim[:0]
+	s.qhead = 0
+	s.activity = s.activity[:0]
+	s.varInc = 1.0
+	s.heap.reset()
+	s.claInc = 1.0
+	s.maxLearnts = 0
+	s.reduceOff = false
+	s.ok = true
+	s.model = s.model[:0]
+	s.seenLit = s.seenLit[:0]
+	s.seenVar = s.seenVar[:0]
+	s.learntTmp = s.learntTmp[:0]
+	s.levelMark = s.levelMark[:0]
+	s.lbdEpoch = 0
+	s.Conflicts, s.Decisions, s.Propagations, s.LearntsDeleted = 0, 0, 0, 0
 }
 
 // NewVar introduces a fresh variable and returns its index.
@@ -248,15 +289,30 @@ func (s *Solver) allocClause(lits []Lit, learnt bool, lbd int) cref {
 	return r
 }
 
-// addWatch appends to a literal's watch list, seeding fresh lists with a
-// small capacity (watch lists average a handful of entries; starting at 4
-// skips the 1→2→4 growth copies).
+// addWatch appends to a literal's watch list. Fresh lists are carved as
+// 4-capacity windows out of a chunked slab rather than allocated
+// individually: the axiom encodings watch hundreds of thousands of
+// literals per repair (two aux variables per transitivity instance), and
+// one heap object per list dominated the whole pipeline's allocation
+// profile. A list that outgrows its window is moved by append's normal
+// doubling, abandoning the window; watch lists average a handful of
+// entries, so most never leave the slab.
 func (s *Solver) addWatch(l Lit, w watcher) {
 	if s.watches[l] == nil {
-		s.watches[l] = make([]watcher, 0, 4)
+		if len(s.wslab)+watchSeedCap > cap(s.wslab) {
+			s.wslab = make([]watcher, 0, watchSlabSize)
+		}
+		base := len(s.wslab)
+		s.wslab = s.wslab[:base+watchSeedCap]
+		s.watches[l] = s.wslab[base : base : base+watchSeedCap]
 	}
 	s.watches[l] = append(s.watches[l], w)
 }
+
+const (
+	watchSeedCap  = 4
+	watchSlabSize = 4096
+)
 
 func (s *Solver) attach(r cref) {
 	lits := s.claLits(r)
@@ -791,6 +847,13 @@ type varHeap struct {
 
 func newVarHeap(act *[]float64) *varHeap {
 	return &varHeap{act: act}
+}
+
+// reset empties the heap keeping its backing arrays; push re-grows indices
+// as variables are re-created in order.
+func (h *varHeap) reset() {
+	h.heap = h.heap[:0]
+	h.indices = h.indices[:0]
 }
 
 func (h *varHeap) len() int { return len(h.heap) }
