@@ -10,9 +10,9 @@ COVER_FLOOR ?= 60
 # Seconds each fuzz target runs under `make fuzz` / the nightly workflow.
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race bench bench-compare cover drift fuzz baseline profile
+.PHONY: ci fmt vet build test race bench bench-compare cover drift certify fuzz baseline profile
 
-ci: fmt vet build race bench cover drift
+ci: fmt vet build race bench cover drift certify
 
 # gofmt as a check: fail (and list the files) if anything is unformatted.
 fmt:
@@ -94,12 +94,19 @@ cover:
 drift:
 	$(GO) run ./cmd/atropos-exp -exp drift -duration 1 -baseline BENCH_baseline.json
 
-# Run every fuzz target in internal/repair for FUZZTIME each (the nightly
-# workflow mirrors this; `go test` allows one -fuzz pattern per run).
+# Witness-replay certification gate: every benchmark × weak model must
+# replay >= 95% of its detected anomalies as executable certificates, and
+# the SC / repaired-program negative controls must show zero violations.
+certify:
+	$(GO) run ./cmd/atropos-exp -exp certify
+
+# Run every fuzz target for FUZZTIME each (the nightly workflow mirrors
+# this; `go test` allows one -fuzz pattern per run).
 fuzz:
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzRepairRandomProgram$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzDetectSessionEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzCOWDeepCloneEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/replay -run '^$$' -fuzz '^FuzzWitnessReplaySoundness$$' -fuzztime $(FUZZTIME)
 
 # Regenerate the committed perf snapshot (see EXPERIMENTS.md §Baselines).
 baseline:

@@ -34,6 +34,7 @@ import (
 	"atropos/internal/exp"
 	"atropos/internal/refactor"
 	"atropos/internal/repair"
+	"atropos/internal/replay"
 )
 
 // Program is a parsed, semantically checked database program.
@@ -84,7 +85,26 @@ type DetectStats = anomaly.SessionStats
 // NewDetectSession creates an incremental detection session for one model.
 func NewDetectSession(m Model) *DetectSession { return anomaly.NewSession(m) }
 
-// RepairOptions configures the repair pipeline's detection engine.
+// Certificate is a witness-replay certificate: per anomalous pair, whether
+// the detector's satisfying SAT model lowered into a directed simulator
+// run that reproduced the claimed dependency cycle (DESIGN.md §11).
+type Certificate = replay.Certificate
+
+// RepairCertificate extends a Certificate with the repair's negative
+// controls: serial replays of the original program and projected replays
+// of the repaired one, both of which must show zero violations.
+type RepairCertificate = replay.RepairCertificate
+
+// AnalyzeCertified is Analyze with witness recording plus replay: every
+// reported pair is certified by executing its witness schedule in the
+// cluster simulator. The report is identical to Analyze's.
+func AnalyzeCertified(p *Program, m Model) (*Certificate, *AnomalyReport, error) {
+	return replay.CertifyModel(p, m)
+}
+
+// RepairOptions configures the repair pipeline's detection engine. Set
+// Certify to replay every initial anomaly as an executable certificate
+// with negative controls (RepairResult.Certificate).
 type RepairOptions = repair.Options
 
 // Repair runs the full Atropos pipeline (Fig. 4): detect, preprocess,

@@ -11,6 +11,7 @@
 //	atropos-exp -exp summary
 //	atropos-exp -exp baseline [-out BENCH_baseline.json]
 //	atropos-exp -exp drift [-baseline BENCH_baseline.json]
+//	atropos-exp -exp certify                    # witness-replay gate
 //	atropos-exp -exp all
 //
 // Experiments fan out on a bounded worker pool; -parallel bounds the
@@ -41,7 +42,7 @@ import (
 )
 
 var (
-	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, baseline, drift, all")
+	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, baseline, drift, certify, all")
 	benchArg = flag.String("bench", "", "benchmark for fig12/fig16 (default: the figure's benchmarks)")
 	duration = flag.Int("duration", 90, "seconds of simulated time per performance point")
 	clients  = flag.String("clients", "", "comma-separated client counts (default: paper's sweep)")
@@ -112,6 +113,8 @@ func main() {
 		runBaseline()
 	case "drift":
 		runDrift()
+	case "certify":
+		runCertify()
 	case "all":
 		runTable1()
 		runFig(12)
@@ -321,6 +324,37 @@ func runDrift() {
 	}
 	fmt.Fprintf(os.Stderr, "atropos-exp: %d count divergences from %s — regenerate with `make baseline` if intentional\n", len(drift), *baseline)
 	os.Exit(1)
+}
+
+// runCertify is the witness-replay certification gate (`make certify`):
+// every benchmark × weak model must replay ≥95% of its detected anomalous
+// pairs as executable certificates, every benchmark must contribute at
+// least one replayed schedule, and the negative controls — serial replays
+// of the original program and projected replays of the repaired one — must
+// show zero violations.
+func runCertify() {
+	fmt.Println("== Witness-replay certificates: detected pairs reproduced in the simulator ==")
+	benches := benchmarks.All()
+	rows, err := exp.CertifyGrid(benches, *parallel)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(exp.FormatCertify(rows))
+	fmt.Println()
+	fmt.Println("== Negative controls: serial (SC) and repaired-program replays (EC) ==")
+	negs, err := exp.CertifyNegatives(benches, *parallel)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(exp.FormatCertifyNegatives(negs))
+	if fails := exp.CertifyGate(rows, negs); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "certify:", f)
+		}
+		fmt.Fprintf(os.Stderr, "atropos-exp: %d certification failures\n", len(fails))
+		os.Exit(1)
+	}
+	fmt.Println("\ncertification gate passed: all rates >= 95%, negative controls clean")
 }
 
 func fatal(err error) {

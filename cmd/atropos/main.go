@@ -18,6 +18,10 @@
 //	-incremental         cached incremental detection inside repair
 //	                     (default true; -incremental=false re-solves
 //	                     every SAT query from scratch)
+//	-certify             replay every detected anomaly as an executable
+//	                     certificate in the cluster simulator; with
+//	                     repair, also run the SC and repaired-program
+//	                     negative controls
 //
 // Multiple inputs are analyzed concurrently on a bounded worker pool;
 // output order matches input order.
@@ -41,6 +45,7 @@ func main() {
 	outPath := flag.String("out", "", "write the refactored program to this file instead of stdout (single input only)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for multiple inputs (0 = GOMAXPROCS)")
 	incremental := flag.Bool("incremental", true, "use the cached incremental detection engine inside repair")
+	certify := flag.Bool("certify", false, "replay every detected anomaly as an executable certificate in the cluster simulator")
 	flag.Parse()
 
 	m, err := parseModel(*model)
@@ -61,7 +66,7 @@ func main() {
 	// With multiple inputs -parallel fans out across them; with a single
 	// input it instead bounds the detection session's transaction fan-out
 	// (reports are identical at every setting).
-	opts := atropos.RepairOptions{Incremental: *incremental}
+	opts := atropos.RepairOptions{Incremental: *incremental, Certify: *certify}
 	if len(inputs) == 1 {
 		opts.Parallelism = exp.Workers(*parallel)
 	}
@@ -88,6 +93,22 @@ type input struct {
 func process(in input, m atropos.Model, analyzeOnly, showSteps bool, outPath string, opts atropos.RepairOptions) (string, error) {
 	var b strings.Builder
 	if analyzeOnly {
+		if opts.Certify {
+			cert, report, err := atropos.AnalyzeCertified(in.prog, m)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%s: %d anomalous access pairs under %s, %d certified by replay (%.0f%%)\n",
+				in.name, report.Count(), m, cert.Certified, 100*cert.Rate())
+			for _, out := range cert.Outcomes {
+				status := "replayed " + out.Method
+				if !out.Reproduced {
+					status = "not reproduced: " + out.Reason
+				}
+				fmt.Fprintf(&b, "  %s  [%s]\n", out.Pair, status)
+			}
+			return b.String(), nil
+		}
 		report, err := atropos.Analyze(in.prog, m)
 		if err != nil {
 			return "", err
@@ -107,6 +128,11 @@ func process(in input, m atropos.Model, analyzeOnly, showSteps bool, outPath str
 		in.name, len(res.Initial), m, len(res.Remaining), elapsed.Seconds())
 	fmt.Fprintf(&b, "SAT queries: %d issued, %d solved (%.0f%% cached)\n",
 		res.Stats.Queries, res.Stats.Solved+res.Stats.Replayed, 100*res.Stats.CacheHitRate())
+	if c := res.Certificate; c != nil {
+		fmt.Fprintf(&b, "certificates: %d/%d anomalies replayed (%.0f%%); SC controls %d/%d violations, repaired controls %d/%d\n",
+			c.Certified, c.Total, 100*c.Rate(),
+			c.SCViolations, c.SCRuns, c.RepairedViolations, c.RepairedRuns)
+	}
 	if showSteps {
 		fmt.Fprintln(&b, "steps:")
 		for _, s := range res.Steps {

@@ -33,7 +33,7 @@ func BenchmarkPairEncoderBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := newPairEncoder(prog, t, t, EC, true); err != nil {
+		if _, err := newPairEncoder(prog, t, t, EC, true, false); err != nil {
 			b.Fatal(err)
 		}
 	}

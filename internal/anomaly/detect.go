@@ -25,6 +25,9 @@ type cmdInst struct {
 	key    keyConstraint
 	writer bool
 	reader bool
+	// pins are the key constraints with their source expressions, kept only
+	// when the detector records witness schedules (see witness.go).
+	pins []KeyPin
 }
 
 // Detect runs the oracle over every transaction of the program under the
@@ -33,9 +36,14 @@ type cmdInst struct {
 // repair pipeline's repeated detection passes).
 func Detect(prog *ast.Program, model Model) (*Report, error) {
 	d := &detector{prog: prog, model: model, encoders: map[[2]string]*pairEncoder{}}
+	return runDetector(d)
+}
+
+// runDetector drives a configured detector over every transaction.
+func runDetector(d *detector) (*Report, error) {
 	defer d.releaseEncoders()
-	report := &Report{Model: model}
-	for _, t := range prog.Txns {
+	report := &Report{Model: d.model}
+	for _, t := range d.prog.Txns {
 		pairs, err := d.detectTxn(t)
 		if err != nil {
 			return nil, err
@@ -53,7 +61,11 @@ type detector struct {
 	encoders map[[2]string]*pairEncoder
 	// session, when non-nil, memoizes solved cycle queries across
 	// detectors (and across Detect calls) by canonical formula hash.
-	session  *DetectSession
+	session *DetectSession
+	// record opts satisfiable queries into witness-schedule extraction
+	// (witness.go); it adds no propositions and changes no solve, so
+	// reports and cache keys are identical either way.
+	record   bool
 	issued   int // cycle-satisfiability queries asked
 	solved   int // cache-miss queries solved (issued - cache hits)
 	replayed int // cache-hit queries re-run to restore solver-state parity
@@ -142,6 +154,10 @@ type cycleResult struct {
 	Sat          bool
 	Kind1, Kind2 EdgeKind
 	Flds1, Flds2 []string
+	// Sched is the witness schedule read off the satisfying model, present
+	// only under witness recording. It is immutable once built, so cached
+	// results may share it across hits.
+	Sched *Schedule
 }
 
 // solveCycle answers one dep(from1→to1) ∧ dep(from2→to2) query, consulting
@@ -164,6 +180,9 @@ func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst)
 		if r.Sat {
 			r.Kind1, r.Flds1 = enc.modelEdge(from1, to1)
 			r.Kind2, r.Flds2 = enc.modelEdge(from2, to2)
+			if d.record {
+				r.Sched = enc.buildSchedule(from1, to1, from2, to2)
+			}
 		}
 		return r
 	}
@@ -213,7 +232,7 @@ func (d *detector) encoderFor(t, w *ast.Txn) (*pairEncoder, error) {
 	if enc, ok := d.encoders[key]; ok {
 		return enc, nil
 	}
-	enc, err := newPairEncoder(d.prog, t, w, d.model, d.session != nil)
+	enc, err := newPairEncoder(d.prog, t, w, d.model, d.session != nil, d.record)
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +249,18 @@ type pairEncoder struct {
 	enc   *logic.Encoder
 	items []*cmdInst // A's commands then B's commands
 	nA    int
+	// tName/wName are the instance transaction names, kept for witness
+	// schedules.
+	tName, wName string
+	// record opts the encoder into witness-schedule bookkeeping: command
+	// pins are retained and free equality atoms are indexed (eqAtoms) so a
+	// satisfying model can be read back. Purely additive — no proposition,
+	// assertion, or solve differs with it on.
+	record  bool
+	eqAtoms []eqAtomProp
+	eqSeen  map[logic.Sym]bool
+	// scratch is the reusable model read-back buffer.
+	scratch []bool
 	// ordS/visS/depS (and coS under CC) are the interned proposition
 	// matrices, indexed [from][to]; the diagonal is unused.
 	ordS, visS, coS, depS [][]logic.Sym
@@ -295,12 +326,19 @@ func (pe *pairEncoder) internRel(name func(i, j int) string) [][]logic.Sym {
 
 // newPairEncoder builds the SAT encoding for (t, w). hashed opts the
 // encoder into formula-hash recording, needed only when a session will key
-// its query cache on the encoding.
-func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model, hashed bool) (*pairEncoder, error) {
+// its query cache on the encoding; record opts it into witness-schedule
+// bookkeeping (witness.go).
+func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model, hashed, record bool) (*pairEncoder, error) {
 	pe := &pairEncoder{
 		enc:       logic.AcquireEncoder(),
 		deps:      map[int]map[int]bool{},
 		edgeNames: map[int]map[int][]edgeProp{},
+		tName:     t.Name,
+		wName:     w.Name,
+		record:    record,
+	}
+	if record {
+		pe.eqSeen = map[logic.Sym]bool{}
 	}
 	if hashed {
 		pe.enc.RecordFormulaHashes()
@@ -321,6 +359,9 @@ func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model, hashed bool) 
 				reads:  map[string]bool{},
 				writes: map[string]bool{},
 				key:    extractKey(c, schema, inst, ci),
+			}
+			if record {
+				item.pins = extractPins(c, schema, inst, ci)
 			}
 			for _, f := range acc.Reads {
 				item.reads[f] = true
@@ -401,7 +442,16 @@ func (pe *pairEncoder) eqFormula(table, field string, a, b term) logic.Formula {
 	case eqFalse:
 		return logic.False
 	default:
-		return pe.enc.Atom(pe.enc.Sym(eqPropName(table, field, a, b)))
+		s := pe.enc.Sym(eqPropName(table, field, a, b))
+		if pe.record && !pe.eqSeen[s] {
+			pe.eqSeen[s] = true
+			ca, cb := a, b
+			if cb.id < ca.id {
+				ca, cb = cb, ca
+			}
+			pe.eqAtoms = append(pe.eqAtoms, eqAtomProp{sym: s, table: table, field: field, a: ca.id, b: cb.id})
+		}
+		return pe.enc.Atom(s)
 	}
 }
 
@@ -668,7 +718,7 @@ func buildPair(txn, witness string, c1, c2, d1, d2 *cmdInst, r cycleResult) Acce
 		Txn: txn,
 		C1:  c1.label, F1: r.Flds1,
 		C2: c2.label, F2: r.Flds2,
-		Witness: Witness{Txn: witness, D1: d1.label, D2: d2.label, Edge1: r.Kind1, Edge2: r.Kind2},
+		Witness: Witness{Txn: witness, D1: d1.label, D2: d2.label, Edge1: r.Kind1, Edge2: r.Kind2, Schedule: r.Sched},
 	}
 	pair.Kind = classify(c1, c2, r.Flds1, r.Flds2)
 	return pair

@@ -44,6 +44,11 @@ import (
 type DetectSession struct {
 	model       Model
 	parallelism int
+	// record opts every detection into witness-schedule extraction. It must
+	// be set before the first Detect call: recording changes no encoding,
+	// no solve, and no cache key, but cached cycle results only carry a
+	// Schedule if their first (cache-missing) asker recorded one.
+	record bool
 
 	mu      sync.Mutex
 	txns    map[uint64]txnEntry
@@ -125,6 +130,13 @@ func (s *DetectSession) Model() Model { return s.model }
 // Solved/Replayed/QueryHits stats can shift under concurrency.
 func (s *DetectSession) SetParallelism(n int) { s.parallelism = n }
 
+// RecordWitnesses opts every subsequent detection into witness-schedule
+// extraction (see witness.go): reported pairs carry Witness.Schedule.
+// Call it before the session's first Detect — cycle results cached by a
+// non-recording detection have no schedule to share. Cache keys, reports,
+// and statistics are unaffected.
+func (s *DetectSession) RecordWitnesses() { s.record = true }
+
 // Stats returns a snapshot of the session's aggregate cache statistics.
 func (s *DetectSession) Stats() SessionStats {
 	s.mu.Lock()
@@ -177,7 +189,7 @@ func (s *DetectSession) Detect(prog *ast.Program) (*Report, error) {
 			outs[i] = txnOut{pairs: e.pairs, issued: e.issued}
 			return nil
 		}
-		d := &detector{prog: prog, model: s.model, encoders: map[[2]string]*pairEncoder{}, session: s}
+		d := &detector{prog: prog, model: s.model, encoders: map[[2]string]*pairEncoder{}, session: s, record: s.record}
 		pairs, err := d.detectTxn(prog.Txns[i])
 		d.releaseEncoders()
 		if err != nil {

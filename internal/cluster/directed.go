@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"fmt"
+
+	"atropos/internal/ast"
+	"atropos/internal/benchmarks"
+	"atropos/internal/store"
+)
+
+// This file implements the simulator's directed scheduler mode: instead of
+// a randomized open-loop workload, exactly two transaction instances run
+// under a caller-supplied interleaving (which command executes at which
+// slot) and a caller-supplied per-command visibility relation (which of the
+// other instance's write batches each command's local view contains). It is
+// the execution backend for internal/replay, which lowers the anomaly
+// detector's witness schedules — ord as the slot order, vis as the view
+// contents — into concrete runs and checks that the statically claimed
+// dependency cycle manifests. The run records, per executed command, the
+// version of every relevant field it read (with the batch that wrote it)
+// and every write it produced, so the caller can rebuild the dynamic
+// dependency graph.
+//
+// Semantics match the EC interpreter client: a command sees the seeded
+// base state, all of its own instance's earlier writes, and exactly the
+// other-instance batches the visibility relation grants it, merged
+// last-writer-wins in timestamp order. EC places no monotonicity
+// constraint on views ("arbitrary subsets of committed batches"), so each
+// command's view is built independently — exactly the freedom the static
+// encoding's vis relation has.
+
+// DirectedTxn names one transaction instance and its arguments.
+type DirectedTxn struct {
+	Name string
+	Args map[string]store.Value
+}
+
+// DirectedStep pins one slot of the interleaving: instance Inst executes
+// its static command Cmd (index into ast.Commands of the transaction
+// body). Commands a branch skips dynamically give up their slot; commands
+// that repeat under iterate execute within their slot until the dynamic
+// stream moves past it.
+type DirectedStep struct {
+	Inst int
+	Cmd  int
+}
+
+// DirectedConfig describes one directed two-transaction run.
+type DirectedConfig struct {
+	Program *ast.Program
+	// Rows seed the initial database state (alive, timestamp 0).
+	Rows []benchmarks.TableRow
+	Txns [2]DirectedTxn
+	// Steps is the slot order; typically one slot per static command of
+	// both instances, in the witness schedule's ord order.
+	Steps []DirectedStep
+	// Vis reports whether the writes of the other instance's static
+	// command (fromInst, fromCmd) are in the local view of (toInst, toCmd).
+	// nil means nothing cross-instance is ever visible.
+	Vis func(fromInst, fromCmd, toInst, toCmd int) bool
+	// Trace, when non-nil, records applied batches and commits in the
+	// simulator's canonical event format.
+	Trace *Trace
+	// MaxOps bounds executed commands (default 4096) so adversarial
+	// iterate counts cannot hang a replay.
+	MaxOps int
+}
+
+// ReadObs is one observed field read of one record.
+type ReadObs struct {
+	Table string
+	Key   store.Key
+	Field string
+}
+
+// BatchRef identifies one applied write batch: the static command that
+// produced it and its merge timestamp.
+type BatchRef struct {
+	Inst int
+	Cmd  int
+	TS   int64
+}
+
+// DirectedObs is one executed command's observation record: the batches
+// its local view contained (the realized vis relation), the fields it read
+// from which records, and the writes it produced. Together these let the
+// caller derive the execution's Adya-style dependency edges exactly as the
+// static encoding defines them — wr on view containment, ww on timestamp
+// order, rw on view non-containment.
+type DirectedObs struct {
+	Inst   int
+	Cmd    int
+	TS     int64 // apply timestamp of this command's write batch
+	View   []BatchRef
+	Reads  []ReadObs
+	Writes []WriteOp
+}
+
+// DirectedResult is a directed run's outcome.
+type DirectedResult struct {
+	Obs  []DirectedObs
+	Done [2]bool // instance ran its transaction to completion
+	Ret  [2]store.Value
+}
+
+// trackedView is one command's local view: a clone of the seeded base with
+// the visible batches applied in timestamp order, remembering which
+// batches it contains. Read recording filters to the command's static read
+// set — the fields the detector's encoding says the command reads —
+// because the executor materializes whole rows while scanning.
+type trackedView struct {
+	ms        *MatStore
+	applied   []BatchRef
+	table     string
+	fields    map[string]bool
+	recording bool
+	reads     []ReadObs
+}
+
+// Schema implements DBView.
+func (v *trackedView) Schema(table string) *ast.Schema { return v.ms.Schema(table) }
+
+// Keys implements DBView.
+func (v *trackedView) Keys(table string) []store.Key { return v.ms.Keys(table) }
+
+// Read implements DBView, recording filtered observations.
+func (v *trackedView) Read(table string, key store.Key, field string) store.Value {
+	if v.recording && table == v.table && v.fields[field] {
+		v.reads = append(v.reads, ReadObs{Table: table, Key: key, Field: field})
+	}
+	return v.ms.Read(table, key, field)
+}
+
+// Alive implements DBView through Read so presence checks are observed
+// (phantom dependencies flow through the alive field).
+func (v *trackedView) Alive(table string, key store.Key) bool {
+	val := v.Read(table, key, ast.AliveField)
+	return val.T == ast.TBool && val.B
+}
+
+// apply merges one batch into the view and records its membership.
+func (v *trackedView) apply(inst, cmd int, ts int64, ws []WriteOp) {
+	for _, w := range ws {
+		v.ms.Apply(w, ts)
+	}
+	v.applied = append(v.applied, BatchRef{Inst: inst, Cmd: cmd, TS: ts})
+}
+
+type appliedBatch struct {
+	inst, cmd int
+	ts        int64
+	writes    []WriteOp
+}
+
+type directedRun struct {
+	cfg     DirectedConfig
+	base    *MatStore
+	execs   [2]*TxnExec
+	cmdIdx  [2]map[ast.DBCommand]int
+	readSet [2][]map[string]bool // static read sets by command index
+	tables  [2][]string
+	batches []appliedBatch // timestamp order
+	cur     [2]DBView      // control-flow view: last command's view + own writes
+	uuid    *UUIDGen
+	sim     *Sim
+	seq     int64
+	obs     []DirectedObs
+}
+
+// directedSlotGap is the virtual time between slots (µs), giving Trace
+// events distinct, human-readable timestamps.
+const directedSlotGap = 1000
+
+// RunDirected executes one directed two-transaction run.
+func RunDirected(cfg DirectedConfig) (*DirectedResult, error) {
+	if cfg.MaxOps <= 0 {
+		cfg.MaxOps = 4096
+	}
+	r := &directedRun{cfg: cfg, base: NewMatStore(cfg.Program), uuid: &UUIDGen{}, sim: &Sim{}}
+	for _, row := range cfg.Rows {
+		if err := r.base.Load(row.Table, row.Row); err != nil {
+			return nil, err
+		}
+	}
+	for inst := 0; inst < 2; inst++ {
+		txn := cfg.Program.Txn(cfg.Txns[inst].Name)
+		if txn == nil {
+			return nil, fmt.Errorf("cluster: directed: unknown transaction %q", cfg.Txns[inst].Name)
+		}
+		cmds := ast.Commands(txn.Body)
+		r.cmdIdx[inst] = make(map[ast.DBCommand]int, len(cmds))
+		r.readSet[inst] = make([]map[string]bool, len(cmds))
+		r.tables[inst] = make([]string, len(cmds))
+		for i, c := range cmds {
+			r.cmdIdx[inst][c] = i
+			schema := cfg.Program.Schema(c.TableName())
+			if schema == nil {
+				return nil, fmt.Errorf("cluster: directed: unknown table %q", c.TableName())
+			}
+			rs := map[string]bool{}
+			for _, f := range ast.CommandAccess(c, schema).Reads {
+				rs[f] = true
+			}
+			switch c.(type) {
+			case *ast.Select, *ast.Update:
+				rs[ast.AliveField] = true
+			}
+			r.readSet[inst][i] = rs
+			r.tables[inst][i] = c.TableName()
+		}
+		r.execs[inst] = NewTxnExec(cfg.Program, txn, cfg.Txns[inst].Args)
+		r.cur[inst] = r.base
+	}
+
+	executed := 0
+	step := func(inst int) error {
+		executed++
+		if executed > cfg.MaxOps {
+			return fmt.Errorf("cluster: directed: schedule exceeded %d operations", cfg.MaxOps)
+		}
+		return r.execOne(inst)
+	}
+	var runErr error
+	for i := 0; i < len(cfg.Steps) && runErr == nil; {
+		st := cfg.Steps[i]
+		if st.Inst < 0 || st.Inst > 1 {
+			return nil, fmt.Errorf("cluster: directed: bad step instance %d", st.Inst)
+		}
+		e := r.execs[st.Inst]
+		if e.Done() {
+			i++
+			continue
+		}
+		cmd, err := e.Advance(r.cur[st.Inst])
+		if err != nil {
+			runErr = err
+			break
+		}
+		if cmd == nil {
+			i++
+			continue
+		}
+		cidx, ok := r.cmdIdx[st.Inst][cmd]
+		if !ok {
+			return nil, fmt.Errorf("cluster: directed: unmapped command %s", cmd.CmdLabel())
+		}
+		if cidx > st.Cmd {
+			// The dynamic stream already passed this slot's command (a branch
+			// skipped it): the slot is forfeited.
+			i++
+			continue
+		}
+		// cidx <= st.Cmd: execute. An earlier command catching up (iterate
+		// repeats) keeps the slot until the stream reaches it.
+		if err := step(st.Inst); err != nil {
+			runErr = err
+			break
+		}
+		if cidx == st.Cmd {
+			i++
+		}
+	}
+	// Drain: run both instances to completion (commands past the last slot
+	// keep their own static visibility rows; only their relative order with
+	// the other instance is no longer pinned).
+	for inst := 0; inst < 2 && runErr == nil; inst++ {
+		for !r.execs[inst].Done() {
+			cmd, err := r.execs[inst].Advance(r.cur[inst])
+			if err != nil {
+				runErr = err
+				break
+			}
+			if cmd == nil {
+				break
+			}
+			if err := step(inst); err != nil {
+				runErr = err
+				break
+			}
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	out := &DirectedResult{Obs: r.obs}
+	for inst := 0; inst < 2; inst++ {
+		out.Done[inst] = r.execs[inst].Done()
+		out.Ret[inst] = r.execs[inst].Result()
+		if cfg.Trace != nil {
+			cfg.Trace.commit(r.sim.Now(), inst, cfg.Txns[inst].Name, true)
+		}
+	}
+	return out, nil
+}
+
+// visible consults the configured visibility relation.
+func (r *directedRun) visible(fromInst, fromCmd, toInst, toCmd int) bool {
+	if r.cfg.Vis == nil {
+		return false
+	}
+	return r.cfg.Vis(fromInst, fromCmd, toInst, toCmd)
+}
+
+// buildView constructs (inst, cidx)'s local view: base state, own earlier
+// batches, and the visible other-instance batches, merged in timestamp
+// order.
+func (r *directedRun) buildView(inst, cidx int) *trackedView {
+	v := &trackedView{
+		ms:     r.base.Clone(),
+		table:  r.tables[inst][cidx],
+		fields: r.readSet[inst][cidx],
+	}
+	for _, b := range r.batches {
+		if b.inst != inst && !r.visible(b.inst, b.cmd, inst, cidx) {
+			continue
+		}
+		v.apply(b.inst, b.cmd, b.ts, b.writes)
+	}
+	return v
+}
+
+// execOne executes the pending command of inst inside a simulator event,
+// recording its observations and publishing its writes.
+func (r *directedRun) execOne(inst int) error {
+	var err error
+	r.sim.At(directedSlotGap, func() {
+		e := r.execs[inst]
+		var cmd ast.DBCommand
+		cmd, err = e.Advance(r.cur[inst])
+		if err != nil || cmd == nil {
+			return
+		}
+		cidx := r.cmdIdx[inst][cmd]
+		view := r.buildView(inst, cidx)
+		view.recording = true
+		var writes []WriteOp
+		writes, err = e.Exec(view, r.uuid)
+		if err != nil {
+			return
+		}
+		view.recording = false
+		r.seq++
+		ts := r.seq
+		r.obs = append(r.obs, DirectedObs{
+			Inst: inst, Cmd: cidx, TS: ts,
+			View:  append([]BatchRef(nil), view.applied...),
+			Reads: view.reads, Writes: writes,
+		})
+		if len(writes) > 0 {
+			r.batches = append(r.batches, appliedBatch{inst: inst, cmd: cidx, ts: ts, writes: writes})
+			if r.cfg.Trace != nil {
+				r.cfg.Trace.applyOps(r.sim.Now(), inst, ts, writes)
+			}
+			// The instance reads its own writes from here on.
+			view.apply(inst, cidx, ts, writes)
+		}
+		r.cur[inst] = view
+	})
+	r.sim.Run(r.sim.Now() + 10*directedSlotGap)
+	return err
+}

@@ -65,6 +65,10 @@ type Baseline struct {
 	// Repairs is Table 1's Time column: per-benchmark analyze+repair wall
 	// time, plus the anomaly counts guarding against "fast because wrong".
 	Repairs []RepairBaseline `json:"repairs"`
+	// Certificates records, per benchmark × weak model, how many detected
+	// anomalous pairs replayed as executable certificates (DESIGN.md §11).
+	// Deterministic counts — the drift gate compares them.
+	Certificates []CertBaseline `json:"certificates"`
 	// Corpus is the generated-program repair-throughput measurement: N
 	// progen programs at fixed seeds repaired back to back, the workload
 	// shape of ROADMAP-scale corpus evaluations.
@@ -96,6 +100,16 @@ type RepairBaseline struct {
 	CacheHitRate    float64 `json:"cache_hit_rate"`
 	AllocsPerRepair uint64  `json:"allocs_per_repair"`
 	BytesPerRepair  uint64  `json:"bytes_per_repair"`
+}
+
+// CertBaseline is one benchmark × model witness-replay certificate count:
+// Total anomalous pairs detected, Certified the ones whose witness schedule
+// reproduced its dependency cycle in the directed simulator.
+type CertBaseline struct {
+	Benchmark string `json:"benchmark"`
+	Model     string `json:"model"`
+	Total     int    `json:"total_pairs"`
+	Certified int    `json:"certified"`
 }
 
 // CorpusBaseline is the progen-corpus repair measurement: Programs fixed
@@ -201,6 +215,19 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 			CacheHitRate:    rep.Stats.CacheHitRate(),
 			AllocsPerRepair: after.Mallocs - before.Mallocs,
 			BytesPerRepair:  after.TotalAlloc - before.TotalAlloc,
+		})
+	}
+	// Witness-replay certificates: certified/total per benchmark × weak
+	// model. Deterministic and machine-independent, so the drift gate
+	// compares them alongside the anomaly counts.
+	certRows, err := CertifyGrid(all, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range certRows {
+		out.Certificates = append(out.Certificates, CertBaseline{
+			Benchmark: r.Benchmark, Model: r.Model.String(),
+			Total: r.Total, Certified: r.Certified,
 		})
 	}
 	// Corpus repair throughput: generated programs at fixed seeds, repaired

@@ -64,6 +64,34 @@ func CountDrift(got, want *Baseline) []string {
 			drift = append(drift, fmt.Sprintf("%s: in committed baseline but not measured", w.Benchmark))
 		}
 	}
+	// Certificate counts are deterministic replay outcomes; an absent
+	// section marks a pre-certificate baseline, which is not itself drift.
+	if len(want.Certificates) != 0 {
+		type certKey struct{ bench, model string }
+		gotC := map[certKey]CertBaseline{}
+		for _, c := range got.Certificates {
+			gotC[certKey{c.Benchmark, c.Model}] = c
+		}
+		for _, w := range want.Certificates {
+			g, ok := gotC[certKey{w.Benchmark, w.Model}]
+			if !ok {
+				drift = append(drift, fmt.Sprintf("%s/%s: certificate in committed baseline but not measured", w.Benchmark, w.Model))
+				continue
+			}
+			if g.Total != w.Total {
+				drift = append(drift, fmt.Sprintf("%s/%s: certificate total_pairs = %d, baseline %d", w.Benchmark, w.Model, g.Total, w.Total))
+			}
+			if g.Certified != w.Certified {
+				drift = append(drift, fmt.Sprintf("%s/%s: certified = %d, baseline %d", w.Benchmark, w.Model, g.Certified, w.Certified))
+			}
+			delete(gotC, certKey{w.Benchmark, w.Model})
+		}
+		for _, g := range got.Certificates {
+			if _, extra := gotC[certKey{g.Benchmark, g.Model}]; extra {
+				drift = append(drift, fmt.Sprintf("%s/%s: certificate missing from committed baseline", g.Benchmark, g.Model))
+			}
+		}
+	}
 	// Corpus anomaly totals are deterministic (fixed progen seeds) and
 	// engine-independent; a zero Programs count marks a pre-corpus
 	// baseline, which is not itself drift.

@@ -395,6 +395,18 @@ func (e *Encoder) ValueS(s Sym) bool {
 	return int(s) < len(e.vars) && e.vars[s] >= 0 && e.S.Value(e.vars[s])
 }
 
+// ModelValuesS reads the model values of a set of interned propositions
+// after a satisfiable Solve, appending to dst in input order. It is the
+// bulk counterpart of ValueS for model extraction: one call reads back a
+// whole relation (an ord matrix row, a sort's equality atoms) without
+// re-resolving names.
+func (e *Encoder) ModelValuesS(dst []bool, syms ...Sym) []bool {
+	for _, s := range syms {
+		dst = append(dst, e.ValueS(s))
+	}
+	return dst
+}
+
 // ModelProps returns the names of all interned propositions that are true
 // in the current model, in interning order.
 func (e *Encoder) ModelProps() []string {

@@ -18,6 +18,7 @@ import (
 	"atropos/internal/anomaly"
 	"atropos/internal/ast"
 	"atropos/internal/refactor"
+	"atropos/internal/replay"
 )
 
 // Result is the outcome of a repair run.
@@ -39,6 +40,11 @@ type Result struct {
 	// three detection passes. With the incremental session, Solved <
 	// Queries; a fresh-oracle run solves everything it issues.
 	Stats anomaly.SessionStats
+	// Certificate is the replayed-witness certificate of the run: every
+	// initial pair replayed against the original program, plus the SC and
+	// repaired-program negative controls. Only populated with
+	// Options.Certify.
+	Certificate *replay.RepairCertificate
 
 	// stepBuf is the reused formatting scratch behind stepf: the pair loop
 	// logs one step per access pair, and formatting each into a fresh
@@ -69,6 +75,11 @@ type Options struct {
 	// to parallelize detection inside one repair. Reported results are
 	// identical at every setting. Ignored without Incremental.
 	Parallelism int
+	// Certify records witness schedules during detection (reports and cache
+	// keys are unchanged — recording is strictly additive) and, after the
+	// pipeline, replays every initial pair as an executable certificate
+	// with its negative controls (Result.Certificate).
+	Certify bool
 }
 
 // Repair runs the full pipeline of Fig. 10 under the given model, with the
@@ -81,9 +92,15 @@ func Repair(prog *ast.Program, model anomaly.Model) (*Result, error) {
 // engine options.
 func RepairWith(prog *ast.Program, model anomaly.Model, opts Options) (*Result, error) {
 	detect := func(p *ast.Program) (*anomaly.Report, error) { return anomaly.Detect(p, model) }
+	if opts.Certify {
+		detect = func(p *ast.Program) (*anomaly.Report, error) { return anomaly.DetectWitnessed(p, model) }
+	}
 	var session *anomaly.DetectSession
 	if opts.Incremental {
 		session = anomaly.NewSession(model)
+		if opts.Certify {
+			session.RecordWitnesses()
+		}
 		par := opts.Parallelism
 		if par <= 1 {
 			par = 1
@@ -147,6 +164,9 @@ func RepairWith(prog *ast.Program, model anomaly.Model, opts Options) (*Result, 
 			seen[pair.Txn] = true
 			res.SerializableTxns = append(res.SerializableTxns, pair.Txn)
 		}
+	}
+	if opts.Certify {
+		res.Certificate = replay.CertifyRepair(prog, res.Program, initial, res.SerializableTxns)
 	}
 	return res, nil
 }

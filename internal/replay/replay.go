@@ -1,0 +1,263 @@
+// Package replay turns the anomaly detector's static witnesses into
+// executable certificates. Every anomalous access pair the detector reports
+// is justified by a satisfying model of its cycle query — an ordering of
+// the two transaction instances' commands, a visibility relation, and an
+// aliasing valuation over their key terms. This package lowers that model
+// into a concrete directed run of the cluster simulator (internal/cluster's
+// directed scheduler mode), executes it, and checks that the claimed
+// dependency cycle actually manifests in the run's observations: the
+// static finding is certified by a real execution, not just a SAT verdict.
+//
+// Certification is three-sided:
+//
+//   - Positive: the lowered schedule, run under the witness's visibility,
+//     exhibits both model edges and with them the violation cycle.
+//   - SC control: the same program, arguments, and seeded rows replayed
+//     serially (both orders) show no cycle — the violation is a property of
+//     the weak schedule, not of the inputs.
+//   - Repair control: the repaired program, run under the projection of the
+//     same schedule, shows no cycle — the refactoring removed the anomaly
+//     on the very execution that exhibited it.
+//
+// See DESIGN.md §11 for the model-extraction contract and the lowering.
+package replay
+
+import (
+	"fmt"
+
+	"atropos/internal/anomaly"
+	"atropos/internal/ast"
+	"atropos/internal/cluster"
+)
+
+// PairOutcome is the certification result for one anomalous access pair.
+type PairOutcome struct {
+	Pair anomaly.AccessPair
+	// Lowered reports whether the witness model was realizable as a
+	// concrete run (see lower.go for what can prevent it).
+	Lowered bool
+	// Reproduced reports whether some replayed schedule exhibited a
+	// dependency cycle entering the transaction at one of the pair's
+	// commands and leaving at the other.
+	Reproduced bool
+	// Exact additionally reports that the model's own two edges manifested
+	// verbatim (per-field kinds included) on the model's own schedule.
+	Exact bool
+	// Method names the attempt that reproduced the pair: "model",
+	// "model-minvis", or one of the "split-*" canonical interleavings,
+	// suffixed with the defaults profile index when not the first.
+	Method string
+	// Reason explains a false Lowered or Reproduced.
+	Reason string
+	// Trace is the reproducing run's canonical event log.
+	Trace []string
+
+	prof profile // defaults profile of the reproducing (or first) attempt
+}
+
+// Certificate aggregates replay outcomes over one report.
+type Certificate struct {
+	Model anomaly.Model
+	// Total counts pairs examined; Lowered those with a realizable witness;
+	// Certified those whose cycle manifested when run.
+	Total     int
+	Lowered   int
+	Certified int
+	Outcomes  []PairOutcome
+}
+
+// Rate is the fraction of examined pairs whose witness replayed: the
+// certificate reproduction rate.
+func (c *Certificate) Rate() float64 {
+	if c.Total == 0 {
+		return 1
+	}
+	return float64(c.Certified) / float64(c.Total)
+}
+
+// Certify replays every pair of a witnessed report against the program.
+// Pairs detected without witness recording (Witness.Schedule == nil) count
+// as not lowered.
+//
+// Each pair gets a bounded ladder of replay attempts: the model's own
+// schedule first (which alone can set Exact), then the model schedule with
+// only edge-required visibility, then the canonical split interleavings at
+// c1 — each under a few defaults profiles so branch guards of either
+// polarity can be taken. The first run whose dependency graph contains a
+// cycle through the pair's two commands certifies it.
+func Certify(prog *ast.Program, rep *anomaly.Report) *Certificate {
+	cert := &Certificate{Model: rep.Model}
+	for _, pair := range rep.Pairs {
+		cert.Total++
+		out := certifyPair(prog, pair)
+		if out.Lowered {
+			cert.Lowered++
+		}
+		if out.Reproduced {
+			cert.Certified++
+		}
+		cert.Outcomes = append(cert.Outcomes, out)
+	}
+	return cert
+}
+
+// itemIdx finds instance 0's static command index for a command label.
+func itemIdx(sched *anomaly.Schedule, label string) int {
+	for _, it := range sched.Items {
+		if it.Inst == 0 && it.Label == label {
+			return it.Idx
+		}
+	}
+	return -1
+}
+
+// certifyPair runs the attempt ladder for one pair.
+func certifyPair(prog *ast.Program, pair anomaly.AccessPair) PairOutcome {
+	out := PairOutcome{Pair: pair, prof: profiles[0]}
+	sched := pair.Witness.Schedule
+	if sched == nil {
+		out.Reason = "no recorded witness schedule"
+		return out
+	}
+	i1 := itemIdx(sched, pair.C1)
+	i2 := itemIdx(sched, pair.C2)
+	if i1 < 0 || i2 < 0 {
+		out.Reason = "pair commands missing from schedule"
+		return out
+	}
+	for pi, prof := range profiles {
+		low, reason := lowerSchedule(prog, sched, prof)
+		if reason != "" {
+			out.Reason = reason
+			return out // structural: no profile can change it
+		}
+		out.Lowered = true
+		type attempt struct {
+			name string
+			cfg  cluster.DirectedConfig
+		}
+		attempts := []attempt{
+			{"model", low.Cfg},
+			{"model-minvis", minimalVis(low, sched)},
+			{"split-hidden", splitConfig(low, prog, sched, i1, splitHidden)},
+			{"split-dirty", splitConfig(low, prog, sched, i1, splitPrefixVis)},
+			{"split-nonrep", splitConfig(low, prog, sched, i1, splitTailVis)},
+			{"split-both", splitConfig(low, prog, sched, i1, splitBothVis)},
+		}
+		for _, at := range attempts {
+			edges, trace, err := runEdges(at.cfg)
+			if err != nil {
+				out.Reason = "run failed: " + err.Error()
+				continue
+			}
+			if !hasPairCycle(edges, i1, i2) {
+				out.Reason = "no dependency cycle through the pair"
+				continue
+			}
+			out.Reproduced = true
+			out.Exact = at.name == "model" &&
+				edgeManifests(sched, sched.Edge1, edges) &&
+				edgeManifests(sched, sched.Edge2, edges)
+			out.Method = at.name
+			if pi > 0 {
+				out.Method = fmt.Sprintf("%s@p%d", at.name, pi)
+			}
+			out.Trace = trace
+			out.prof = prof
+			return out
+		}
+	}
+	return out
+}
+
+// CertifyModel detects with witness recording and certifies the report.
+func CertifyModel(prog *ast.Program, model anomaly.Model) (*Certificate, *anomaly.Report, error) {
+	rep, err := anomaly.DetectWitnessed(prog, model)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Certify(prog, rep), rep, nil
+}
+
+// RepairCertificate extends a positive certificate with the two negative
+// controls: the original program under serializability, and the repaired
+// program under the (projected) anomalous schedules.
+type RepairCertificate struct {
+	*Certificate
+	// SCRuns / SCViolations: serial replays of the original program on the
+	// lowered inputs (two orders per lowered pair) and how many exhibited a
+	// cycle. Soundness demands zero violations.
+	SCRuns       int
+	SCViolations int
+	// RepairedRuns / RepairedViolations: projected replays against the
+	// repaired program, for pairs whose transaction and witness are fully
+	// repaired. Zero violations certifies the repair on these schedules.
+	RepairedRuns       int
+	RepairedViolations int
+	// SkippedPartial counts lowered pairs not replayed against the repaired
+	// program because their transaction or witness kept a residual anomaly
+	// (the repair pipeline gave up on it), so a cycle there would prove
+	// nothing about the refactoring.
+	SkippedPartial int
+	// Errors collects run failures from the negative controls.
+	Errors []string
+}
+
+// CertifyRepair certifies a witnessed pre-repair report against both the
+// original and the repaired program. stillAnomalous lists transactions the
+// repair left with residual pairs (repair.Result.SerializableTxns).
+func CertifyRepair(orig, repaired *ast.Program, rep *anomaly.Report, stillAnomalous []string) *RepairCertificate {
+	partial := map[string]bool{}
+	for _, t := range stillAnomalous {
+		partial[t] = true
+	}
+	rc := &RepairCertificate{Certificate: Certify(orig, rep)}
+	for _, out := range rc.Outcomes {
+		if !out.Lowered {
+			continue
+		}
+		sched := out.Pair.Witness.Schedule
+		low, reason := lowerSchedule(orig, sched, out.prof)
+		if reason != "" {
+			continue
+		}
+		for first := 0; first < 2; first++ {
+			cfg, reason := lowerSerial(orig, sched, low.Args, low.Cfg.Rows, first)
+			if reason != "" {
+				rc.Errors = append(rc.Errors, fmt.Sprintf("%s: SC lowering: %s", out.Pair.Txn, reason))
+				continue
+			}
+			rc.SCRuns++
+			bad, err := runViolates(cfg)
+			if err != nil {
+				rc.Errors = append(rc.Errors, fmt.Sprintf("%s: SC replay: %v", out.Pair.Txn, err))
+				continue
+			}
+			if bad {
+				rc.SCViolations++
+			}
+		}
+		if repaired == nil {
+			continue
+		}
+		if partial[out.Pair.Txn] || partial[out.Pair.Witness.Txn] {
+			rc.SkippedPartial++
+			continue
+		}
+		cfg, reason := lowerProjected(repaired, sched, low.Args, out.prof)
+		if reason != "" {
+			rc.Errors = append(rc.Errors, fmt.Sprintf("%s: projection: %s", out.Pair.Txn, reason))
+			continue
+		}
+		rc.RepairedRuns++
+		bad, err := runViolates(cfg)
+		if err != nil {
+			rc.Errors = append(rc.Errors, fmt.Sprintf("%s: repaired replay: %v", out.Pair.Txn, err))
+			continue
+		}
+		if bad {
+			rc.RepairedViolations++
+		}
+	}
+	return rc
+}

@@ -827,11 +827,22 @@ func (s *Solver) Value(v int) bool { return v < len(s.model) && s.model[v] == lT
 // Model returns a copy of the saved model as a bool slice indexed by
 // variable.
 func (s *Solver) Model() []bool {
-	m := make([]bool, len(s.model))
-	for v := range s.model {
-		m[v] = s.model[v] == lTrue
+	return s.ModelInto(nil)
+}
+
+// ModelInto writes the saved model into dst — reusing its backing array
+// when large enough — and returns it. Callers extracting many models (the
+// anomaly detector's witness schedules) read them through one scratch
+// buffer instead of allocating per query.
+func (s *Solver) ModelInto(dst []bool) []bool {
+	if cap(dst) < len(s.model) {
+		dst = make([]bool, len(s.model))
 	}
-	return m
+	dst = dst[:len(s.model)]
+	for v := range s.model {
+		dst[v] = s.model[v] == lTrue
+	}
+	return dst
 }
 
 // NumLearnts returns the current number of learnt clauses of size > 2 (the
