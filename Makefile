@@ -10,9 +10,9 @@ COVER_FLOOR ?= 60
 # Seconds each fuzz target runs under `make fuzz` / the nightly workflow.
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race bench bench-compare cover drift certify fuzz baseline profile
+.PHONY: ci fmt vet build test race bench bench-compare cover drift certify loadtest-smoke fuzz baseline profile
 
-ci: fmt vet build race bench cover drift certify
+ci: fmt vet build race bench cover drift certify loadtest-smoke
 
 # gofmt as a check: fail (and list the files) if anything is unformatted.
 fmt:
@@ -107,6 +107,17 @@ fuzz:
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzDetectSessionEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzCOWDeepCloneEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/replay -run '^$$' -fuzz '^FuzzWitnessReplaySoundness$$' -fuzztime $(FUZZTIME)
+
+# Service load-test smoke: the in-process atroposd daemon under a small
+# concurrent client fleet (counts-only assertions — the binary exits
+# non-zero if any request is dropped or errors; wall-clock numbers are
+# informational). The latency summary lands in loadtest-summary.json,
+# which the CI job uploads as an artifact. The full-scale measurement
+# (64 clients) is the baseline's "service" section, drift-gated by counts.
+loadtest-smoke:
+	@$(GO) run ./cmd/atroposd -loadtest -clients 16 -requests 2 > loadtest-summary.json; \
+	status=$$?; cat loadtest-summary.json; \
+	if [ $$status -ne 0 ]; then exit $$status; fi
 
 # Regenerate the committed perf snapshot (see EXPERIMENTS.md §Baselines).
 baseline:

@@ -13,9 +13,17 @@
 // Typical use:
 //
 //	prog, err := atropos.Parse(src)
-//	report, err := atropos.Analyze(prog, atropos.EC)
-//	result, err := atropos.Repair(prog, atropos.EC)
+//	report, err := atropos.Analyze(ctx, prog, atropos.EC)
+//	result, err := atropos.Repair(ctx, prog, atropos.EC)
 //	fmt.Println(atropos.Format(result.Program))
+//
+// Every analysis entry point takes a context: cancelling it (or letting a
+// deadline expire) aborts the underlying SAT solves mid-flight. Behavior is
+// tuned with functional options (WithCertify, WithDetectParallelism, ...).
+// For serving many callers from one process, NewEngine wraps the pipeline
+// in a long-lived engine with a bounded worker pool and per-client
+// incremental detection sessions — the daemon cmd/atroposd exposes that
+// engine over HTTP (DESIGN.md §12).
 //
 // The package also exposes the evaluation substrate: the nine benchmark
 // programs of the paper's Table 1, the discrete-event geo-replicated
@@ -24,6 +32,7 @@
 package atropos
 
 import (
+	"context"
 	"time"
 
 	"atropos/internal/anomaly"
@@ -31,6 +40,7 @@ import (
 	"atropos/internal/benchmarks"
 	"atropos/internal/cluster"
 	"atropos/internal/core"
+	"atropos/internal/engine"
 	"atropos/internal/exp"
 	"atropos/internal/refactor"
 	"atropos/internal/repair"
@@ -64,14 +74,20 @@ type RepairResult = repair.Result
 // ValueCorr is a value correspondence (R, R′, f, f′, θ, α).
 type ValueCorr = refactor.ValueCorr
 
+// ParseModel parses a consistency-model name ("EC", "cc", ...).
+func ParseModel(s string) (Model, error) { return anomaly.ParseModel(s) }
+
 // Parse parses and semantically checks DSL source.
 func Parse(src string) (*Program, error) { return core.LoadProgram(src) }
 
 // Format renders a program back to DSL concrete syntax.
 func Format(p *Program) string { return ast.Format(p) }
 
-// Analyze runs the static anomaly oracle under the given model.
-func Analyze(p *Program, m Model) (*AnomalyReport, error) { return anomaly.Detect(p, m) }
+// Analyze runs the static anomaly oracle under the given model. Cancelling
+// the context aborts the SAT solves mid-flight and returns its error.
+func Analyze(ctx context.Context, p *Program, m Model) (*AnomalyReport, error) {
+	return anomaly.DetectContext(ctx, p, m)
+}
 
 // DetectSession is the incremental anomaly oracle: it fingerprints
 // transactions and memoizes solved SAT queries, so detecting across a
@@ -95,34 +111,78 @@ type Certificate = replay.Certificate
 // of the repaired one, both of which must show zero violations.
 type RepairCertificate = replay.RepairCertificate
 
-// AnalyzeCertified is Analyze with witness recording plus replay: every
-// reported pair is certified by executing its witness schedule in the
-// cluster simulator. The report is identical to Analyze's.
+// Certify is Analyze with witness recording plus replay: every reported
+// pair is certified by executing its witness schedule in the cluster
+// simulator. The report is identical to Analyze's.
+func Certify(ctx context.Context, p *Program, m Model) (*Certificate, *AnomalyReport, error) {
+	return replay.CertifyModelContext(ctx, p, m)
+}
+
+// RepairOption configures one Repair or Engine call. The zero configuration
+// (no options) runs the incremental detection engine without certification —
+// the same defaults the old Repair entry point had.
+type RepairOption = repair.Option
+
+// WithIncrementalDetect toggles the cached incremental detection session
+// inside the pipeline (on by default). Results are identical either way.
+func WithIncrementalDetect(on bool) RepairOption { return repair.Incremental(on) }
+
+// WithDetectParallelism bounds the worker goroutines of the detection
+// passes; n <= 1 means sequential (the default, and the only setting whose
+// SAT-query counters are deterministic).
+func WithDetectParallelism(n int) RepairOption { return repair.Parallelism(n) }
+
+// WithCertify replays every initial anomaly as an executable certificate
+// with negative controls (RepairResult.Certificate).
+func WithCertify(on bool) RepairOption { return repair.Certify(on) }
+
+// WithClient tags the call with a client identity. Engine methods use it to
+// reuse that client's cached detection session across requests; the plain
+// entry points ignore it.
+func WithClient(id string) RepairOption { return repair.Client(id) }
+
+// WithSession injects an existing detection session (created with
+// NewDetectSession for the same model) so its caches carry over this call.
+func WithSession(s *DetectSession) RepairOption { return repair.Session(s) }
+
+// Repair runs the full Atropos pipeline (Fig. 4): detect, preprocess,
+// refactor, post-process. Cancelling the context aborts the pipeline
+// mid-solve. RepairResult.Elapsed records the total wall time (Table 1's
+// Time column).
+func Repair(ctx context.Context, p *Program, m Model, opts ...RepairOption) (*RepairResult, error) {
+	return repair.Run(ctx, p, m, opts...)
+}
+
+// RepairOptions is the options struct behind the functional options.
+//
+// Deprecated: pass RepairOption values to Repair instead.
+type RepairOptions = repair.Options
+
+// AnalyzeCertified is Certify without cancellation.
+//
+// Deprecated: use Certify with a context.
 func AnalyzeCertified(p *Program, m Model) (*Certificate, *AnomalyReport, error) {
 	return replay.CertifyModel(p, m)
 }
 
-// RepairOptions configures the repair pipeline's detection engine. Set
-// Certify to replay every initial anomaly as an executable certificate
-// with negative controls (RepairResult.Certificate).
-type RepairOptions = repair.Options
-
-// Repair runs the full Atropos pipeline (Fig. 4): detect, preprocess,
-// refactor, post-process. The incremental detection engine is on; use
-// RepairWithOptions to disable it or to bound its parallelism.
-func Repair(p *Program, m Model) (*RepairResult, error) { return repair.Repair(p, m) }
-
-// RepairWithOptions is Repair with an explicit engine configuration.
+// RepairWithOptions is Repair with an explicit options struct and no
+// cancellation.
+//
+// Deprecated: use Repair with a context and functional options.
 func RepairWithOptions(p *Program, m Model, o RepairOptions) (*RepairResult, error) {
 	return repair.RepairWith(p, m, o)
 }
 
-// RepairTimed is Repair plus the total wall time (Table 1's Time column).
+// RepairTimed is Repair plus the total wall time.
+//
+// Deprecated: use Repair; the wall time is RepairResult.Elapsed.
 func RepairTimed(p *Program, m Model) (*RepairResult, time.Duration, error) {
 	return RepairTimedWith(p, m, RepairOptions{Incremental: true})
 }
 
 // RepairTimedWith is RepairWithOptions plus the total wall time.
+//
+// Deprecated: use Repair; the wall time is RepairResult.Elapsed.
 func RepairTimedWith(p *Program, m Model, o RepairOptions) (*RepairResult, time.Duration, error) {
 	res, err := core.RunWith(p, m, o)
 	if err != nil {
@@ -130,6 +190,27 @@ func RepairTimedWith(p *Program, m Model, o RepairOptions) (*RepairResult, time.
 	}
 	return res.Repair, res.Elapsed, nil
 }
+
+// Engine is a long-lived repair service: a bounded worker pool with
+// queue-depth backpressure (ErrOverloaded), an LRU cache of per-client
+// detection sessions, and pooled solver arenas shared across requests. One
+// Engine serves concurrent callers; cmd/atroposd puts it behind HTTP. See
+// DESIGN.md §12 for the lifecycle contract.
+type Engine = engine.Engine
+
+// EngineConfig sizes an Engine (workers, queue depth, session cache).
+type EngineConfig = engine.Config
+
+// EngineStats is an Engine's observable counters.
+type EngineStats = engine.Stats
+
+// ErrOverloaded is returned by Engine methods when every worker is busy and
+// the admission queue is full; callers should back off and retry.
+var ErrOverloaded = engine.ErrOverloaded
+
+// NewEngine creates an Engine. The zero config defaults to GOMAXPROCS
+// workers, a 4x-workers queue, and 64 cached sessions.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
 // Benchmark is one of the paper's nine evaluation programs with its
 // workload mix and population generator.

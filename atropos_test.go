@@ -1,6 +1,7 @@
 package atropos_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -25,18 +26,18 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
-	report, err := atropos.Analyze(prog, atropos.EC)
+	report, err := atropos.Analyze(context.Background(), prog, atropos.EC)
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
 	if report.Count() == 0 {
 		t.Fatal("no anomalies found in the RMW program")
 	}
-	res, elapsed, err := atropos.RepairTimed(prog, atropos.EC)
+	res, err := atropos.Repair(context.Background(), prog, atropos.EC)
 	if err != nil {
 		t.Fatalf("Repair: %v", err)
 	}
-	if elapsed <= 0 {
+	if res.Elapsed <= 0 {
 		t.Error("elapsed time not recorded")
 	}
 	if len(res.Remaining) != 0 {

@@ -4,6 +4,7 @@
 package atropos_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -163,7 +164,7 @@ func BenchmarkPublicAPIRepair(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := atropos.Repair(prog, atropos.EC); err != nil {
+		if _, err := atropos.Repair(context.Background(), prog, atropos.EC); err != nil {
 			b.Fatal(err)
 		}
 	}

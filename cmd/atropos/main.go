@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,7 +49,7 @@ func main() {
 	certify := flag.Bool("certify", false, "replay every detected anomaly as an executable certificate in the cluster simulator")
 	flag.Parse()
 
-	m, err := parseModel(*model)
+	m, err := atropos.ParseModel(*model)
 	if err != nil {
 		fatal(err)
 	}
@@ -66,14 +67,18 @@ func main() {
 	// With multiple inputs -parallel fans out across them; with a single
 	// input it instead bounds the detection session's transaction fan-out
 	// (reports are identical at every setting).
-	opts := atropos.RepairOptions{Incremental: *incremental, Certify: *certify}
-	if len(inputs) == 1 {
-		opts.Parallelism = exp.Workers(*parallel)
+	opts := []atropos.RepairOption{
+		atropos.WithIncrementalDetect(*incremental),
+		atropos.WithCertify(*certify),
 	}
+	if len(inputs) == 1 {
+		opts = append(opts, atropos.WithDetectParallelism(exp.Workers(*parallel)))
+	}
+	ctx := context.Background()
 	outputs := make([]string, len(inputs))
 	err = exp.ForEach(exp.Workers(*parallel), len(inputs), func(i int) error {
 		var perr error
-		outputs[i], perr = process(inputs[i], m, *analyzeOnly, *showSteps, *outPath, opts)
+		outputs[i], perr = process(ctx, inputs[i], m, *analyzeOnly, *showSteps, *certify, *outPath, opts)
 		return perr
 	})
 	if err != nil {
@@ -90,11 +95,11 @@ type input struct {
 }
 
 // process runs one input through the pipeline, returning its full report.
-func process(in input, m atropos.Model, analyzeOnly, showSteps bool, outPath string, opts atropos.RepairOptions) (string, error) {
+func process(ctx context.Context, in input, m atropos.Model, analyzeOnly, showSteps, certify bool, outPath string, opts []atropos.RepairOption) (string, error) {
 	var b strings.Builder
 	if analyzeOnly {
-		if opts.Certify {
-			cert, report, err := atropos.AnalyzeCertified(in.prog, m)
+		if certify {
+			cert, report, err := atropos.Certify(ctx, in.prog, m)
 			if err != nil {
 				return "", err
 			}
@@ -109,7 +114,7 @@ func process(in input, m atropos.Model, analyzeOnly, showSteps bool, outPath str
 			}
 			return b.String(), nil
 		}
-		report, err := atropos.Analyze(in.prog, m)
+		report, err := atropos.Analyze(ctx, in.prog, m)
 		if err != nil {
 			return "", err
 		}
@@ -120,12 +125,12 @@ func process(in input, m atropos.Model, analyzeOnly, showSteps bool, outPath str
 		return b.String(), nil
 	}
 
-	res, elapsed, err := atropos.RepairTimedWith(in.prog, m, opts)
+	res, err := atropos.Repair(ctx, in.prog, m, opts...)
 	if err != nil {
 		return "", err
 	}
 	fmt.Fprintf(&b, "%s: %d anomalies under %s, %d remaining after repair (%.1fs)\n",
-		in.name, len(res.Initial), m, len(res.Remaining), elapsed.Seconds())
+		in.name, len(res.Initial), m, len(res.Remaining), res.Elapsed.Seconds())
 	fmt.Fprintf(&b, "SAT queries: %d issued, %d solved (%.0f%% cached)\n",
 		res.Stats.Queries, res.Stats.Solved+res.Stats.Replayed, 100*res.Stats.CacheHitRate())
 	if c := res.Certificate; c != nil {
@@ -152,21 +157,6 @@ func process(in input, m atropos.Model, analyzeOnly, showSteps bool, outPath str
 	}
 	fmt.Fprintf(&b, "\n-- refactored program --\n%s\n", text)
 	return b.String(), nil
-}
-
-func parseModel(s string) (atropos.Model, error) {
-	switch strings.ToUpper(s) {
-	case "EC":
-		return atropos.EC, nil
-	case "CC":
-		return atropos.CC, nil
-	case "RR":
-		return atropos.RR, nil
-	case "SC":
-		return atropos.SC, nil
-	default:
-		return atropos.EC, fmt.Errorf("unknown model %q (want EC, CC, RR, or SC)", s)
-	}
 }
 
 func loadInputs(benchNames string, args []string) ([]input, error) {

@@ -1,0 +1,108 @@
+// Command atroposd serves the Atropos repair pipeline over HTTP: one
+// long-lived engine (bounded worker pool, per-client detection-session
+// cache, pooled solver arenas) behind five JSON endpoints.
+//
+//	POST /v1/parse     {"source": ...}                     → formatted program
+//	POST /v1/analyze   {"source"|"benchmark", "model"}     → anomalous pairs
+//	POST /v1/repair    {"source"|"benchmark", "model"}     → repaired program
+//	POST /v1/certify   {"source"|"benchmark", "model"}     → witness replays
+//	POST /v1/simulate  {"benchmark", "topology", "mode"}   → cluster metrics
+//	GET  /v1/stats                                          → engine counters
+//
+// Requests carrying a "client" id reuse that client's cached detection
+// session across calls (incremental re-analysis); "timeout_ms" bounds one
+// request, and closing the connection aborts its solve mid-flight. When all
+// workers are busy and the queue is full the daemon answers 429 with a
+// Retry-After hint instead of queueing unboundedly. See DESIGN.md §12.
+//
+// Usage:
+//
+//	atroposd [-addr :8372] [-workers N] [-queue N] [-sessions N]
+//	atroposd -loadtest [-clients 64] [-requests 4]   # in-process load test
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"atropos/internal/engine"
+	"atropos/internal/exp"
+	"atropos/internal/service"
+)
+
+var (
+	addr     = flag.String("addr", ":8372", "listen address")
+	workers  = flag.Int("workers", 0, "concurrent solve workers (0 = GOMAXPROCS)")
+	queue    = flag.Int("queue", 0, "admission queue depth before 429 (0 = 4x workers)")
+	sessions = flag.Int("sessions", 0, "cached client detection sessions before LRU eviction (0 = 64)")
+	loadtest = flag.Bool("loadtest", false, "run the in-process load test instead of serving")
+	clients  = flag.Int("clients", 0, "loadtest: concurrent clients (0 = 64)")
+	requests = flag.Int("requests", 0, "loadtest: requests per client (0 = 4)")
+)
+
+func main() {
+	flag.Parse()
+	cfg := engine.Config{Workers: *workers, QueueDepth: *queue, Sessions: *sessions}
+	if *loadtest {
+		runLoadtest()
+		return
+	}
+	eng := engine.New(cfg)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.New(eng),
+		// Slow-client bounds; solve time itself is bounded per request via
+		// timeout_ms, not here.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain, then exit
+	}()
+	fmt.Fprintf(os.Stderr, "atroposd: listening on %s (workers=%d queue=%d sessions=%d)\n",
+		*addr, eng.Stats().Workers, eng.Stats().QueueDepth, *sessions)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+// runLoadtest drives the exp harness: an in-process daemon under N
+// concurrent clients, printing the measurement as JSON (the same shape the
+// baseline's "service" section records).
+func runLoadtest() {
+	res, err := exp.RunLoad(exp.LoadConfig{
+		Clients:           *clients,
+		RequestsPerClient: *requests,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		Sessions:          *sessions,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(buf, '\n'))
+	if res.Completed != res.Requests || res.Errors != 0 {
+		fatal(fmt.Errorf("dropped requests: %d/%d completed, %d errors",
+			res.Completed, res.Requests, res.Errors))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atroposd:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,8 +64,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+
 	// Step 1: which access pairs are anomalous under eventual consistency?
-	report, err := atropos.Analyze(prog, atropos.EC)
+	report, err := atropos.Analyze(ctx, prog, atropos.EC)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,12 +77,12 @@ func main() {
 	}
 
 	// Step 2: repair by schema refactoring.
-	result, elapsed, err := atropos.RepairTimed(prog, atropos.EC)
+	result, err := atropos.Repair(ctx, prog, atropos.EC)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nrepaired %d/%d pairs in %.2fs\n",
-		result.RepairedCount(), len(result.Initial), elapsed.Seconds())
+		result.RepairedCount(), len(result.Initial), result.Elapsed.Seconds())
 	for _, s := range result.Steps {
 		fmt.Printf("  %s\n", s)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,7 +22,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	result, err := atropos.Repair(prog, atropos.EC)
+	result, err := atropos.Repair(context.Background(), prog, atropos.EC)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,7 +23,7 @@ func main() {
 
 	// Repair: the deposit counters become append-only ledgers; conditional
 	// writes (overdraft guards) cannot be repaired and stay anomalous.
-	result, err := atropos.Repair(prog, atropos.EC)
+	result, err := atropos.Repair(context.Background(), prog, atropos.EC)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package anomaly
 
 import (
+	"context"
 	"fmt"
 	"maps"
 	"slices"
@@ -35,8 +36,35 @@ type cmdInst struct {
 // scratch; use a DetectSession to reuse work across related programs (the
 // repair pipeline's repeated detection passes).
 func Detect(prog *ast.Program, model Model) (*Report, error) {
+	return DetectContext(context.Background(), prog, model)
+}
+
+// DetectContext is Detect with cancellation: the context's deadline or
+// cancellation aborts detection mid-solve (the SAT solvers poll it) and
+// returns ctx.Err(). An uncancellable context adds no overhead.
+func DetectContext(ctx context.Context, prog *ast.Program, model Model) (*Report, error) {
 	d := &detector{prog: prog, model: model, encoders: map[[2]string]*pairEncoder{}}
+	d.setContext(ctx)
 	return runDetector(d)
+}
+
+// setContext installs the detector's cancellation probe. The stop function
+// is only materialized for cancellable contexts, so Background-context
+// detection keeps a nil probe on every solver (zero polling cost).
+func (d *detector) setContext(ctx context.Context) {
+	d.ctx = ctx
+	if ctx.Done() != nil {
+		d.stop = func() bool { return ctx.Err() != nil }
+	}
+}
+
+// ctxErr returns the detector's cancellation error, defaulting to
+// context.Canceled if a stop was observed before ctx recorded its error.
+func (d *detector) ctxErr() error {
+	if err := d.ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
 }
 
 // runDetector drives a configured detector over every transaction.
@@ -59,6 +87,11 @@ type detector struct {
 	prog     *ast.Program
 	model    Model
 	encoders map[[2]string]*pairEncoder
+	// ctx carries the caller's deadline/cancellation; stop is the probe
+	// installed on every encoder's solver (nil when ctx cannot be
+	// cancelled). See setContext.
+	ctx  context.Context
+	stop func() bool
 	// session, when non-nil, memoizes solved cycle queries across
 	// detectors (and across Detect calls) by canonical formula hash.
 	session *DetectSession
@@ -130,13 +163,21 @@ func (d *detector) checkPairWitness(t, w *ast.Txn, i, j int) (AccessPair, bool, 
 		for _, d2 := range enc.items[enc.nA:] {
 			// Orientation 1: A.c1 → B.d1, B.d2 → A.c2.
 			if enc.hasDep(c1, d1) && enc.hasDep(d2, c2) {
-				if r := d.solveCycle(enc, c1, d1, d2, c2); r.Sat {
+				r, err := d.solveCycle(enc, c1, d1, d2, c2)
+				if err != nil {
+					return AccessPair{}, false, err
+				}
+				if r.Sat {
 					return buildPair(t.Name, w.Name, c1, c2, d1, d2, r), true, nil
 				}
 			}
 			// Orientation 2: B.d1 → A.c1, A.c2 → B.d2.
 			if enc.hasDep(d1, c1) && enc.hasDep(c2, d2) {
-				if r := d.solveCycle(enc, d1, c1, c2, d2); r.Sat {
+				r, err := d.solveCycle(enc, d1, c1, c2, d2)
+				if err != nil {
+					return AccessPair{}, false, err
+				}
+				if r.Sat {
 					return buildPair(t.Name, w.Name, c1, c2, d1, d2, r), true, nil
 				}
 			}
@@ -173,10 +214,20 @@ type cycleResult struct {
 // data is the fresh answer by construction. When a miss follows earlier
 // hits on the same encoder, the skipped queries are replayed first
 // (replayPending) to restore that state parity before solving.
-func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst) cycleResult {
+func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst) (cycleResult, error) {
+	if d.stop != nil {
+		if err := d.ctx.Err(); err != nil {
+			return cycleResult{}, err
+		}
+	}
 	d.issued++
-	solve := func() cycleResult {
+	solve := func() (cycleResult, error) {
 		r := cycleResult{Sat: enc.solveCycle(from1, to1, from2, to2)}
+		// An interrupted Solve also returns false; it must surface as the
+		// context's error, never be recorded (or cached) as UNSAT.
+		if enc.enc.S.Stopped() {
+			return cycleResult{}, d.ctxErr()
+		}
 		if r.Sat {
 			r.Kind1, r.Flds1 = enc.modelEdge(from1, to1)
 			r.Kind2, r.Flds2 = enc.modelEdge(from2, to2)
@@ -184,7 +235,7 @@ func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst)
 				r.Sched = enc.buildSchedule(from1, to1, from2, to2)
 			}
 		}
-		return r
+		return r, nil
 	}
 	if d.session == nil {
 		d.solved++
@@ -197,17 +248,20 @@ func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst)
 	a1 := enc.enc.NameOf(s1)
 	a2 := enc.enc.NameOf(s2)
 	key := queryKey{enc: enc.enc.FormulaHash(), hist: enc.histHash, a1: a1, a2: a2}
-	r, hit := d.session.query(key, func() cycleResult {
+	r, hit, err := d.session.query(d.ctx, key, func() (cycleResult, error) {
 		d.replayed += enc.replayPending()
 		return solve()
 	})
+	if err != nil {
+		return cycleResult{}, err
+	}
 	if hit {
 		enc.pending = append(enc.pending, [2]logic.Sym{s1, s2})
 	} else {
 		d.solved++
 	}
 	enc.histHash = chainHist(enc.histHash, a1, a2)
-	return r
+	return r, nil
 }
 
 // chainHist folds one query's assumed propositions into an encoder's
@@ -235,6 +289,12 @@ func (d *detector) encoderFor(t, w *ast.Txn) (*pairEncoder, error) {
 	enc, err := newPairEncoder(d.prog, t, w, d.model, d.session != nil, d.record)
 	if err != nil {
 		return nil, err
+	}
+	// The stop probe aborts this encoder's solves when the detector's
+	// context is cancelled; Encoder.Release → Solver.Reset clears it before
+	// the solver returns to the pool.
+	if d.stop != nil {
+		enc.enc.S.SetStop(d.stop)
 	}
 	d.encoders[key] = enc
 	return enc, nil

@@ -32,7 +32,10 @@
 // the same bounds used by the static analyses the paper builds on [13, 36].
 package anomaly
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Model is the consistency model anomalies are detected under.
 type Model int
@@ -57,6 +60,23 @@ func (m Model) String() string {
 		return "SC"
 	default:
 		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// ParseModel parses a model name, case-insensitively. The CLIs and the
+// service layer share this so every surface accepts the same spellings.
+func ParseModel(s string) (Model, error) {
+	switch strings.ToUpper(s) {
+	case "EC":
+		return EC, nil
+	case "CC":
+		return CC, nil
+	case "RR":
+		return RR, nil
+	case "SC":
+		return SC, nil
+	default:
+		return EC, fmt.Errorf("anomaly: unknown model %q (want EC, CC, RR, or SC)", s)
 	}
 }
 

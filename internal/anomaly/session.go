@@ -1,6 +1,7 @@
 package anomaly
 
 import (
+	"context"
 	"maps"
 	"slices"
 	"sync"
@@ -74,10 +75,15 @@ type queryKey struct {
 
 // queryFuture is a once-per-key slot: the first asker solves, concurrent
 // askers wait, later askers hit. First-write-wins keeps parallel runs as
-// deterministic as sequential ones.
+// deterministic as sequential ones. A producer whose solve aborts
+// (cancelled context) sets err, removes the key, and closes done; waiters
+// observe err and retry as producers under their own contexts, so a
+// cancelled request never publishes a bogus verdict or strands other
+// requests' queries.
 type queryFuture struct {
 	done   chan struct{}
 	result cycleResult
+	err    error
 }
 
 // SessionStats aggregates a session's cache effectiveness across all of
@@ -137,6 +143,11 @@ func (s *DetectSession) SetParallelism(n int) { s.parallelism = n }
 // and statistics are unaffected.
 func (s *DetectSession) RecordWitnesses() { s.record = true }
 
+// Recording reports whether witness-schedule extraction is enabled. Callers
+// injecting a shared session into a certifying pipeline must check this:
+// cached results from a non-recording session carry no schedules.
+func (s *DetectSession) Recording() bool { return s.record }
+
 // Stats returns a snapshot of the session's aggregate cache statistics.
 func (s *DetectSession) Stats() SessionStats {
 	s.mu.Lock()
@@ -158,6 +169,14 @@ func (s *DetectSession) Reset() {
 // Detect runs the oracle over every transaction of the program, reusing
 // all applicable cached work. The report equals Detect(prog, model)'s.
 func (s *DetectSession) Detect(prog *ast.Program) (*Report, error) {
+	return s.DetectContext(context.Background(), prog)
+}
+
+// DetectContext is Detect with cancellation: the context aborts in-flight
+// SAT solves and the transaction fan-out, returning ctx.Err(). Work cached
+// before the abort remains valid — a cancelled call never stores partial or
+// interrupted results (see query).
+func (s *DetectSession) DetectContext(ctx context.Context, prog *ast.Program) (*Report, error) {
 	n := len(prog.Txns)
 	// Precompute each transaction's structural hash and table set once per
 	// pass; fingerprinting consults every (txn, witness) combination. The
@@ -184,12 +203,16 @@ func (s *DetectSession) Detect(prog *ast.Program) (*Report, error) {
 	}
 	outs := make([]txnOut, n)
 	err := pool.ForEach(pool.Workers(s.parallelism), n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fp := fingerprintTxn(prog, i, hashes, tables, schemaHash, s.model)
 		if e, ok := s.lookupTxn(fp); ok {
 			outs[i] = txnOut{pairs: e.pairs, issued: e.issued}
 			return nil
 		}
 		d := &detector{prog: prog, model: s.model, encoders: map[[2]string]*pairEncoder{}, session: s, record: s.record}
+		d.setContext(ctx)
 		pairs, err := d.detectTxn(prog.Txns[i])
 		d.releaseEncoders()
 		if err != nil {
@@ -241,20 +264,48 @@ func (s *DetectSession) storeTxn(fp uint64, e txnEntry) {
 // query answers one cycle query through the cache: the first asker of a key
 // runs solve() and publishes the result, concurrent askers of the same key
 // wait for it, and later askers hit. hit reports whether solve was skipped.
-func (s *DetectSession) query(key queryKey, solve func() cycleResult) (r cycleResult, hit bool) {
-	s.mu.Lock()
-	if f, ok := s.queries[key]; ok {
-		s.stats.QueryHits++
+//
+// Cancellation never poisons the cache: a producer whose solve errors
+// removes its future before publishing the error, so only real verdicts are
+// ever stored, and a waiter whose producer aborted loops back to become the
+// producer itself (under its own context).
+func (s *DetectSession) query(ctx context.Context, key queryKey, solve func() (cycleResult, error)) (r cycleResult, hit bool, err error) {
+	for {
+		s.mu.Lock()
+		if f, ok := s.queries[key]; ok {
+			s.stats.QueryHits++
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return cycleResult{}, false, ctx.Err()
+			}
+			if f.err != nil {
+				// The producer aborted without an answer; un-count the hit
+				// and retry (the key was removed, so this asker produces).
+				s.mu.Lock()
+				s.stats.QueryHits--
+				s.mu.Unlock()
+				continue
+			}
+			return f.result, true, nil
+		}
+		f := &queryFuture{done: make(chan struct{})}
+		s.queries[key] = f
 		s.mu.Unlock()
-		<-f.done
-		return f.result, true
+		r, err = solve()
+		if err != nil {
+			s.mu.Lock()
+			delete(s.queries, key)
+			s.mu.Unlock()
+			f.err = err
+			close(f.done)
+			return cycleResult{}, false, err
+		}
+		f.result = r
+		close(f.done)
+		return r, false, nil
 	}
-	f := &queryFuture{done: make(chan struct{})}
-	s.queries[key] = f
-	s.mu.Unlock()
-	f.result = solve()
-	close(f.done)
-	return f.result, false
 }
 
 // fingerprintTxn digests everything transaction i's detection outcome can

@@ -1,6 +1,8 @@
 package anomaly
 
 import (
+	"context"
+
 	"atropos/internal/ast"
 	"atropos/internal/logic"
 )
@@ -108,7 +110,14 @@ func (s *Schedule) ItemAt(g int) (inst, idx int) {
 // reported pair's Witness carries the Schedule extracted from its
 // satisfying cycle model. Reports are otherwise byte-identical to Detect's.
 func DetectWitnessed(prog *ast.Program, model Model) (*Report, error) {
+	return DetectWitnessedContext(context.Background(), prog, model)
+}
+
+// DetectWitnessedContext is DetectWitnessed with cancellation, mirroring
+// DetectContext.
+func DetectWitnessedContext(ctx context.Context, prog *ast.Program, model Model) (*Report, error) {
 	d := &detector{prog: prog, model: model, encoders: map[[2]string]*pairEncoder{}, record: true}
+	d.setContext(ctx)
 	return runDetector(d)
 }
 

@@ -1,0 +1,361 @@
+// Package engine hosts the long-lived Atropos engine behind the public API
+// and the atroposd service: one object owning the bounded worker pool,
+// per-client incremental detection sessions, and the pooled encoder/solver
+// arenas that every request draws from. The CLI, the daemon, and the tests
+// all share this entry point, so "run one repair" and "serve a million
+// repairs" differ only in who calls it.
+//
+// Concurrency model (DESIGN.md §12):
+//
+//   - Admission: every request acquires one of Workers slots; up to
+//     QueueDepth further requests wait for a slot, and anything beyond that
+//     is rejected immediately with ErrOverloaded (the service layer maps it
+//     to HTTP 429 + Retry-After). A waiting request that is cancelled
+//     leaves the queue without consuming a slot.
+//   - Sessions: each (client, model, recording) key checks a DetectSession
+//     out of an LRU; a session is owned exclusively while checked out
+//     (DetectSession serializes its own Detect calls by contract), so a
+//     concurrent request for the same key simply gets a fresh session, and
+//     whichever finishes last is recycled instead of cached twice. Evicted
+//     and surplus sessions are Reset() — dropping their caches but keeping
+//     their allocated map/slice capacity — and parked on a freelist.
+//   - Cancellation: the request context threads through repair → anomaly →
+//     sat, where the CDCL solvers poll it; a disconnected client frees its
+//     worker slot mid-solve instead of leaking it.
+package engine
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"atropos/internal/anomaly"
+	"atropos/internal/ast"
+	"atropos/internal/cluster"
+	"atropos/internal/core"
+	"atropos/internal/repair"
+	"atropos/internal/replay"
+)
+
+// ErrOverloaded reports an admission rejection: every worker slot is busy
+// and the wait queue is full. Callers should back off and retry.
+var ErrOverloaded = errors.New("engine: overloaded (worker queue full)")
+
+// Config sizes an Engine.
+type Config struct {
+	// Workers bounds concurrently executing requests; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot beyond the ones
+	// executing; <= 0 selects 4×Workers.
+	QueueDepth int
+	// Sessions caps the per-(client, model, recording) DetectSession LRU;
+	// <= 0 selects 64.
+	Sessions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 64
+	}
+	return c
+}
+
+// sessionKey identifies a cached session: witness-recording sessions are
+// kept apart from plain ones because results cached without recording carry
+// no schedules (anomaly.DetectSession.RecordWitnesses).
+type sessionKey struct {
+	client string
+	model  anomaly.Model
+	record bool
+}
+
+type sessionFlavor struct {
+	model  anomaly.Model
+	record bool
+}
+
+type cachedSession struct {
+	key sessionKey
+	s   *anomaly.DetectSession
+}
+
+// maxFree bounds each flavor's freelist of reset sessions.
+const maxFree = 8
+
+// Engine is the long-lived request executor. Construct with New; an Engine
+// is safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	sem    chan struct{} // worker slots
+	queued atomic.Int64  // requests waiting for a slot
+
+	mu    sync.Mutex
+	lru   *list.List // of *cachedSession; front = most recently returned
+	byKey map[sessionKey]*list.Element
+	free  map[sessionFlavor][]*anomaly.DetectSession
+
+	completed atomic.Int64
+	canceled  atomic.Int64
+	rejected  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// New builds an engine from cfg (zero value: GOMAXPROCS workers, 4×queue,
+// 64 sessions).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		lru:   list.New(),
+		byKey: map[sessionKey]*list.Element{},
+		free:  map[sessionFlavor][]*anomaly.DetectSession{},
+	}
+}
+
+// Config returns the engine's resolved configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// acquire admits one request: it takes a worker slot, waiting in the
+// bounded queue if none is free. It returns ErrOverloaded when the queue is
+// full and ctx.Err() if the caller is cancelled while waiting.
+func (e *Engine) acquire(ctx context.Context) error {
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// No free slot: join the wait queue if it has room. The CAS loop keeps
+	// the queue bound exact under concurrent arrivals.
+	for {
+		n := e.queued.Load()
+		if n >= int64(e.cfg.QueueDepth) {
+			e.rejected.Add(1)
+			return ErrOverloaded
+		}
+		if e.queued.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	defer e.queued.Add(-1)
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		e.canceled.Add(1)
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() { <-e.sem }
+
+// finish folds one executed request into the counters and passes its error
+// through.
+func (e *Engine) finish(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		e.canceled.Add(1)
+	} else {
+		e.completed.Add(1)
+	}
+	return err
+}
+
+// checkout takes the session cached under k, a recycled same-flavor
+// session, or a fresh one — in that order. The caller owns the session
+// exclusively until checkin.
+func (e *Engine) checkout(k sessionKey) *anomaly.DetectSession {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.byKey[k]; ok {
+		e.hits.Add(1)
+		cs := el.Value.(*cachedSession)
+		e.lru.Remove(el)
+		delete(e.byKey, k)
+		return cs.s
+	}
+	e.misses.Add(1)
+	fl := sessionFlavor{model: k.model, record: k.record}
+	if free := e.free[fl]; len(free) > 0 {
+		s := free[len(free)-1]
+		free[len(free)-1] = nil
+		e.free[fl] = free[:len(free)-1]
+		return s
+	}
+	s := anomaly.NewSession(k.model)
+	if k.record {
+		s.RecordWitnesses()
+	}
+	return s
+}
+
+// checkin returns a session to the cache under k, evicting from the LRU
+// tail past capacity. If a concurrent request for the same key returned
+// first, the cached copy stays and this one is recycled — last writer
+// yields, so the cache never holds two sessions for one key.
+func (e *Engine) checkin(k sessionKey, s *anomaly.DetectSession) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fl := sessionFlavor{model: k.model, record: k.record}
+	if _, ok := e.byKey[k]; ok {
+		e.recycle(fl, s)
+		return
+	}
+	e.byKey[k] = e.lru.PushFront(&cachedSession{key: k, s: s})
+	for e.lru.Len() > e.cfg.Sessions {
+		el := e.lru.Back()
+		cs := el.Value.(*cachedSession)
+		e.lru.Remove(el)
+		delete(e.byKey, cs.key)
+		e.evictions.Add(1)
+		e.recycle(sessionFlavor{model: cs.key.model, record: cs.key.record}, cs.s)
+	}
+}
+
+// recycle resets a session (dropping caches, keeping capacity) and parks it
+// on its flavor's bounded freelist. Callers hold e.mu.
+func (e *Engine) recycle(fl sessionFlavor, s *anomaly.DetectSession) {
+	s.Reset()
+	if len(e.free[fl]) < maxFree {
+		e.free[fl] = append(e.free[fl], s)
+	}
+}
+
+// Parse parses and semantically checks DSL source. It is pure CPU-light
+// work and bypasses admission.
+func (e *Engine) Parse(src string) (*ast.Program, error) {
+	return core.LoadProgram(src)
+}
+
+// Analyze runs the static anomaly oracle under model. With a Client option
+// the detection runs through that client's cached session, so re-analyzing
+// related programs only re-solves what changed.
+func (e *Engine) Analyze(ctx context.Context, prog *ast.Program, model anomaly.Model, opts ...repair.Option) (*anomaly.Report, error) {
+	o := repair.BuildOptions(opts...)
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	if o.Client == "" || !o.Incremental {
+		rep, err := anomaly.DetectContext(ctx, prog, model)
+		return rep, e.finish(err)
+	}
+	k := sessionKey{client: o.Client, model: model, record: o.Certify}
+	s := e.checkout(k)
+	// Sequential detection is the safe default — the engine already fans
+	// requests out across workers (mirrors repair.Options.Parallelism).
+	par := o.Parallelism
+	if par <= 1 {
+		par = 1
+	}
+	s.SetParallelism(par)
+	rep, err := s.DetectContext(ctx, prog)
+	e.checkin(k, s)
+	return rep, e.finish(err)
+}
+
+// Repair runs the full repair pipeline under model. With a Client option
+// the pipeline's detection passes run through that client's cached session.
+func (e *Engine) Repair(ctx context.Context, prog *ast.Program, model anomaly.Model, opts ...repair.Option) (*repair.Result, error) {
+	o := repair.BuildOptions(opts...)
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	var k sessionKey
+	if o.Client != "" && o.Incremental && o.Session == nil {
+		k = sessionKey{client: o.Client, model: model, record: o.Certify}
+		s := e.checkout(k)
+		o.Session = s
+		defer e.checkin(k, s)
+	}
+	res, err := repair.RunWith(ctx, prog, model, o)
+	return res, e.finish(err)
+}
+
+// Certify detects with witness recording and replays every reported pair
+// as an executable certificate (internal/replay).
+func (e *Engine) Certify(ctx context.Context, prog *ast.Program, model anomaly.Model) (*replay.Certificate, *anomaly.Report, error) {
+	if err := e.acquire(ctx); err != nil {
+		return nil, nil, err
+	}
+	defer e.release()
+	cert, rep, err := replay.CertifyModelContext(ctx, prog, model)
+	return cert, rep, e.finish(err)
+}
+
+// Simulate runs one cluster deployment configuration. The simulator is
+// ops/virtual-time bounded and does not poll the context mid-run; the
+// context gates admission and is checked once more before the run starts.
+func (e *Engine) Simulate(ctx context.Context, cfg cluster.Config) (cluster.Result, error) {
+	if err := e.acquire(ctx); err != nil {
+		return cluster.Result{}, err
+	}
+	defer e.release()
+	if err := ctx.Err(); err != nil {
+		return cluster.Result{}, e.finish(err)
+	}
+	res, err := cluster.Run(cfg)
+	return res, e.finish(err)
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// InFlight / Queued are instantaneous occupancy gauges.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+	// Completed counts requests that ran to an answer (including
+	// application errors); Canceled counts context aborts — at admission or
+	// mid-solve; Rejected counts ErrOverloaded admissions.
+	Completed int64 `json:"completed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+	// Session cache counters.
+	SessionHits      int64 `json:"session_hits"`
+	SessionMisses    int64 `json:"session_misses"`
+	SessionEvictions int64 `json:"session_evictions"`
+	CachedSessions   int   `json:"cached_sessions"`
+}
+
+// SessionHitRate is the fraction of session checkouts served from the LRU.
+func (s Stats) SessionHitRate() float64 {
+	total := s.SessionHits + s.SessionMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SessionHits) / float64(total)
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	cached := e.lru.Len()
+	e.mu.Unlock()
+	return Stats{
+		Workers:          e.cfg.Workers,
+		QueueDepth:       e.cfg.QueueDepth,
+		InFlight:         len(e.sem),
+		Queued:           int(e.queued.Load()),
+		Completed:        e.completed.Load(),
+		Canceled:         e.canceled.Load(),
+		Rejected:         e.rejected.Load(),
+		SessionHits:      e.hits.Load(),
+		SessionMisses:    e.misses.Load(),
+		SessionEvictions: e.evictions.Load(),
+		CachedSessions:   cached,
+	}
+}

@@ -45,6 +45,11 @@ type BaselineConfig struct {
 	// repairs — the machine-independent count columns the CI drift gate
 	// compares.
 	CountsOnly bool
+	// ServiceClients / ServiceRequests size the atroposd load test
+	// (LoadConfig.Clients / RequestsPerClient); zero takes the load
+	// harness defaults (64 clients × 4 requests).
+	ServiceClients  int
+	ServiceRequests int
 }
 
 // Baseline is the machine-readable perf snapshot.
@@ -73,6 +78,11 @@ type Baseline struct {
 	// progen programs at fixed seeds repaired back to back, the workload
 	// shape of ROADMAP-scale corpus evaluations.
 	Corpus CorpusBaseline `json:"corpus"`
+	// Service is the atroposd load-test measurement: concurrent progen
+	// clients against the in-process HTTP engine. Requests/Completed and
+	// the anomaly totals are deterministic (the drift gate compares them);
+	// latency, throughput, retry, and hit-rate columns are informational.
+	Service *LoadResult `json:"service,omitempty"`
 	// Table1 compares the sequential and parallel corpus pipelines.
 	Table1 Table1Baseline `json:"table1"`
 	// Panels is one Fig. 12 deployment point per benchmark × mode.
@@ -256,6 +266,18 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 	if corpusWall > 0 {
 		out.Corpus.RepairsPerSec = float64(corpusPrograms) / corpusWall.Seconds()
 	}
+
+	// Service load test: concurrent HTTP clients against the in-process
+	// engine. Runs in counts-only mode too — its request and anomaly totals
+	// are deterministic, so the drift gate compares them.
+	svc, err := RunLoad(LoadConfig{
+		Clients:           cfg.ServiceClients,
+		RequestsPerClient: cfg.ServiceRequests,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Service = svc
 
 	if cfg.CountsOnly {
 		return out, nil

@@ -92,6 +92,24 @@ func CountDrift(got, want *Baseline) []string {
 			}
 		}
 	}
+	// Service load-test counts are deterministic: clients retry 429s until
+	// served (so Completed == Requests on a healthy run) and each client's
+	// program is a fixed progen seed. An absent section marks a pre-service
+	// baseline, which is not itself drift. Latency and throughput columns
+	// are wall clock and never compared.
+	if want.Service != nil && want.Service.Requests != 0 && got.Service != nil {
+		check := func(field string, gv, wv int) {
+			if gv != wv {
+				drift = append(drift, fmt.Sprintf("service: %s = %d, baseline %d", field, gv, wv))
+			}
+		}
+		check("clients", got.Service.Clients, want.Service.Clients)
+		check("requests", got.Service.Requests, want.Service.Requests)
+		check("completed", got.Service.Completed, want.Service.Completed)
+		check("errors", got.Service.Errors, want.Service.Errors)
+		check("total_initial", got.Service.TotalInitial, want.Service.TotalInitial)
+		check("total_remaining", got.Service.TotalRemaining, want.Service.TotalRemaining)
+	}
 	// Corpus anomaly totals are deterministic (fixed progen seeds) and
 	// engine-independent; a zero Programs count marks a pre-corpus
 	// baseline, which is not itself drift.

@@ -10,10 +10,12 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 	"maps"
 	"slices"
 	"strings"
+	"time"
 
 	"atropos/internal/anomaly"
 	"atropos/internal/ast"
@@ -45,6 +47,10 @@ type Result struct {
 	// repaired-program negative controls. Only populated with
 	// Options.Certify.
 	Certificate *replay.RepairCertificate
+	// Elapsed is the wall-clock duration of the run, measured inside the
+	// pipeline so every entry point (context-first, legacy wrappers, the
+	// service) reports the same number.
+	Elapsed time.Duration
 
 	// stepBuf is the reused formatting scratch behind stepf: the pair loop
 	// logs one step per access pair, and formatting each into a fresh
@@ -80,6 +86,48 @@ type Options struct {
 	// pipeline, replays every initial pair as an executable certificate
 	// with its negative controls (Result.Certificate).
 	Certify bool
+	// Session, when non-nil, is an externally owned incremental detection
+	// session the pipeline's three passes run through instead of a private
+	// one. The engine injects per-client sessions here so repeated repairs
+	// of related programs share cached work across requests. The session's
+	// model must equal the repair model, and a certifying run requires a
+	// recording session (anomaly.DetectSession.RecordWitnesses). Implies
+	// incremental detection.
+	Session *anomaly.DetectSession
+	// Client is an opaque caller identity, carried for the service layer's
+	// session keying and logs; the pipeline itself ignores it.
+	Client string
+}
+
+// Option is a functional setting for Run, the context-first entry point.
+type Option func(*Options)
+
+// Incremental toggles the fingerprinted, SAT-query-cached detection session
+// (on by default).
+func Incremental(on bool) Option { return func(o *Options) { o.Incremental = on } }
+
+// Parallelism bounds the detection session's transaction fan-out workers.
+func Parallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// Certify enables witness recording plus post-pipeline certificate replay.
+func Certify(on bool) Option { return func(o *Options) { o.Certify = on } }
+
+// Session injects an externally owned detection session (see
+// Options.Session).
+func Session(s *anomaly.DetectSession) Option { return func(o *Options) { o.Session = s } }
+
+// Client tags the run with a caller identity (see Options.Client).
+func Client(id string) Option { return func(o *Options) { o.Client = id } }
+
+// BuildOptions folds functional options over the default configuration
+// (incremental detection on). The service layer uses it to inspect options
+// before dispatching.
+func BuildOptions(opts ...Option) Options {
+	o := Options{Incremental: true}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
 }
 
 // Repair runs the full pipeline of Fig. 10 under the given model, with the
@@ -88,25 +136,55 @@ func Repair(prog *ast.Program, model anomaly.Model) (*Result, error) {
 	return RepairWith(prog, model, Options{Incremental: true})
 }
 
+// Run is the context-first entry point: the full Fig. 10 pipeline under the
+// given model, configured by functional options, aborted (mid-SAT-solve)
+// when ctx is cancelled or its deadline passes.
+func Run(ctx context.Context, prog *ast.Program, model anomaly.Model, opts ...Option) (*Result, error) {
+	return RunWith(ctx, prog, model, BuildOptions(opts...))
+}
+
 // RepairWith runs the full pipeline of Fig. 10 under the given model and
 // engine options.
 func RepairWith(prog *ast.Program, model anomaly.Model, opts Options) (*Result, error) {
-	detect := func(p *ast.Program) (*anomaly.Report, error) { return anomaly.Detect(p, model) }
+	return RunWith(context.Background(), prog, model, opts)
+}
+
+// RunWith is Run with a pre-built Options value.
+func RunWith(ctx context.Context, prog *ast.Program, model anomaly.Model, opts Options) (*Result, error) {
+	start := time.Now()
+	detect := func(p *ast.Program) (*anomaly.Report, error) { return anomaly.DetectContext(ctx, p, model) }
 	if opts.Certify {
-		detect = func(p *ast.Program) (*anomaly.Report, error) { return anomaly.DetectWitnessed(p, model) }
+		detect = func(p *ast.Program) (*anomaly.Report, error) { return anomaly.DetectWitnessedContext(ctx, p, model) }
 	}
-	var session *anomaly.DetectSession
-	if opts.Incremental {
+	session := opts.Session
+	if session != nil {
+		if session.Model() != model {
+			return nil, fmt.Errorf("repair: injected session detects under %s, not %s", session.Model(), model)
+		}
+		if opts.Certify && !session.Recording() {
+			return nil, fmt.Errorf("repair: certifying run requires a witness-recording session")
+		}
+	} else if opts.Incremental {
 		session = anomaly.NewSession(model)
 		if opts.Certify {
 			session.RecordWitnesses()
 		}
+	}
+	if session != nil {
 		par := opts.Parallelism
 		if par <= 1 {
 			par = 1
 		}
 		session.SetParallelism(par)
-		detect = session.Detect
+		detect = func(p *ast.Program) (*anomaly.Report, error) { return session.DetectContext(ctx, p) }
+	}
+
+	// Snapshot injected-session statistics so Result.Stats reports this
+	// run's work, not the shared session's lifetime aggregate. For a
+	// private session the snapshot is zero and the subtraction is a no-op.
+	var statsBefore anomaly.SessionStats
+	if session != nil {
+		statsBefore = session.Stats()
 	}
 
 	res := &Result{}
@@ -150,7 +228,15 @@ func RepairWith(prog *ast.Program, model anomaly.Model, opts Options) (*Result, 
 		return nil, err
 	}
 	if session != nil {
-		res.Stats = session.Stats()
+		after := session.Stats()
+		res.Stats = anomaly.SessionStats{
+			Queries:   after.Queries - statsBefore.Queries,
+			Solved:    after.Solved - statsBefore.Solved,
+			Replayed:  after.Replayed - statsBefore.Replayed,
+			QueryHits: after.QueryHits - statsBefore.QueryHits,
+			TxnHits:   after.TxnHits - statsBefore.TxnHits,
+			TxnMisses: after.TxnMisses - statsBefore.TxnMisses,
+		}
 	} else {
 		// The fresh oracle solves everything it issues.
 		fresh := initial.Queries + rep.Queries + final.Queries
@@ -166,8 +252,12 @@ func RepairWith(prog *ast.Program, model anomaly.Model, opts Options) (*Result, 
 		}
 	}
 	if opts.Certify {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Certificate = replay.CertifyRepair(prog, res.Program, initial, res.SerializableTxns)
 	}
+	res.Elapsed = time.Since(start)
 	return res, nil
 }
 

@@ -23,6 +23,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 
 	"atropos/internal/anomaly"
@@ -172,8 +173,17 @@ func certifyPair(prog *ast.Program, pair anomaly.AccessPair) PairOutcome {
 
 // CertifyModel detects with witness recording and certifies the report.
 func CertifyModel(prog *ast.Program, model anomaly.Model) (*Certificate, *anomaly.Report, error) {
-	rep, err := anomaly.DetectWitnessed(prog, model)
+	return CertifyModelContext(context.Background(), prog, model)
+}
+
+// CertifyModelContext is CertifyModel with cancellation: the context aborts
+// the detection phase mid-solve and is re-checked before the replay phase.
+func CertifyModelContext(ctx context.Context, prog *ast.Program, model anomaly.Model) (*Certificate, *anomaly.Report, error) {
+	rep, err := anomaly.DetectWitnessedContext(ctx, prog, model)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	return Certify(prog, rep), rep, nil

@@ -135,6 +135,13 @@ type Solver struct {
 	ok    bool    // false once a top-level conflict is found
 	model []lbool // assignment saved at the last satisfiable Solve
 
+	// Cooperative cancellation: Solve polls stop every stopCheckMask+1
+	// iterations and abandons the search when it returns true. stopped
+	// distinguishes an interrupted Solve (which also returns false) from a
+	// genuine UNSAT answer.
+	stop    func() bool
+	stopped bool
+
 	binConflict [2]Lit // literals of a binary conflict (crefBinary)
 	binScratch  [2]Lit // reason view for binary-implied literals
 	seenLit     []byte // per-literal scratch for AddClause dedup
@@ -215,8 +222,21 @@ func (s *Solver) Reset() {
 	s.learntTmp = s.learntTmp[:0]
 	s.levelMark = s.levelMark[:0]
 	s.lbdEpoch = 0
+	s.stop = nil
+	s.stopped = false
 	s.Conflicts, s.Decisions, s.Propagations, s.LearntsDeleted = 0, 0, 0, 0
 }
+
+// SetStop installs a cancellation probe: Solve polls f periodically and
+// abandons the search (returning false with Stopped() true) once it reports
+// true. A nil f removes the probe. Reset clears it, so pooled solvers never
+// carry a stale context's stop function into their next life.
+func (s *Solver) SetStop(f func() bool) { s.stop = f }
+
+// Stopped reports whether the most recent Solve was abandoned by the stop
+// probe rather than finishing with a real SAT/UNSAT answer. Callers that
+// treat Solve's false as UNSAT must check Stopped first.
+func (s *Solver) Stopped() bool { return s.stopped }
 
 // NewVar introduces a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
@@ -727,7 +747,12 @@ func luby(i int64) int64 {
 // Solve determines satisfiability under the given assumptions. On a
 // satisfiable result, the model is available through Value.
 func (s *Solver) Solve(assumptions ...Lit) bool {
+	s.stopped = false
 	if !s.ok {
+		return false
+	}
+	if s.stop != nil && s.stop() {
+		s.stopped = true
 		return false
 	}
 	defer s.cancelUntil(0)
@@ -751,7 +776,17 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 	conflictsUntilRestart := restartBase * luby(1)
 	var conflictsSinceRestart int64
 
+	// Poll the stop probe once per stopCheckMask+1 loop iterations: rare
+	// enough to stay off the propagate/analyze profile, frequent enough
+	// that a cancelled context aborts a stuck search within microseconds.
+	const stopCheckMask = 63
+	var iter uint
+
 	for {
+		if iter++; s.stop != nil && iter&stopCheckMask == 0 && s.stop() {
+			s.stopped = true
+			return false
+		}
 		confl := s.propagate()
 		if confl != crefUndef {
 			s.Conflicts++

@@ -1,0 +1,111 @@
+package sat
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStopInterruptsSolve: a stop probe that trips while the solver is deep
+// in a hard UNSAT search must make Solve return promptly with Stopped()
+// true, so callers can tell an interrupt from a real UNSAT verdict.
+func TestStopInterruptsSolve(t *testing.T) {
+	s := pigeonhole(t, 12, 11) // far beyond what finishes in the deadline
+	var stop atomic.Bool
+	s.SetStop(stop.Load)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		stop.Store(true)
+	}()
+	start := time.Now()
+	ok := s.Solve()
+	elapsed := time.Since(start)
+	if ok {
+		t.Fatal("PHP(12,11) reported SAT")
+	}
+	if !s.Stopped() {
+		t.Fatal("Solve returned false without Stopped(): ran a 12-pigeon search to UNSAT inside the deadline?")
+	}
+	// The probe is polled every 64 main-loop iterations; returning takes
+	// microseconds once it trips. The wide bound only guards against a
+	// solver that ignores the probe until the search finishes.
+	if elapsed > 5*time.Second {
+		t.Fatalf("Solve took %v after stop tripped at 20ms", elapsed)
+	}
+}
+
+// TestStopBeforeSolve: a probe already tripped at entry stops the solve
+// before any search.
+func TestStopBeforeSolve(t *testing.T) {
+	s := pigeonhole(t, 6, 5)
+	s.SetStop(func() bool { return true })
+	if s.Solve() {
+		t.Fatal("stopped solve reported SAT")
+	}
+	if !s.Stopped() {
+		t.Fatal("Stopped() false after entry-check stop")
+	}
+	if s.Conflicts != 0 {
+		t.Fatalf("entry-stopped solve ran %d conflicts", s.Conflicts)
+	}
+}
+
+// TestStopClearedForRetry: clearing the probe and re-solving the same
+// solver must run the search to a real verdict, and Stopped() must read
+// false again — an interrupted solve is retryable in place.
+func TestStopClearedForRetry(t *testing.T) {
+	s := pigeonhole(t, 5, 4)
+	s.SetStop(func() bool { return true })
+	if s.Solve() || !s.Stopped() {
+		t.Fatal("setup: first solve was not stopped")
+	}
+	s.SetStop(nil)
+	if s.Solve() {
+		t.Fatal("PHP(5,4) reported SAT on retry")
+	}
+	if s.Stopped() {
+		t.Fatal("Stopped() true after a completed retry")
+	}
+}
+
+// TestResetClearsStop: Reset (the pooling hook) must shed the stop probe so
+// a pooled solver cannot inherit a dead request's cancellation.
+func TestResetClearsStop(t *testing.T) {
+	s := pigeonhole(t, 5, 4)
+	s.SetStop(func() bool { return true })
+	if s.Solve() || !s.Stopped() {
+		t.Fatal("setup: solve was not stopped")
+	}
+	s.Reset()
+	if s.Stopped() {
+		t.Fatal("Stopped() survived Reset")
+	}
+	// Rebuild the instance on the reset solver and check it solves freely.
+	x := make([][]int, 5)
+	for p := range x {
+		x[p] = make([]int, 4)
+		for h := range x[p] {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < 5; p++ {
+		lits := make([]Lit, 4)
+		for h := 0; h < 4; h++ {
+			lits[h] = NewLit(x[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < 4; h++ {
+		for p1 := 0; p1 < 5; p1++ {
+			for p2 := p1 + 1; p2 < 5; p2++ {
+				s.AddClause(NewLit(x[p1][h], true), NewLit(x[p2][h], true))
+			}
+		}
+	}
+	if s.Solve() {
+		t.Fatal("PHP(5,4) reported SAT after Reset")
+	}
+	if s.Stopped() {
+		t.Fatal("completed solve after Reset reads as stopped")
+	}
+}

@@ -1,0 +1,519 @@
+// Package service is the HTTP (JSON) face of the engine: atroposd's
+// handlers. Five POST endpoints mirror the engine's verbs —
+//
+//	POST /v1/parse     {source}                      → parsed/formatted program
+//	POST /v1/analyze   {source|benchmark, model, …}  → anomaly report
+//	POST /v1/repair    {source|benchmark, model, …}  → repair result
+//	POST /v1/certify   {source|benchmark, model}     → witness-replay certificate
+//	POST /v1/simulate  {benchmark, topology, mode, …} → cluster-simulation point
+//	GET  /v1/stats                                   → engine counters
+//
+// Request contexts thread into the engine (and down to the SAT solvers), so
+// a disconnected client or an expired per-request timeout_ms aborts the
+// work mid-solve. Engine overload surfaces as 429 with Retry-After; a
+// missed deadline as 504.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"atropos/internal/anomaly"
+	"atropos/internal/ast"
+	"atropos/internal/benchmarks"
+	"atropos/internal/cluster"
+	"atropos/internal/engine"
+	"atropos/internal/repair"
+)
+
+// maxBodyBytes bounds request bodies; programs are small DSL texts.
+const maxBodyBytes = 1 << 20
+
+// Server wires the engine's verbs to HTTP routes. Construct with New.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// New builds the HTTP server for an engine.
+func New(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/parse", s.handleParse)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	s.mux.HandleFunc("POST /v1/certify", s.handleCertify)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ProgramRequest is the shared request shape of the program-centric
+// endpoints. Exactly one of Source (DSL text) or Benchmark (a Table 1
+// name) selects the program.
+type ProgramRequest struct {
+	Source    string `json:"source,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	// Model is the consistency model ("EC", "CC", "RR", "SC"); default EC.
+	Model string `json:"model,omitempty"`
+	// Client keys this caller's incremental DetectSession in the engine's
+	// LRU; empty disables session reuse.
+	Client string `json:"client,omitempty"`
+	// TimeoutMs bounds the request server-side; 0 means no extra deadline.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Certify (repair only) replays every initial anomaly as an executable
+	// certificate with negative controls.
+	Certify bool `json:"certify,omitempty"`
+	// Incremental (repair/analyze) toggles cached incremental detection;
+	// defaults to true.
+	Incremental *bool `json:"incremental,omitempty"`
+	// Parallelism bounds the detection session's transaction fan-out.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// PairJSON is one anomalous access pair.
+type PairJSON struct {
+	Txn     string   `json:"txn"`
+	C1      string   `json:"c1"`
+	F1      []string `json:"f1,omitempty"`
+	C2      string   `json:"c2"`
+	F2      []string `json:"f2,omitempty"`
+	Kind    string   `json:"kind"`
+	Witness string   `json:"witness"`
+	D1      string   `json:"d1"`
+	D2      string   `json:"d2"`
+	Edge1   string   `json:"edge1"`
+	Edge2   string   `json:"edge2"`
+	Display string   `json:"display"`
+}
+
+func pairJSON(p anomaly.AccessPair) PairJSON {
+	return PairJSON{
+		Txn: p.Txn,
+		C1:  p.C1, F1: p.F1,
+		C2: p.C2, F2: p.F2,
+		Kind:    string(p.Kind),
+		Witness: p.Witness.Txn,
+		D1:      p.Witness.D1,
+		D2:      p.Witness.D2,
+		Edge1:   string(p.Witness.Edge1),
+		Edge2:   string(p.Witness.Edge2),
+		Display: p.String(),
+	}
+}
+
+func pairsJSON(ps []anomaly.AccessPair) []PairJSON {
+	out := make([]PairJSON, len(ps))
+	for i, p := range ps {
+		out[i] = pairJSON(p)
+	}
+	return out
+}
+
+// ParseResponse echoes the accepted program.
+type ParseResponse struct {
+	Formatted string `json:"formatted"`
+	Txns      int    `json:"txns"`
+	Tables    int    `json:"tables"`
+}
+
+// AnalyzeResponse is the anomaly report.
+type AnalyzeResponse struct {
+	Model   string     `json:"model"`
+	Count   int        `json:"count"`
+	Pairs   []PairJSON `json:"pairs"`
+	Queries int        `json:"queries"`
+	Solved  int        `json:"solved"`
+	// ElapsedMs is wall clock and therefore non-deterministic; golden
+	// tests strip it.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// RepairResponse is the repair pipeline's outcome.
+type RepairResponse struct {
+	Model            string     `json:"model"`
+	Initial          []PairJSON `json:"initial"`
+	Remaining        []PairJSON `json:"remaining"`
+	Steps            []string   `json:"steps"`
+	Corrs            []string   `json:"corrs,omitempty"`
+	SerializableTxns []string   `json:"serializable_txns,omitempty"`
+	Program          string     `json:"program"`
+	Queries          int        `json:"queries"`
+	Solved           int        `json:"solved"`
+	CacheHitRate     float64    `json:"cache_hit_rate"`
+	Certificate      *CertJSON  `json:"certificate,omitempty"`
+	ElapsedMs        float64    `json:"elapsed_ms"`
+}
+
+// CertJSON summarizes a witness-replay certificate.
+type CertJSON struct {
+	Model     string  `json:"model"`
+	Total     int     `json:"total"`
+	Lowered   int     `json:"lowered"`
+	Certified int     `json:"certified"`
+	Rate      float64 `json:"rate"`
+	// Negative controls, present on repair certificates.
+	SCRuns             int `json:"sc_runs,omitempty"`
+	SCViolations       int `json:"sc_violations,omitempty"`
+	RepairedRuns       int `json:"repaired_runs,omitempty"`
+	RepairedViolations int `json:"repaired_violations,omitempty"`
+}
+
+// CertifyResponse is the standalone certification endpoint's body.
+type CertifyResponse struct {
+	Model       string     `json:"model"`
+	Count       int        `json:"count"`
+	Certificate CertJSON   `json:"certificate"`
+	Pairs       []PairJSON `json:"pairs"`
+	ElapsedMs   float64    `json:"elapsed_ms"`
+}
+
+// SimulateRequest drives one cluster-simulator run of a benchmark.
+type SimulateRequest struct {
+	Benchmark string `json:"benchmark"`
+	// Topology: "VA", "US", or "Global" (default VA).
+	Topology string `json:"topology,omitempty"`
+	// Mode: "EC", "SC", or "AT-SC" (default EC).
+	Mode       string `json:"mode,omitempty"`
+	Clients    int    `json:"clients,omitempty"`
+	DurationMs int    `json:"duration_ms,omitempty"`
+	Ops        int64  `json:"ops,omitempty"`
+	Records    int    `json:"records,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	TimeoutMs  int    `json:"timeout_ms,omitempty"`
+}
+
+// SimulateResponse is one measured deployment point.
+type SimulateResponse struct {
+	Benchmark  string  `json:"benchmark"`
+	Topology   string  `json:"topology"`
+	Mode       string  `json:"mode"`
+	Clients    int     `json:"clients"`
+	Committed  int64   `json:"committed"`
+	Aborted    int64   `json:"aborted"`
+	Throughput float64 `json:"throughput"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body) //nolint:errcheck // client gone: nothing to report to
+}
+
+// writeError maps an engine/pipeline error onto its transport status:
+// overload → 429 + Retry-After, deadline → 504, cancellation (the client
+// hung up) → 499-style silent drop, everything else → the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	switch {
+	case errors.Is(err, engine.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; it will never read a body.
+		return
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// requestContext derives the handler context: the client's (so disconnects
+// cancel work) plus the optional per-request timeout.
+func requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if timeoutMs > 0 {
+		return context.WithTimeout(ctx, time.Duration(timeoutMs)*time.Millisecond)
+	}
+	return ctx, func() {}
+}
+
+// program resolves the request's program: inline source or a benchmark name.
+func (s *Server) program(req *ProgramRequest) (*ast.Program, error) {
+	switch {
+	case req.Source != "" && req.Benchmark != "":
+		return nil, fmt.Errorf("specify source or benchmark, not both")
+	case req.Source != "":
+		return s.eng.Parse(req.Source)
+	case req.Benchmark != "":
+		b := benchmarks.ByName(req.Benchmark)
+		if b == nil {
+			return nil, fmt.Errorf("unknown benchmark %q", req.Benchmark)
+		}
+		return b.Program()
+	default:
+		return nil, fmt.Errorf("missing program: specify source or benchmark")
+	}
+}
+
+// options translates the request's engine knobs into repair options.
+func (req *ProgramRequest) options() []repair.Option {
+	opts := []repair.Option{
+		repair.Client(req.Client),
+		repair.Certify(req.Certify),
+		repair.Parallelism(req.Parallelism),
+	}
+	if req.Incremental != nil {
+		opts = append(opts, repair.Incremental(*req.Incremental))
+	}
+	return opts
+}
+
+func (req *ProgramRequest) model() (anomaly.Model, error) {
+	if req.Model == "" {
+		return anomaly.EC, nil
+	}
+	return anomaly.ParseModel(req.Model)
+}
+
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing source"))
+		return
+	}
+	prog, err := s.eng.Parse(req.Source)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ParseResponse{
+		Formatted: ast.Format(prog),
+		Txns:      len(prog.Txns),
+		Tables:    len(prog.Schemas),
+	})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	prog, err := s.program(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	model, err := req.model()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestContext(r, req.TimeoutMs)
+	defer cancel()
+	start := time.Now()
+	rep, err := s.eng.Analyze(ctx, prog, model, req.options()...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Model:     model.String(),
+		Count:     rep.Count(),
+		Pairs:     pairsJSON(rep.Pairs),
+		Queries:   rep.Queries,
+		Solved:    rep.Solved,
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	prog, err := s.program(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	model, err := req.model()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := s.eng.Repair(ctx, prog, model, req.options()...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := RepairResponse{
+		Model:            model.String(),
+		Initial:          pairsJSON(res.Initial),
+		Remaining:        pairsJSON(res.Remaining),
+		Steps:            res.Steps,
+		SerializableTxns: res.SerializableTxns,
+		Program:          ast.Format(res.Program),
+		Queries:          res.Stats.Queries,
+		Solved:           res.Stats.Solved,
+		CacheHitRate:     res.Stats.CacheHitRate(),
+		ElapsedMs:        float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	for _, c := range res.Corrs {
+		resp.Corrs = append(resp.Corrs, c.String())
+	}
+	if c := res.Certificate; c != nil {
+		resp.Certificate = &CertJSON{
+			Model:              c.Model.String(),
+			Total:              c.Total,
+			Lowered:            c.Lowered,
+			Certified:          c.Certified,
+			Rate:               c.Rate(),
+			SCRuns:             c.SCRuns,
+			SCViolations:       c.SCViolations,
+			RepairedRuns:       c.RepairedRuns,
+			RepairedViolations: c.RepairedViolations,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	prog, err := s.program(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	model, err := req.model()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestContext(r, req.TimeoutMs)
+	defer cancel()
+	start := time.Now()
+	cert, rep, err := s.eng.Certify(ctx, prog, model)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CertifyResponse{
+		Model: model.String(),
+		Count: rep.Count(),
+		Certificate: CertJSON{
+			Model:     cert.Model.String(),
+			Total:     cert.Total,
+			Lowered:   cert.Lowered,
+			Certified: cert.Certified,
+			Rate:      cert.Rate(),
+		},
+		Pairs:     pairsJSON(rep.Pairs),
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	b := benchmarks.ByName(req.Benchmark)
+	if b == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown benchmark %q", req.Benchmark))
+		return
+	}
+	prog, err := b.Program()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	topo := cluster.VACluster
+	switch req.Topology {
+	case "", "VA":
+	case "US":
+		topo = cluster.USCluster
+	case "Global":
+		topo = cluster.GlobalCluster
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown topology %q (want VA, US, or Global)", req.Topology))
+		return
+	}
+	mode := cluster.ModeEC
+	switch req.Mode {
+	case "", "EC":
+	case "SC":
+		mode = cluster.ModeSC
+	case "AT-SC", "ATSC":
+		mode = cluster.ModeATSC
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want EC, SC, or AT-SC)", req.Mode))
+		return
+	}
+	scale := benchmarks.Scale{Records: req.Records} // zero ⇒ DefaultScale
+	cfg := cluster.Config{
+		Program:  prog,
+		Mix:      b.Mix,
+		Scale:    scale,
+		Rows:     b.Rows(scale),
+		Topology: topo,
+		Mode:     mode,
+		Clients:  req.Clients,
+		Duration: time.Duration(req.DurationMs) * time.Millisecond,
+		Ops:      req.Ops,
+		Seed:     req.Seed,
+	}
+	ctx, cancel := requestContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := s.eng.Simulate(ctx, cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Benchmark:  b.Name,
+		Topology:   topo.Name,
+		Mode:       mode.String(),
+		Clients:    res.Point.Clients,
+		Committed:  res.Committed,
+		Aborted:    res.Aborted,
+		Throughput: res.Point.Throughput,
+		MeanMs:     res.Point.MeanMs,
+		P50Ms:      res.Point.P50Ms,
+		P95Ms:      res.Point.P95Ms,
+		P99Ms:      res.Point.P99Ms,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}

@@ -1,0 +1,343 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"atropos/internal/engine"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func newTestServer(t *testing.T, cfg engine.Config) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(cfg)
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// canonicalize strips the wall-clock field and re-marshals with sorted keys
+// so golden comparisons see only deterministic content.
+func canonicalize(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("response is not a JSON object: %v\n%s", err, data)
+	}
+	if _, ok := m["elapsed_ms"]; !ok {
+		t.Fatalf("response lacks elapsed_ms:\n%s", data)
+	}
+	delete(m, "elapsed_ms")
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/service -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverges from golden; run with -update if intentional.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestAnalyzeGolden pins the full /v1/analyze response for SmallBank under
+// EC — pairs, witnesses, and SAT-query counts byte for byte.
+func TestAnalyzeGolden(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Config{Workers: 1})
+	resp, body := post(t, ts, "/v1/analyze", ProgramRequest{Benchmark: "SmallBank"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	checkGolden(t, "analyze_smallbank_ec.json", canonicalize(t, body))
+}
+
+// TestRepairGolden pins the full /v1/repair response for SmallBank under EC
+// — the refactored program, steps, correspondences, and counters.
+func TestRepairGolden(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Config{Workers: 1})
+	resp, body := post(t, ts, "/v1/repair", ProgramRequest{Benchmark: "SmallBank"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	checkGolden(t, "repair_smallbank_ec.json", canonicalize(t, body))
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Config{Workers: 1})
+	src := "table T { id: int key, n: int, }\ntxn get(k: int) { x := select n from T where id = k; return x.n; }\n"
+	resp, body := post(t, ts, "/v1/parse", ProgramRequest{Source: src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr ParseResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Txns != 1 || pr.Tables != 1 {
+		t.Fatalf("parse response = %+v", pr)
+	}
+	// The formatted text re-parses to the same shape.
+	resp, body = post(t, ts, "/v1/parse", ProgramRequest{Source: pr.Formatted})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-parse status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Config{Workers: 1})
+	cases := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"syntax error", "/v1/parse", ProgramRequest{Source: "table T {"}},
+		{"missing program", "/v1/analyze", ProgramRequest{}},
+		{"both source and benchmark", "/v1/analyze", ProgramRequest{Source: "x", Benchmark: "SmallBank"}},
+		{"unknown benchmark", "/v1/analyze", ProgramRequest{Benchmark: "nope"}},
+		{"unknown model", "/v1/analyze", ProgramRequest{Benchmark: "SmallBank", Model: "XX"}},
+		{"unknown field", "/v1/analyze", map[string]any{"benchmark": "SmallBank", "bogus": 1}},
+		{"unknown topology", "/v1/simulate", SimulateRequest{Benchmark: "SIBench", Topology: "Mars"}},
+		{"unknown mode", "/v1/simulate", SimulateRequest{Benchmark: "SIBench", Mode: "XY"}},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, ts, tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: no error body: %s", tc.name, body)
+		}
+	}
+}
+
+// TestErrorStatusMapping pins writeError's transport contract directly:
+// overload → 429 + Retry-After, deadline → 504, cancellation → silent drop.
+func TestErrorStatusMapping(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, http.StatusInternalServerError, engine.ErrOverloaded)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("overload status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	rec = httptest.NewRecorder()
+	writeError(rec, http.StatusInternalServerError, fmt.Errorf("solve: %w", context.DeadlineExceeded))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("deadline status = %d, want 504", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	writeError(rec, http.StatusInternalServerError, context.Canceled)
+	if rec.Body.Len() != 0 {
+		t.Errorf("cancelled request got a body: %s", rec.Body)
+	}
+
+	rec = httptest.NewRecorder()
+	writeError(rec, http.StatusBadRequest, errors.New("boom"))
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "boom") {
+		t.Errorf("plain error: status %d body %s", rec.Code, rec.Body)
+	}
+}
+
+// TestTimeoutReturns504: a request whose timeout_ms expires mid-solve comes
+// back as 504, and the engine is healthy for the next request.
+func TestTimeoutReturns504(t *testing.T) {
+	ts, eng := newTestServer(t, engine.Config{Workers: 1})
+	resp, body := post(t, ts, "/v1/analyze", ProgramRequest{Benchmark: "TPC-C", TimeoutMs: 1})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts, "/v1/analyze", ProgramRequest{Benchmark: "SIBench"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status %d: %s", resp.StatusCode, body)
+	}
+	if st := eng.Stats(); st.Canceled != 1 || st.Completed != 1 || st.InFlight != 0 {
+		t.Fatalf("engine stats = %+v", st)
+	}
+}
+
+// TestDisconnectAbortsSolve: a client that hangs up mid-request frees its
+// worker mid-solve — the engine records a cancellation, not a completion,
+// and the slot serves the next request.
+func TestDisconnectAbortsSolve(t *testing.T) {
+	ts, eng := newTestServer(t, engine.Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	buf, _ := json.Marshal(ProgramRequest{Benchmark: "TPC-C"})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("request succeeded despite disconnect")
+	}
+	// The handler observes the disconnect asynchronously; wait for the
+	// engine to log the cancellation and drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := eng.Stats()
+		if st.Canceled == 1 && st.InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine never drained: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, body := post(t, ts, "/v1/analyze", ProgramRequest{Benchmark: "SIBench"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Config{Workers: 1})
+	resp, body := post(t, ts, "/v1/simulate", SimulateRequest{
+		Benchmark: "SIBench", Clients: 4, DurationMs: 2000, Records: 10, Seed: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Committed == 0 {
+		t.Fatalf("no commits: %+v", sr)
+	}
+	if sr.Topology != "VA" || sr.Mode != "EC" {
+		t.Fatalf("defaults not applied: %+v", sr)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Config{Workers: 2, QueueDepth: 5})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st engine.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 2 || st.QueueDepth != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestConcurrentMixedHTTP runs 16 concurrent mixed requests through the
+// HTTP stack against one engine — the service-level companion to the
+// engine's race test.
+func TestConcurrentMixedHTTP(t *testing.T) {
+	ts, eng := newTestServer(t, engine.Config{Workers: 4, QueueDepth: 64, Sessions: 8})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var (
+				path string
+				body any
+			)
+			client := []string{"a", "b", "c", "d"}[i%4]
+			switch i % 3 {
+			case 0:
+				path, body = "/v1/analyze", ProgramRequest{Benchmark: "SmallBank", Client: client}
+			case 1:
+				path, body = "/v1/repair", ProgramRequest{Benchmark: "Courseware", Client: client}
+			default:
+				path, body = "/v1/simulate", SimulateRequest{
+					Benchmark: "SIBench", Clients: 2, DurationMs: 1000, Records: 10, Seed: int64(i),
+				}
+			}
+			buf, err := json.Marshal(body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", path, err)
+				return
+			}
+			var respBody bytes.Buffer
+			respBody.ReadFrom(resp.Body) //nolint:errcheck // best-effort diagnostic
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, respBody.Bytes())
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := eng.Stats()
+	if st.Completed != n || st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("engine stats after drain = %+v", st)
+	}
+}
