@@ -10,9 +10,9 @@ COVER_FLOOR ?= 60
 # Seconds each fuzz target runs under `make fuzz` / the nightly workflow.
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race bench bench-compare cover drift certify loadtest-smoke fuzz baseline profile
+.PHONY: ci fmt vet build test race bench bench-compare cover drift certify loadtest-smoke chaos fuzz baseline profile
 
-ci: fmt vet build race bench cover drift certify loadtest-smoke
+ci: fmt vet build race bench cover drift certify loadtest-smoke chaos
 
 # gofmt as a check: fail (and list the files) if anything is unformatted.
 fmt:
@@ -107,6 +107,7 @@ fuzz:
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzDetectSessionEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzCOWDeepCloneEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/replay -run '^$$' -fuzz '^FuzzWitnessReplaySoundness$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzFaultScheduleEquivalence$$' -fuzztime $(FUZZTIME)
 
 # Service load-test smoke: the in-process atroposd daemon under a small
 # concurrent client fleet (counts-only assertions — the binary exits
@@ -118,6 +119,16 @@ loadtest-smoke:
 	@$(GO) run ./cmd/atroposd -loadtest -clients 16 -requests 2 > loadtest-summary.json; \
 	status=$$?; cat loadtest-summary.json; \
 	if [ $$status -ne 0 ]; then exit $$status; fi
+
+# Chaos gate: every benchmark runs the deterministic fault-scenario panel
+# (partitions, crashes, lag, clock skew, drop/reorder) in three
+# deployments, and the gate asserts the repair guarantee under faults —
+# unrepaired EC programs exhibit serializability violations, the SC
+# control and every repaired AT-SC deployment show zero. Counts are
+# virtual-time deterministic; the full panel is also pinned in the
+# baseline's drift-gated "chaos" section.
+chaos:
+	$(GO) run ./cmd/atropos-exp -exp chaos
 
 # Regenerate the committed perf snapshot (see EXPERIMENTS.md §Baselines).
 baseline:

@@ -12,6 +12,7 @@
 //	atropos-exp -exp baseline [-out BENCH_baseline.json]
 //	atropos-exp -exp drift [-baseline BENCH_baseline.json]
 //	atropos-exp -exp certify                    # witness-replay gate
+//	atropos-exp -exp chaos [-bench SmallBank] [-scenarios clean,rolling-crash]
 //	atropos-exp -exp all
 //
 // Experiments fan out on a bounded worker pool; -parallel bounds the
@@ -42,7 +43,7 @@ import (
 )
 
 var (
-	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, baseline, drift, certify, all")
+	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, baseline, drift, certify, chaos, all")
 	benchArg = flag.String("bench", "", "benchmark for fig12/fig16 (default: the figure's benchmarks)")
 	duration = flag.Int("duration", 90, "seconds of simulated time per performance point")
 	clients  = flag.String("clients", "", "comma-separated client counts (default: paper's sweep)")
@@ -57,6 +58,7 @@ var (
 	baseline = flag.String("baseline", "BENCH_baseline.json", "committed snapshot the drift experiment compares against")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProf  = flag.String("memprofile", "", "write an allocation profile of the experiment to this file")
+	scenArg  = flag.String("scenarios", "", "comma-separated chaos scenario names (default: the full panel)")
 )
 
 func main() {
@@ -115,6 +117,8 @@ func main() {
 		runDrift()
 	case "certify":
 		runCertify()
+	case "chaos":
+		runChaos()
 	case "all":
 		runTable1()
 		runFig(12)
@@ -355,6 +359,46 @@ func runCertify() {
 		os.Exit(1)
 	}
 	fmt.Println("\ncertification gate passed: all rates >= 95%, negative controls clean")
+}
+
+// runChaos is the fault-injection gate (`make chaos`): every selected
+// benchmark runs the named fault scenarios in the EC / SC / AT-SC
+// deployments, and the sweep must show violations on some unrepaired EC
+// run under faults while the SC control and the repaired transactions of
+// every AT-SC run stay at zero.
+func runChaos() {
+	fmt.Println("== Chaos panel: Adya-style violations under deterministic fault schedules ==")
+	cfg := exp.ChaosConfig{
+		Seed:           *seed,
+		Parallelism:    *parallel,
+		NonIncremental: !*incr,
+	}
+	if *benchArg != "" {
+		b := benchmarks.ByName(*benchArg)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchArg))
+		}
+		cfg.Benchmarks = []*benchmarks.Benchmark{b}
+	}
+	if *scenArg != "" {
+		for _, part := range strings.Split(*scenArg, ",") {
+			cfg.Scenarios = append(cfg.Scenarios, strings.TrimSpace(part))
+		}
+	}
+	res, err := exp.RunChaos(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Format())
+	if fails := exp.ChaosGate(res.Rows); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "chaos:", f)
+		}
+		fmt.Fprintf(os.Stderr, "atropos-exp: %d chaos-gate failures\n", len(fails))
+		os.Exit(1)
+	}
+	fmt.Printf("\nchaos gate passed (%.1fs): unrepaired EC violates under faults, SC control and repaired deployments clean\n",
+		res.Wall.Seconds())
 }
 
 func fatal(err error) {

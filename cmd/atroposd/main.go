@@ -8,12 +8,16 @@
 //	POST /v1/certify   {"source"|"benchmark", "model"}     → witness replays
 //	POST /v1/simulate  {"benchmark", "topology", "mode"}   → cluster metrics
 //	GET  /v1/stats                                          → engine counters
+//	GET  /healthz                                           → liveness probe
+//	GET  /readyz                                            → readiness probe
 //
 // Requests carrying a "client" id reuse that client's cached detection
 // session across calls (incremental re-analysis); "timeout_ms" bounds one
 // request, and closing the connection aborts its solve mid-flight. When all
 // workers are busy and the queue is full the daemon answers 429 with a
-// Retry-After hint instead of queueing unboundedly. See DESIGN.md §12.
+// Retry-After hint instead of queueing unboundedly. On SIGINT/SIGTERM the
+// daemon flips /readyz to 503 (so load balancers stop routing to it),
+// finishes in-flight requests, and exits. See DESIGN.md §12.
 //
 // Usage:
 //
@@ -55,9 +59,10 @@ func main() {
 		return
 	}
 	eng := engine.New(cfg)
+	svc := service.New(eng)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: service.New(eng),
+		Handler: svc,
 		// Slow-client bounds; solve time itself is bounded per request via
 		// timeout_ms, not here.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -66,6 +71,9 @@ func main() {
 		stop := make(chan os.Signal, 1)
 		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 		<-stop
+		// Go dark on /readyz first so balancers drain us, then finish the
+		// in-flight requests.
+		svc.SetReady(false)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain, then exit

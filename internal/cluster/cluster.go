@@ -86,6 +86,14 @@ type Config struct {
 	// Trace, when non-nil, records the run's execution history (applied
 	// write batches, commits, aborts) for differential testing.
 	Trace *Trace
+	// Faults, when non-nil, is the run's deterministic fault schedule
+	// (partitions, crashes, lag, clock skew, drop/reorder — see fault.go).
+	// Both executors see the identical faulted event sequence.
+	Faults *FaultPlan
+	// Observe, when non-nil, receives per-command observation records for
+	// dependency-graph analysis (see observe.go). Observation forces the
+	// AST interpreter.
+	Observe *Observation
 }
 
 // Result is the outcome of one run: a figure point plus counters.
@@ -138,6 +146,13 @@ func run(cfg Config, drain bool) (*driver, Result, error) {
 	if cfg.LockTimeout == 0 {
 		cfg.LockTimeout = 8*cfg.Topology.majorityRTT(primary) + 20_000
 	}
+	if cfg.Observe != nil {
+		cfg.UseInterpreter = true
+	}
+	flt, err := newFaultState(cfg.Faults)
+	if err != nil {
+		return nil, Result{}, err
+	}
 
 	cp := CompileProgram(cfg.Program)
 	base := newMatStore(cp)
@@ -155,6 +170,17 @@ func run(cfg Config, drain bool) (*driver, Result, error) {
 		locks:    map[lockKey]*lockState{},
 		uuid:     &UUIDGen{},
 		lat:      metrics.NewLatencies(8192, cfg.Seed+1),
+		flt:      flt,
+	}
+	if cfg.Observe != nil {
+		d.obs = newObsState(d)
+	}
+	if cfg.Trace != nil && cfg.Faults != nil {
+		// Record the plan up front: fault windows are static, so the header
+		// is identical on both engines and pins the schedule in the history.
+		for _, f := range cfg.Faults.Faults {
+			cfg.Trace.fault(f)
+		}
 	}
 	for i := range d.replicas {
 		st := base
@@ -200,6 +226,10 @@ func run(cfg Config, drain bool) (*driver, Result, error) {
 			secs = 1e-6
 		}
 	}
+	if cfg.Observe != nil {
+		cfg.Observe.Obs = d.obs.obs
+		cfg.Observe.Txns = d.obs.txns
+	}
 	res := Result{
 		Committed: d.committed,
 		Aborted:   d.aborted,
@@ -235,6 +265,8 @@ type driver struct {
 	stopAt       int64
 	tsSeq        int64
 	execErr      error
+	flt          *faultState
+	obs          *obsState
 	// replication pools: batches and their delivery events are recycled so
 	// steady-state replication allocates nothing; lockPool recycles lock
 	// entries released with no waiters.
@@ -251,14 +283,9 @@ type replica struct {
 	station station
 }
 
-// ts produces a unique, strictly monotone merge timestamp. Event-loop
-// processing order is the arbitration order, so a plain sequence number
-// suffices (and cannot collide or wrap, unlike packing virtual time with
-// a bounded sequence).
-func (d *driver) ts() int64 {
-	d.tsSeq++
-	return d.tsSeq
-}
+// Merge timestamps come from tsAt (fault.go): a strictly monotone
+// arbitration sequence — event-loop processing order is the arbitration
+// order — optionally bent by an active clock-skew fault window.
 
 func (d *driver) fail(err error) {
 	if d.execErr == nil {
@@ -313,6 +340,11 @@ type client struct {
 	ecPhase  int
 	ecTick   func()
 	scRun    *cTxnRun
+	// Observation-mode state (interpreter only): the current instance id,
+	// its command metadata, and the SC attempt's buffered records.
+	obsInst int
+	obsMeta *obsTxnMeta
+	pend    []DirectedObs
 }
 
 func newClient(d *driver, id int) *client {
@@ -342,6 +374,9 @@ func (c *client) nextTxn() {
 	args := m.Args(d.rng, d.cfg.Scale)
 	c.startAt = d.sim.Now()
 	c.txnName = m.Txn
+	if d.obs != nil {
+		d.obs.beginTxn(c, m.Txn, txn)
+	}
 	var ct *ctxn
 	if !d.cfg.UseInterpreter {
 		ct = d.cp.txns[m.Txn]
@@ -398,23 +433,36 @@ func (c *client) runEC(txn *ast.Txn, args map[string]store.Value, finish func())
 			finish()
 			return
 		}
-		// Client → replica, queue, execute, reply.
-		d.sim.At(d.cfg.Topology.ClientRTT/2+d.cfg.StmtOverhead, func() {
+		// Client → replica, queue, execute, reply. A crashed home replica
+		// defers the statement to its recovery (ecDelay).
+		d.sim.At(d.ecDelay(r.id), func() {
 			done := r.station.serve(d.sim.Now(), d.cfg.StmtCost)
 			d.sim.At(done-d.sim.Now(), func() {
-				writes, err := e.Exec(r.state, d.uuid)
+				view := DBView(r.state)
+				var ov *obsView
+				if d.obs != nil {
+					ov = d.obs.wrap(c, cmd, r.state, r.id)
+					if ov != nil {
+						view = ov
+					}
+				}
+				writes, err := e.Exec(view, d.uuid)
 				if err != nil {
 					d.fail(err)
 					return
 				}
-				ts := d.ts()
+				ts := d.tsAt(r.id)
 				for _, w := range writes {
 					r.state.Apply(w, ts)
 				}
 				if d.cfg.Trace != nil && len(writes) > 0 {
 					d.cfg.Trace.applyOps(d.sim.Now(), r.id, ts, writes)
 				}
-				c.replicate(r.id, writes, ts)
+				var refs []BatchRef
+				if d.obs != nil {
+					refs = d.obs.recordEC(c, ov, writes, ts)
+				}
+				c.replicate(r.id, writes, ts, refs)
 				d.sim.At(d.cfg.Topology.ClientRTT/2, step)
 			})
 		})
@@ -422,8 +470,10 @@ func (c *client) runEC(txn *ast.Txn, args map[string]store.Value, finish func())
 	step()
 }
 
-// replicate ships interpreter writes to the other replicas asynchronously.
-func (c *client) replicate(from int, writes []WriteOp, ts int64) {
+// replicate ships interpreter writes to the other replicas
+// asynchronously; refs (observation mode only) mirror the batch into the
+// receivers' apply logs at delivery.
+func (c *client) replicate(from int, writes []WriteOp, ts int64, refs []BatchRef) {
 	if len(writes) == 0 {
 		return
 	}
@@ -434,7 +484,7 @@ func (c *client) replicate(from int, writes []WriteOp, ts int64) {
 		}
 		target := d.replicas[j]
 		ws := writes
-		d.sim.At(d.cfg.Topology.RTT[from][j]/2, func() {
+		d.sim.At(d.repDelay(from, j), func() {
 			// Applying remote ops consumes service capacity but blocks
 			// no one.
 			target.station.serve(d.sim.Now(), d.cfg.StmtCost/2)
@@ -443,6 +493,9 @@ func (c *client) replicate(from int, writes []WriteOp, ts int64) {
 			}
 			if d.cfg.Trace != nil {
 				d.cfg.Trace.applyOps(d.sim.Now(), target.id, ts, ws)
+			}
+			if d.obs != nil {
+				d.obs.delivered(target.id, refs)
 			}
 		})
 	}
@@ -474,8 +527,11 @@ func (t *txnRun) begin() {
 	t.e = NewTxnExec(d.cfg.Program, t.txn, t.args)
 	t.overlay = NewOverlay(d.replicas[primary].state)
 	t.held = t.held[:0]
-	// Client → primary.
-	d.sim.At(t.c.primaryRTT()/2, t.step)
+	if d.obs != nil {
+		t.c.pend = t.c.pend[:0] // discard any aborted attempt's records
+	}
+	// Client → primary (deferred to recovery while the primary is down).
+	d.sim.At(d.scDelay(t.c), t.step)
 }
 
 // primaryRTT is the round trip between the client and the primary replica.
@@ -514,7 +570,15 @@ func (t *txnRun) step() {
 		r := d.replicas[primary]
 		done := r.station.serve(d.sim.Now()+d.cfg.StmtOverhead, d.cfg.StmtCost)
 		d.sim.At(done-d.sim.Now(), func() {
-			writes, err := t.e.Exec(t.overlay, d.uuid)
+			view := DBView(t.overlay)
+			var ov *obsView
+			if d.obs != nil {
+				ov = d.obs.wrap(t.c, cmd, t.overlay, primary)
+				if ov != nil {
+					view = ov
+				}
+			}
+			writes, err := t.e.Exec(view, d.uuid)
 			if err != nil {
 				d.fail(err)
 				return
@@ -522,9 +586,12 @@ func (t *txnRun) step() {
 			for _, w := range writes {
 				t.overlay.Buffer(w)
 			}
+			if d.obs != nil {
+				d.obs.recordSC(t.c, ov, writes)
+			}
 			if len(writes) > 0 {
 				// Majority acknowledgement round trip per write statement.
-				d.sim.At(d.cfg.Topology.majorityRTT(primary), t.step)
+				d.sim.At(d.ackDelay(), t.step)
 			} else {
 				t.step()
 			}
@@ -549,14 +616,18 @@ func (t *txnRun) abort() {
 func (t *txnRun) commit() {
 	d := t.c.d
 	writes := t.overlay.Writes()
-	ts := d.ts()
+	ts := d.tsAt(primary)
 	for _, w := range writes {
 		d.replicas[primary].state.Apply(w, ts)
 	}
 	if d.cfg.Trace != nil && len(writes) > 0 {
 		d.cfg.Trace.applyOps(d.sim.Now(), primary, ts, writes)
 	}
-	t.c.replicate(primary, writes, ts)
+	var refs []BatchRef
+	if d.obs != nil {
+		refs = d.obs.flushSC(t.c, ts)
+	}
+	t.c.replicate(primary, writes, ts, refs)
 	t.release()
 	d.sim.At(t.c.primaryRTT()/2, t.finish)
 }

@@ -32,7 +32,7 @@ func (c *client) ecStep() {
 			return
 		}
 		c.ecPhase = 1
-		d.sim.At(d.cfg.Topology.ClientRTT/2+d.cfg.StmtOverhead, c.ecTick)
+		d.sim.At(d.ecDelay(r.id), c.ecTick)
 	case 1:
 		done := r.station.serve(d.sim.Now(), d.cfg.StmtCost)
 		c.ecPhase = 2
@@ -43,7 +43,7 @@ func (c *client) ecStep() {
 			d.fail(err)
 			return
 		}
-		ts := d.ts()
+		ts := d.tsAt(r.id)
 		r.state.applyC(writes, ts)
 		if d.cfg.Trace != nil && len(writes) > 0 {
 			d.cfg.Trace.applyC(d.sim.Now(), r.id, ts, d.cp, writes)
@@ -103,8 +103,8 @@ func (t *cTxnRun) begin() {
 	t.fr.reset(t.ct, t.args)
 	t.ov.reset()
 	t.held = t.held[:0]
-	// Client → primary.
-	d.sim.At(t.c.primaryRTT()/2, t.stepF)
+	// Client → primary (deferred to recovery while the primary is down).
+	d.sim.At(d.scDelay(t.c), t.stepF)
 }
 
 func (t *cTxnRun) view() cview {
@@ -160,7 +160,7 @@ func (t *cTxnRun) exec() {
 	}
 	if len(writes) > 0 {
 		// Majority acknowledgement round trip per write statement.
-		d.sim.At(d.cfg.Topology.majorityRTT(primary), t.stepF)
+		d.sim.At(d.ackDelay(), t.stepF)
 	} else {
 		t.step()
 	}
@@ -184,7 +184,7 @@ func (t *cTxnRun) commit() {
 	d := t.c.d
 	t.wbuf = t.wbuf[:0]
 	t.wbuf, t.rows = t.ov.commitWrites(t.wbuf, t.rows)
-	ts := d.ts()
+	ts := d.tsAt(primary)
 	d.replicas[primary].state.applyC(t.wbuf, ts)
 	if d.cfg.Trace != nil && len(t.wbuf) > 0 {
 		d.cfg.Trace.applyC(d.sim.Now(), primary, ts, d.cp, t.wbuf)
@@ -263,6 +263,6 @@ func (d *driver) creplicate(from int, ws []cwrite, ts int64) {
 		e := d.getRepEv()
 		e.tgt = d.replicas[j]
 		e.batch = b
-		d.sim.At(d.cfg.Topology.RTT[from][j]/2, e.fn)
+		d.sim.At(d.repDelay(from, j), e.fn)
 	}
 }

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"fmt"
+
+	"atropos/internal/ast"
+	"atropos/internal/store"
+)
+
+// Observation mode: a full randomized run (any Mode, any FaultPlan) that
+// records, per executed command of every transaction instance, the same
+// DirectedObs records the directed scheduler produces — which batches the
+// command's local view contained, which fields it read, which writes it
+// made. internal/replay derives the execution's Adya-style dependency
+// graph from these and counts violation instances, which is what the
+// chaos harness points at faulted executions. Observation forces the AST
+// interpreter (the reference executor); it never runs on the hot compiled
+// path.
+//
+// Views here are positional: each replica keeps an apply log of batch
+// references, and a command's view is the log prefix of its replica at
+// execution time — exactly the batches merged into the state it read.
+// SC attempts buffer their records and flush at commit with the commit
+// timestamp (one log entry per writing command, all sharing the batch
+// timestamp: atomic visibility); aborted attempts are discarded, matching
+// their rolled-back writes. EC statements record immediately: their
+// writes apply and replicate before the transaction finishes, so they are
+// visible to others whether or not the closed loop reaches the end.
+
+// Observation receives a run's observation records (Config.Observe).
+type Observation struct {
+	// Obs is one record per executed command, in execution order.
+	Obs []DirectedObs
+	// Txns names the transaction of each instance id.
+	Txns []string
+}
+
+// obsTxnMeta is the per-transaction static command metadata: command
+// indices and per-command read sets, mirroring the directed scheduler.
+type obsTxnMeta struct {
+	cmdIdx  map[ast.DBCommand]int
+	readSet []map[string]bool
+	tables  []string
+}
+
+// obsState is the driver's observation recorder.
+type obsState struct {
+	d    *driver
+	meta map[string]*obsTxnMeta
+	logs [3][]BatchRef // per-replica applied batches, in apply order
+	obs  []DirectedObs
+	txns []string
+	view obsView // reused wrapper; records are copied out per command
+}
+
+func newObsState(d *driver) *obsState {
+	return &obsState{d: d, meta: map[string]*obsTxnMeta{}}
+}
+
+// metaFor lazily builds the static command metadata of one transaction.
+func (o *obsState) metaFor(name string, txn *ast.Txn) *obsTxnMeta {
+	if m, ok := o.meta[name]; ok {
+		return m
+	}
+	cmds := ast.Commands(txn.Body)
+	m := &obsTxnMeta{
+		cmdIdx:  make(map[ast.DBCommand]int, len(cmds)),
+		readSet: make([]map[string]bool, len(cmds)),
+		tables:  make([]string, len(cmds)),
+	}
+	for i, c := range cmds {
+		m.cmdIdx[c] = i
+		schema := o.d.cfg.Program.Schema(c.TableName())
+		if schema == nil {
+			o.d.fail(fmt.Errorf("cluster: observe: unknown table %q", c.TableName()))
+			break
+		}
+		rs := map[string]bool{}
+		for _, f := range ast.CommandAccess(c, schema).Reads {
+			rs[f] = true
+		}
+		switch c.(type) {
+		case *ast.Select, *ast.Update:
+			rs[ast.AliveField] = true
+		}
+		m.readSet[i] = rs
+		m.tables[i] = c.TableName()
+	}
+	o.meta[name] = m
+	return m
+}
+
+// beginTxn assigns the client's next instance id (called from nextTxn).
+func (o *obsState) beginTxn(c *client, name string, txn *ast.Txn) {
+	c.obsInst = len(o.txns)
+	o.txns = append(o.txns, name)
+	c.obsMeta = o.metaFor(name, txn)
+	c.pend = c.pend[:0]
+}
+
+// wrap prepares the reusable recording view for one command executing at
+// replica rep against inner; nil when the command is unmapped (a defect —
+// the run fails through metaFor's error).
+func (o *obsState) wrap(c *client, cmd ast.DBCommand, inner DBView, rep int) *obsView {
+	cidx, ok := c.obsMeta.cmdIdx[cmd]
+	if !ok {
+		return nil
+	}
+	v := &o.view
+	v.inner = inner
+	v.table = c.obsMeta.tables[cidx]
+	v.fields = c.obsMeta.readSet[cidx]
+	v.reads = v.reads[:0]
+	v.cidx = cidx
+	v.rep = rep
+	v.prefix = len(o.logs[rep])
+	return v
+}
+
+// record builds the command's observation record. The view is the apply
+// log prefix of the executing replica at execution time; full-slice
+// expressions keep it immutable as the log grows.
+func (o *obsState) record(c *client, v *obsView, writes []WriteOp, ts int64) DirectedObs {
+	return DirectedObs{
+		Inst:   c.obsInst,
+		Cmd:    v.cidx,
+		TS:     ts,
+		View:   o.logs[v.rep][:v.prefix:v.prefix],
+		Reads:  append([]ReadObs(nil), v.reads...),
+		Writes: writes,
+	}
+}
+
+// recordEC records one EC statement immediately and, when it wrote,
+// appends its batch to the home replica's apply log, returning the refs
+// to ship with replication.
+func (o *obsState) recordEC(c *client, v *obsView, writes []WriteOp, ts int64) []BatchRef {
+	if v == nil {
+		return nil
+	}
+	ob := o.record(c, v, writes, ts)
+	o.obs = append(o.obs, ob)
+	if len(writes) == 0 {
+		return nil
+	}
+	ref := BatchRef{Inst: c.obsInst, Cmd: v.cidx, TS: ts}
+	o.logs[v.rep] = append(o.logs[v.rep], ref)
+	return o.logs[v.rep][len(o.logs[v.rep])-1:]
+}
+
+// recordSC buffers one SC statement's record on the client until the
+// attempt commits (TS is patched then) or aborts (the buffer is simply
+// cleared at the next begin).
+func (o *obsState) recordSC(c *client, v *obsView, writes []WriteOp) {
+	if v == nil {
+		return
+	}
+	c.pend = append(c.pend, o.record(c, v, writes, 0))
+}
+
+// flushSC publishes a committed SC attempt's buffered records: writing
+// commands get the commit timestamp and one apply-log entry each (shared
+// timestamp — the batch is atomically visible), and the refs return for
+// replication to mirror into the secondaries' logs.
+func (o *obsState) flushSC(c *client, ts int64) []BatchRef {
+	start := len(o.logs[primary])
+	for i := range c.pend {
+		if len(c.pend[i].Writes) > 0 {
+			c.pend[i].TS = ts
+			o.logs[primary] = append(o.logs[primary], BatchRef{
+				Inst: c.pend[i].Inst, Cmd: c.pend[i].Cmd, TS: ts,
+			})
+		}
+		o.obs = append(o.obs, c.pend[i])
+	}
+	c.pend = c.pend[:0]
+	return o.logs[primary][start:len(o.logs[primary]):len(o.logs[primary])]
+}
+
+// delivered mirrors a replicated batch's refs into the receiving
+// replica's apply log (called inside the delivery event, after Apply).
+func (o *obsState) delivered(rep int, refs []BatchRef) {
+	o.logs[rep] = append(o.logs[rep], refs...)
+}
+
+// obsView wraps a command's execution view, recording reads filtered to
+// the command's static read set (the executor materializes whole rows
+// while scanning; the detector's encoding only reads these fields).
+type obsView struct {
+	inner  DBView
+	table  string
+	fields map[string]bool
+	reads  []ReadObs
+	cidx   int
+	rep    int
+	prefix int
+}
+
+// Schema implements DBView.
+func (v *obsView) Schema(table string) *ast.Schema { return v.inner.Schema(table) }
+
+// Keys implements DBView.
+func (v *obsView) Keys(table string) []store.Key { return v.inner.Keys(table) }
+
+// Read implements DBView, recording filtered observations.
+func (v *obsView) Read(table string, key store.Key, field string) store.Value {
+	if table == v.table && v.fields[field] {
+		v.reads = append(v.reads, ReadObs{Table: table, Key: key, Field: field})
+	}
+	return v.inner.Read(table, key, field)
+}
+
+// Alive implements DBView, delegating to the wrapped view's semantics and
+// recording the presence check as an alive-field read (phantom
+// dependencies flow through the alive field).
+func (v *obsView) Alive(table string, key store.Key) bool {
+	if table == v.table && v.fields[ast.AliveField] {
+		v.reads = append(v.reads, ReadObs{Table: table, Key: key, Field: ast.AliveField})
+	}
+	return v.inner.Alive(table, key)
+}

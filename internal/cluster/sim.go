@@ -12,7 +12,11 @@
 //     acknowledgement round-trip — the coordination the paper blames for
 //     SC's cost;
 //   - AT-SC mode: only the transactions the repair left anomalous run SC,
-//     the rest run EC (the paper's ▲ AT-SC configuration).
+//     the rest run EC (the paper's ▲ AT-SC configuration);
+//   - fault injection (fault.go): a seeded FaultPlan of partitions,
+//     crashes, lag, clock skew, and message drop/reorder evaluated at the
+//     drivers' event-scheduling sites, so both executors replay the same
+//     faulted history.
 //
 // All state lives in one goroutine driven by a virtual-time event queue,
 // so runs are deterministic given a seed.

@@ -55,7 +55,9 @@ func TopologyByName(name string) (Topology, bool) {
 }
 
 // majorityRTT is the round trip the primary needs for a majority ack: the
-// fastest of the two other replicas.
+// fastest of the two other replicas. It is the fault-free value; under an
+// active FaultPlan the drivers use ackDelay (fault.go), which degenerates
+// to this when no window touches the primary's links.
 func (t Topology) majorityRTT(primary int) int64 {
 	best := int64(-1)
 	for j := 0; j < 3; j++ {

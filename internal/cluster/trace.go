@@ -56,3 +56,19 @@ func (tr *Trace) commit(now int64, client int, txn string, measured bool) {
 func (tr *Trace) abort(now int64, client int, txn string) {
 	tr.add(fmt.Sprintf("%d c%d abort %s", now, client, txn))
 }
+
+// fault records one fault window of the run's plan as a header event, so
+// a trace pins the schedule it ran under alongside the history it
+// produced (node kinds name one replica, link kinds the pair).
+func (tr *Trace) fault(f Fault) {
+	switch f.Kind {
+	case FaultCrash:
+		tr.add(fmt.Sprintf("fault %s r%d [%d,%d)", f.Kind, f.A, f.From, f.Until))
+	case FaultSkew:
+		tr.add(fmt.Sprintf("fault %s r%d %+d [%d,%d)", f.Kind, f.A, f.Amount, f.From, f.Until))
+	case FaultDrop:
+		tr.add(fmt.Sprintf("fault %s r%d-r%d %d%% [%d,%d)", f.Kind, f.A, f.B, f.Pct, f.From, f.Until))
+	default:
+		tr.add(fmt.Sprintf("fault %s r%d-r%d %d [%d,%d)", f.Kind, f.A, f.B, f.Amount, f.From, f.Until))
+	}
+}

@@ -28,7 +28,9 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -173,6 +175,18 @@ func (e *Engine) finish(err error) error {
 	return err
 }
 
+// guard converts a panic inside one request's body into an error return,
+// so a single poisoned request cannot take down the daemon or leak its
+// worker slot (release is deferred after guard, so it still runs). The
+// panicking request's session is deliberately NOT checked back in — its
+// caches may be mid-mutation — which is why the verbs check sessions in
+// inline after the body returns rather than via defer.
+func (e *Engine) guard(err *error) {
+	if v := recover(); v != nil {
+		*err = e.finish(fmt.Errorf("engine: internal panic: %v\n%s", v, debug.Stack()))
+	}
+}
+
 // checkout takes the session cached under k, a recycled same-flavor
 // session, or a fresh one — in that order. The caller owns the session
 // exclusively until checkin.
@@ -242,12 +256,13 @@ func (e *Engine) Parse(src string) (*ast.Program, error) {
 // Analyze runs the static anomaly oracle under model. With a Client option
 // the detection runs through that client's cached session, so re-analyzing
 // related programs only re-solves what changed.
-func (e *Engine) Analyze(ctx context.Context, prog *ast.Program, model anomaly.Model, opts ...repair.Option) (*anomaly.Report, error) {
+func (e *Engine) Analyze(ctx context.Context, prog *ast.Program, model anomaly.Model, opts ...repair.Option) (rep *anomaly.Report, err error) {
 	o := repair.BuildOptions(opts...)
 	if err := e.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer e.release()
+	defer e.guard(&err)
 	if o.Client == "" || !o.Incremental {
 		rep, err := anomaly.DetectContext(ctx, prog, model)
 		return rep, e.finish(err)
@@ -261,54 +276,62 @@ func (e *Engine) Analyze(ctx context.Context, prog *ast.Program, model anomaly.M
 		par = 1
 	}
 	s.SetParallelism(par)
-	rep, err := s.DetectContext(ctx, prog)
+	rep, derr := s.DetectContext(ctx, prog)
 	e.checkin(k, s)
-	return rep, e.finish(err)
+	return rep, e.finish(derr)
 }
 
 // Repair runs the full repair pipeline under model. With a Client option
 // the pipeline's detection passes run through that client's cached session.
-func (e *Engine) Repair(ctx context.Context, prog *ast.Program, model anomaly.Model, opts ...repair.Option) (*repair.Result, error) {
+func (e *Engine) Repair(ctx context.Context, prog *ast.Program, model anomaly.Model, opts ...repair.Option) (res *repair.Result, err error) {
 	o := repair.BuildOptions(opts...)
 	if err := e.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer e.release()
+	defer e.guard(&err)
 	var k sessionKey
+	var s *anomaly.DetectSession
 	if o.Client != "" && o.Incremental && o.Session == nil {
 		k = sessionKey{client: o.Client, model: model, record: o.Certify}
-		s := e.checkout(k)
+		s = e.checkout(k)
 		o.Session = s
-		defer e.checkin(k, s)
 	}
-	res, err := repair.RunWith(ctx, prog, model, o)
-	return res, e.finish(err)
+	res, rerr := repair.RunWith(ctx, prog, model, o)
+	if s != nil {
+		// Checked in only on a normal return: a panicking pipeline would
+		// leave the session's caches mid-mutation.
+		e.checkin(k, s)
+	}
+	return res, e.finish(rerr)
 }
 
 // Certify detects with witness recording and replays every reported pair
 // as an executable certificate (internal/replay).
-func (e *Engine) Certify(ctx context.Context, prog *ast.Program, model anomaly.Model) (*replay.Certificate, *anomaly.Report, error) {
+func (e *Engine) Certify(ctx context.Context, prog *ast.Program, model anomaly.Model) (cert *replay.Certificate, rep *anomaly.Report, err error) {
 	if err := e.acquire(ctx); err != nil {
 		return nil, nil, err
 	}
 	defer e.release()
-	cert, rep, err := replay.CertifyModelContext(ctx, prog, model)
-	return cert, rep, e.finish(err)
+	defer e.guard(&err)
+	cert, rep, cerr := replay.CertifyModelContext(ctx, prog, model)
+	return cert, rep, e.finish(cerr)
 }
 
 // Simulate runs one cluster deployment configuration. The simulator is
 // ops/virtual-time bounded and does not poll the context mid-run; the
 // context gates admission and is checked once more before the run starts.
-func (e *Engine) Simulate(ctx context.Context, cfg cluster.Config) (cluster.Result, error) {
+func (e *Engine) Simulate(ctx context.Context, cfg cluster.Config) (res cluster.Result, err error) {
 	if err := e.acquire(ctx); err != nil {
 		return cluster.Result{}, err
 	}
 	defer e.release()
+	defer e.guard(&err)
 	if err := ctx.Err(); err != nil {
 		return cluster.Result{}, e.finish(err)
 	}
-	res, err := cluster.Run(cfg)
-	return res, e.finish(err)
+	res, serr := cluster.Run(cfg)
+	return res, e.finish(serr)
 }
 
 // Stats is a point-in-time snapshot of the engine's counters.

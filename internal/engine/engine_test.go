@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -310,5 +311,28 @@ func TestCheckinLastWriterYields(t *testing.T) {
 	s3 := e.checkout(sessionKey{client: "other", model: anomaly.EC})
 	if s3 != s2 {
 		t.Fatal("freelist session not reused")
+	}
+}
+
+// TestPanicIsolation: a request whose body panics must surface as an error
+// return, not a daemon crash — and must free its worker slot so the engine
+// keeps serving (DESIGN.md §12's robustness contract).
+func TestPanicIsolation(t *testing.T) {
+	e := New(Config{Workers: 2})
+	_, err := e.Simulate(context.Background(), cluster.Config{Clients: 1}) // nil Program panics inside the simulator
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("Simulate with nil program: err = %v, want an internal-panic error", err)
+	}
+	if st := e.Stats(); st.InFlight != 0 {
+		t.Fatalf("in_flight = %d after a panicking request, want 0", st.InFlight)
+	}
+	// The slot is free and the engine still answers.
+	prog := loadRMW(t)
+	rep, err := e.Analyze(context.Background(), prog, anomaly.EC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count() == 0 {
+		t.Error("post-panic analyze found no anomalies; engine state corrupted?")
 	}
 }

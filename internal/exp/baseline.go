@@ -83,6 +83,10 @@ type Baseline struct {
 	// the anomaly totals are deterministic (the drift gate compares them);
 	// latency, throughput, retry, and hit-rate columns are informational.
 	Service *LoadResult `json:"service,omitempty"`
+	// Chaos is the fault-injection panel: Adya-style violation counts per
+	// benchmark × fault scenario × deployment (see chaos.go). Virtual-time
+	// deterministic, so the drift gate compares every column.
+	Chaos []ChaosRow `json:"chaos,omitempty"`
 	// Table1 compares the sequential and parallel corpus pipelines.
 	Table1 Table1Baseline `json:"table1"`
 	// Panels is one Fig. 12 deployment point per benchmark × mode.
@@ -278,6 +282,20 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 		return nil, err
 	}
 	out.Service = svc
+
+	// Chaos panel: violation counts per benchmark × fault scenario ×
+	// deployment. The sweep runs at the chaos harness's own fixed sizing —
+	// deliberately independent of cfg.Duration, so drift runs at any
+	// -duration compare equal against the committed snapshot.
+	chaos, err := RunChaos(ChaosConfig{
+		Seed:           cfg.Seed,
+		Parallelism:    cfg.Parallelism,
+		NonIncremental: cfg.NonIncremental,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Chaos = chaos.Rows
 
 	if cfg.CountsOnly {
 		return out, nil

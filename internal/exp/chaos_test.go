@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"atropos/internal/benchmarks"
+)
+
+// TestChaosSmallBank runs one benchmark through the full scenario panel
+// and checks the harness's headline properties: the serializable control
+// and the repaired deployment's repaired transactions show zero
+// violations, the unrepaired EC deployment shows at least one under some
+// fault scenario, and the sweep is deterministic (same config ⇒ same
+// rows).
+func TestChaosSmallBank(t *testing.T) {
+	cfg := ChaosConfig{
+		Benchmarks: []*benchmarks.Benchmark{benchmarks.SmallBank},
+		Clients:    12,
+		Duration:   1200 * time.Millisecond,
+	}
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := ChaosGate(res.Rows); len(fails) > 0 {
+		t.Fatalf("chaos gate failed:\n%s\n%s", res.Format(), fails)
+	}
+	for _, r := range res.Rows {
+		if r.Committed == 0 {
+			t.Errorf("%s/%s/%s: no committed transactions (vacuous run)", r.Benchmark, r.Scenario, r.Series)
+		}
+	}
+	res2, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if res.Rows[i] != res2.Rows[i] {
+			t.Fatalf("chaos sweep not deterministic: %+v vs %+v", res.Rows[i], res2.Rows[i])
+		}
+	}
+	t.Log("\n" + res.Format())
+}

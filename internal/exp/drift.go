@@ -110,6 +110,39 @@ func CountDrift(got, want *Baseline) []string {
 		check("total_initial", got.Service.TotalInitial, want.Service.TotalInitial)
 		check("total_remaining", got.Service.TotalRemaining, want.Service.TotalRemaining)
 	}
+	// Chaos rows are virtual-time deterministic end to end (fixed workload
+	// seeds, fixed fault-plan seeds), so every column is compared. An
+	// absent section marks a pre-chaos baseline, which is not itself drift.
+	if len(want.Chaos) != 0 {
+		type chaosKey struct{ bench, scenario, series string }
+		gotC := map[chaosKey]ChaosRow{}
+		for _, r := range got.Chaos {
+			gotC[chaosKey{r.Benchmark, r.Scenario, r.Series}] = r
+		}
+		for _, w := range want.Chaos {
+			k := chaosKey{w.Benchmark, w.Scenario, w.Series}
+			g, ok := gotC[k]
+			if !ok {
+				drift = append(drift, fmt.Sprintf("chaos %s/%s/%s: in committed baseline but not measured", w.Benchmark, w.Scenario, w.Series))
+				continue
+			}
+			if g.Committed != w.Committed {
+				drift = append(drift, fmt.Sprintf("chaos %s/%s/%s: committed = %d, baseline %d", w.Benchmark, w.Scenario, w.Series, g.Committed, w.Committed))
+			}
+			if g.Violations != w.Violations {
+				drift = append(drift, fmt.Sprintf("chaos %s/%s/%s: violations = %d, baseline %d", w.Benchmark, w.Scenario, w.Series, g.Violations, w.Violations))
+			}
+			if g.Residual != w.Residual {
+				drift = append(drift, fmt.Sprintf("chaos %s/%s/%s: residual_violations = %d, baseline %d", w.Benchmark, w.Scenario, w.Series, g.Residual, w.Residual))
+			}
+			delete(gotC, k)
+		}
+		for _, g := range got.Chaos {
+			if _, extra := gotC[chaosKey{g.Benchmark, g.Scenario, g.Series}]; extra {
+				drift = append(drift, fmt.Sprintf("chaos %s/%s/%s: missing from committed baseline", g.Benchmark, g.Scenario, g.Series))
+			}
+		}
+	}
 	// Corpus anomaly totals are deterministic (fixed progen seeds) and
 	// engine-independent; a zero Programs count marks a pre-corpus
 	// baseline, which is not itself drift.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"sort"
@@ -131,13 +132,17 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			defer wg.Done()
 			src := ast.Format(progen.Program(int64(c + 1)))
 			id := "load-" + strconv.Itoa(c)
+			// Per-client seeded RNG: the retry jitter below is reproducible
+			// for a given configuration, like everything else the drift gate
+			// compares.
+			rng := rand.New(rand.NewSource(int64(c + 1)))
 			for i := 0; i < cfg.RequestsPerClient; i++ {
 				endpoint := "/v1/analyze"
 				if i%2 == 1 {
 					endpoint = "/v1/repair"
 				}
 				body, _ := json.Marshal(service.ProgramRequest{Source: src, Model: "EC", Client: id})
-				initial, remaining, retries, lat, err := postUntilServed(client, base+endpoint, body)
+				initial, remaining, retries, lat, err := postUntilServed(client, base+endpoint, body, rng)
 				mu.Lock()
 				res.Retried429 += retries
 				if err != nil {
@@ -175,11 +180,33 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	return &res, nil
 }
 
+// Retry backoff bounds: the first 429 waits ~1ms, each further rejection
+// doubles the step up to the cap. Sleeping a flat interval would march all
+// rejected clients back in lockstep and re-collide them at the admission
+// queue; exponential growth with jitter spreads the retry wave out.
+const (
+	retryBase = time.Millisecond
+	retryCap  = 16 * time.Millisecond
+)
+
+// backoff is the sleep before retry number n (1-based): the capped
+// exponential step, jittered uniformly over its upper half so concurrent
+// clients desynchronize but never return faster than half the step.
+func backoff(n int, rng *rand.Rand) time.Duration {
+	d := retryBase << min(n-1, 10)
+	if d > retryCap {
+		d = retryCap
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
 // postUntilServed POSTs body to url, absorbing 429 backpressure with
-// retries, and extracts the response's anomaly counts. The reported latency
-// is the served attempt's round trip; queue time spent inside the server is
-// included, client-side retry backoff is not.
-func postUntilServed(client *http.Client, url string, body []byte) (initial, remaining, retries int, lat time.Duration, err error) {
+// capped jittered exponential retries, and extracts the response's anomaly
+// counts. The reported latency is the served attempt's round trip; queue
+// time spent inside the server is included, client-side retry backoff is
+// not. (The server's Retry-After hint says seconds; a progen request takes
+// milliseconds, so the client honors its spirit at test timescales.)
+func postUntilServed(client *http.Client, url string, body []byte, rng *rand.Rand) (initial, remaining, retries int, lat time.Duration, err error) {
 	for {
 		t0 := time.Now()
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
@@ -197,9 +224,7 @@ func postUntilServed(client *http.Client, url string, body []byte) (initial, rem
 			return initial, remaining, retries, time.Since(t0), err
 		case http.StatusTooManyRequests:
 			retries++
-			// Honor the Retry-After hint's spirit at test timescales: the
-			// header says seconds, a progen request takes milliseconds.
-			time.Sleep(2 * time.Millisecond)
+			time.Sleep(backoff(retries, rng))
 		default:
 			return 0, 0, retries, 0, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, data)
 		}

@@ -7,11 +7,14 @@
 //	POST /v1/certify   {source|benchmark, model}     → witness-replay certificate
 //	POST /v1/simulate  {benchmark, topology, mode, …} → cluster-simulation point
 //	GET  /v1/stats                                   → engine counters
+//	GET  /healthz                                    → liveness (always 200)
+//	GET  /readyz                                     → readiness (503 while draining)
 //
 // Request contexts thread into the engine (and down to the SAT solvers), so
 // a disconnected client or an expired per-request timeout_ms aborts the
 // work mid-solve. Engine overload surfaces as 429 with Retry-After; a
-// missed deadline as 504.
+// missed deadline as 504. A panicking handler answers 500 and the daemon
+// keeps serving — ServeHTTP isolates every request behind a recover.
 package service
 
 import (
@@ -19,7 +22,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"atropos/internal/anomaly"
@@ -35,24 +41,65 @@ const maxBodyBytes = 1 << 20
 
 // Server wires the engine's verbs to HTTP routes. Construct with New.
 type Server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
+	eng   *engine.Engine
+	mux   *http.ServeMux
+	ready atomic.Bool
+	logf  func(format string, args ...any)
 }
 
-// New builds the HTTP server for an engine.
+// New builds the HTTP server for an engine. The server starts ready.
 func New(eng *engine.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s := &Server{eng: eng, mux: http.NewServeMux(), logf: log.Printf}
+	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/parse", s.handleParse)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	s.mux.HandleFunc("POST /v1/certify", s.handleCertify)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// SetReady flips the /readyz answer. The daemon flips it to false on
+// SIGTERM before draining, so load balancers stop routing new traffic
+// while in-flight requests finish.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// ServeHTTP implements http.Handler. Every request runs behind a recover:
+// a panicking handler answers 500 (when nothing was written yet) and the
+// daemon keeps serving — one poisoned request must not take the process
+// down. http.ErrAbortHandler passes through: it is net/http's own
+// abort-this-response protocol, not a defect.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.logf("service: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error"})
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. Always
+// 200 — readiness is the endpoint that goes dark during drain.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 while accepting work, 503 once the
+// daemon is draining for shutdown.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
 
 // ProgramRequest is the shared request shape of the program-centric
 // endpoints. Exactly one of Source (DSL text) or Benchmark (a Table 1
@@ -192,6 +239,10 @@ type SimulateRequest struct {
 	Records    int    `json:"records,omitempty"`
 	Seed       int64  `json:"seed,omitempty"`
 	TimeoutMs  int    `json:"timeout_ms,omitempty"`
+	// FaultScenario names a deterministic fault schedule from the chaos
+	// panel (cluster.ChaosScenarios) to run the simulation under; empty
+	// means fault-free.
+	FaultScenario string `json:"fault_scenario,omitempty"`
 }
 
 // SimulateResponse is one measured deployment point.
@@ -491,6 +542,28 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Duration: time.Duration(req.DurationMs) * time.Millisecond,
 		Ops:      req.Ops,
 		Seed:     req.Seed,
+	}
+	if req.FaultScenario != "" {
+		// The scenarios are sized to the run's virtual horizon (the
+		// simulator's 10s default when the request names no duration).
+		dur := cfg.Duration
+		if dur == 0 {
+			dur = 10 * time.Second
+		}
+		var names []string
+		found := false
+		for _, sc := range cluster.ChaosScenarios(dur.Microseconds()) {
+			names = append(names, sc.Name)
+			if sc.Name == req.FaultScenario {
+				cfg.Faults = sc.Plan
+				found = true
+			}
+		}
+		if !found {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown fault_scenario %q (want one of %v)", req.FaultScenario, names))
+			return
+		}
 	}
 	ctx, cancel := requestContext(r, req.TimeoutMs)
 	defer cancel()

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -339,5 +340,178 @@ func TestConcurrentMixedHTTP(t *testing.T) {
 	st := eng.Stats()
 	if st.Completed != n || st.InFlight != 0 || st.Queued != 0 {
 		t.Fatalf("engine stats after drain = %+v", st)
+	}
+}
+
+// TestHealthEndpoints pins the probe contract: /healthz answers 200
+// always (liveness), /readyz flips to 503 when the server is draining and
+// back with readiness.
+func TestHealthEndpoints(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 1})
+	svc := New(eng)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz = %d, want 200", got)
+	}
+	svc.SetReady(false)
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz while draining = %d, want 200 (liveness is not readiness)", got)
+	}
+	svc.SetReady(true)
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz after recovery = %d, want 200", got)
+	}
+}
+
+// TestGracefulDrain reproduces the daemon's SIGTERM sequence against a
+// real http.Server: readiness goes dark, the in-flight request runs to a
+// 200, and Shutdown returns only after it finished.
+func TestGracefulDrain(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 1})
+	svc := New(eng)
+	srv := &http.Server{Handler: svc}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Shutdown
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		buf, _ := json.Marshal(ProgramRequest{Benchmark: "TPC-C"})
+		resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var body bytes.Buffer
+		body.ReadFrom(resp.Body) //nolint:errcheck // best-effort diagnostic
+		inflight <- result{status: resp.StatusCode, body: body.Bytes()}
+	}()
+	// Wait until the request holds the engine's only worker slot.
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the engine")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The daemon's shutdown sequence: readiness first, then drain.
+	svc.SetReady(false)
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain = %d, want 503", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-inflight
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request = %d during drain, want 200: %s", r.status, r.body)
+	}
+}
+
+// TestPanicRecovery: a panicking handler answers 500 and the daemon keeps
+// serving — the recover middleware isolates the request.
+func TestPanicRecovery(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 1})
+	svc := New(eng)
+	var logged bytes.Buffer
+	svc.logf = func(format string, args ...any) { fmt.Fprintf(&logged, format, args...) }
+	svc.mux.HandleFunc("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+		t.Fatalf("panicking handler returned no error body: %v", err)
+	}
+	if !strings.Contains(logged.String(), "kaboom") {
+		t.Error("panic value not logged")
+	}
+	// The daemon survived and still serves.
+	resp2, body := post(t, ts, "/v1/analyze", ProgramRequest{Benchmark: "SIBench"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic request = %d: %s", resp2.StatusCode, body)
+	}
+}
+
+// TestSimulateFaultScenario: /v1/simulate accepts a named chaos scenario,
+// runs deterministically under it, and rejects unknown names.
+func TestSimulateFaultScenario(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Config{Workers: 1})
+	req := SimulateRequest{
+		Benchmark: "SIBench", Clients: 4, DurationMs: 2000, Records: 10, Seed: 1,
+		FaultScenario: "rolling-crash",
+	}
+	run := func() SimulateResponse {
+		resp, body := post(t, ts, "/v1/simulate", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var sr SimulateResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	first := run()
+	if first.Committed == 0 {
+		t.Fatalf("no commits under rolling-crash: %+v", first)
+	}
+	if second := run(); second != first {
+		t.Fatalf("faulted simulation not deterministic:\n  first:  %+v\n  second: %+v", first, second)
+	}
+
+	req.FaultScenario = "meteor-strike"
+	resp, body := post(t, ts, "/v1/simulate", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown scenario: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "rolling-crash") {
+		t.Errorf("400 body does not list valid scenarios: %s", body)
 	}
 }
