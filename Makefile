@@ -10,9 +10,9 @@ COVER_FLOOR ?= 60
 # Seconds each fuzz target runs under `make fuzz` / the nightly workflow.
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race bench bench-compare cover drift certify loadtest-smoke chaos fuzz baseline profile
+.PHONY: ci fmt vet build test race bench bench-compare cover drift certify loadtest-smoke chaos service-chaos fuzz baseline profile
 
-ci: fmt vet build race bench cover drift certify loadtest-smoke chaos
+ci: fmt vet build race bench cover drift certify loadtest-smoke chaos service-chaos
 
 # gofmt as a check: fail (and list the files) if anything is unformatted.
 fmt:
@@ -108,6 +108,7 @@ fuzz:
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzCOWDeepCloneEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/replay -run '^$$' -fuzz '^FuzzWitnessReplaySoundness$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzFaultScheduleEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sat -run '^$$' -fuzz '^FuzzBudgetedSolveEquivalence$$' -fuzztime $(FUZZTIME)
 
 # Service load-test smoke: the in-process atroposd daemon under a small
 # concurrent client fleet (counts-only assertions — the binary exits
@@ -129,6 +130,15 @@ loadtest-smoke:
 # baseline's drift-gated "chaos" section.
 chaos:
 	$(GO) run ./cmd/atropos-exp -exp chaos
+
+# Service-chaos gate: the scripted service-fault harness against a live
+# engine — stalled workers, queue overflow, a budget-starved client
+# tripping its circuit breaker, an injected handler panic — with every
+# count asserted exactly (faults fire at scripted points, not timers, so
+# the panel is deterministic). Also pinned in the baseline's drift-gated
+# "service_chaos" section.
+service-chaos:
+	$(GO) run ./cmd/atroposd -servicechaos
 
 # Regenerate the committed perf snapshot (see EXPERIMENTS.md §Baselines).
 baseline:

@@ -23,6 +23,7 @@
 //
 //	atroposd [-addr :8372] [-workers N] [-queue N] [-sessions N]
 //	atroposd -loadtest [-clients 64] [-requests 4]   # in-process load test
+//	atroposd -servicechaos                           # scripted fault harness + gate
 package main
 
 import (
@@ -49,6 +50,7 @@ var (
 	loadtest = flag.Bool("loadtest", false, "run the in-process load test instead of serving")
 	clients  = flag.Int("clients", 0, "loadtest: concurrent clients (0 = 64)")
 	requests = flag.Int("requests", 0, "loadtest: requests per client (0 = 4)")
+	svcChaos = flag.Bool("servicechaos", false, "run the scripted service-fault harness and its gate instead of serving")
 )
 
 func main() {
@@ -56,6 +58,10 @@ func main() {
 	cfg := engine.Config{Workers: *workers, QueueDepth: *queue, Sessions: *sessions}
 	if *loadtest {
 		runLoadtest()
+		return
+	}
+	if *svcChaos {
+		runServiceChaos()
 		return
 	}
 	eng := engine.New(cfg)
@@ -108,6 +114,25 @@ func runLoadtest() {
 		fatal(fmt.Errorf("dropped requests: %d/%d completed, %d errors",
 			res.Completed, res.Requests, res.Errors))
 	}
+}
+
+// runServiceChaos drives the scripted service-fault harness against a fresh
+// engine and holds the result to its gate: stalled slots drain, overload
+// sheds, the breaker trips, the injected panic is contained, and the engine
+// recovers to steady state. Exit status 1 on any gate failure.
+func runServiceChaos() {
+	res, err := exp.RunServiceChaos(exp.ServiceChaosConfig{Workers: *workers, QueueDepth: *queue})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Format())
+	if fails := exp.ServiceChaosGate(res); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "atroposd: service-chaos gate:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("service-chaos gate: PASS")
 }
 
 func fatal(err error) {

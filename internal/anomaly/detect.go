@@ -2,6 +2,7 @@ package anomaly
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"maps"
 	"slices"
@@ -43,7 +44,18 @@ func Detect(prog *ast.Program, model Model) (*Report, error) {
 // cancellation aborts detection mid-solve (the SAT solvers poll it) and
 // returns ctx.Err(). An uncancellable context adds no overhead.
 func DetectContext(ctx context.Context, prog *ast.Program, model Model) (*Report, error) {
-	d := &detector{prog: prog, model: model, encoders: map[[2]string]*pairEncoder{}}
+	return DetectBudgeted(ctx, prog, model, sat.Budget{})
+}
+
+// DetectBudgeted is DetectContext with a per-solve resource budget: every
+// cycle query's SAT solve is bounded by b, and a budget-exhausted solve
+// marks its pair's verdict unknown instead of failing the detection. The
+// report is then partial — Degraded is set, UnknownPairs lists the pairs
+// no surviving query could classify — but everything it does report is
+// sound (see Report.Degraded). A zero budget is byte-identical to
+// DetectContext.
+func DetectBudgeted(ctx context.Context, prog *ast.Program, model Model, b sat.Budget) (*Report, error) {
+	d := &detector{prog: prog, model: model, encoders: map[[2]string]*pairEncoder{}, budget: b}
 	d.setContext(ctx)
 	return runDetector(d)
 }
@@ -80,6 +92,10 @@ func runDetector(d *detector) (*Report, error) {
 	}
 	report.Queries = d.issued
 	report.Solved = d.solved
+	report.UnknownPairs = d.unknownPairs
+	report.Unknown = len(d.unknownPairs)
+	report.Exhausted = d.exhausted
+	report.Degraded = d.exhausted > 0
 	return report, nil
 }
 
@@ -102,6 +118,12 @@ type detector struct {
 	issued   int // cycle-satisfiability queries asked
 	solved   int // cache-miss queries solved (issued - cache hits)
 	replayed int // cache-hit queries re-run to restore solver-state parity
+	// budget, when limited, bounds every encoder's SAT solves; exhausted
+	// counts the solves that crossed it, and unknownPairs the access pairs
+	// left unclassified because of them.
+	budget       sat.Budget
+	exhausted    int
+	unknownPairs []UnknownPair
 }
 
 // detectTxn finds the anomalous access pairs of transaction t: for each
@@ -126,64 +148,78 @@ func (d *detector) detectTxn(t *ast.Txn) ([]AccessPair, error) {
 	var found []AccessPair
 	for i := 0; i < len(cmds); i++ {
 		for j := i + 1; j < len(cmds); j++ {
-			pair, ok, err := d.checkPair(t, witnesses, i, j)
+			pair, ok, unknown, err := d.checkPair(t, witnesses, i, j)
 			if err != nil {
 				return nil, err
 			}
-			if ok {
+			switch {
+			case ok:
 				found = append(found, pair)
+			case unknown:
+				// No witness proved the pair anomalous, but at least one
+				// query ran out of budget: the pair's verdict is unknown,
+				// not clean. Reported separately so callers can degrade
+				// instead of silently under-reporting.
+				d.unknownPairs = append(d.unknownPairs, UnknownPair{
+					Txn: t.Name, C1: cmds[i].CmdLabel(), C2: cmds[j].CmdLabel(),
+				})
 			}
 		}
 	}
 	return found, nil
 }
 
-func (d *detector) checkPair(t *ast.Txn, witnesses []*ast.Txn, i, j int) (AccessPair, bool, error) {
+func (d *detector) checkPair(t *ast.Txn, witnesses []*ast.Txn, i, j int) (AccessPair, bool, bool, error) {
+	anyUnknown := false
 	for _, w := range witnesses {
-		pair, ok, err := d.checkPairWitness(t, w, i, j)
+		pair, ok, unknown, err := d.checkPairWitness(t, w, i, j)
 		if err != nil || ok {
-			return pair, ok, err
+			return pair, ok, false, err
 		}
+		anyUnknown = anyUnknown || unknown
 	}
-	return AccessPair{}, false, nil
+	return AccessPair{}, false, anyUnknown, nil
 }
 
 // checkPairWitness searches witness transaction w for a satisfiable
 // dependency cycle through commands i and j of t. It is the unit of work
 // the parallel session fans out: one (txn, witness) encoder, all its cycle
 // queries.
-func (d *detector) checkPairWitness(t, w *ast.Txn, i, j int) (AccessPair, bool, error) {
+func (d *detector) checkPairWitness(t, w *ast.Txn, i, j int) (AccessPair, bool, bool, error) {
 	enc, err := d.encoderFor(t, w)
 	if err != nil {
-		return AccessPair{}, false, err
+		return AccessPair{}, false, false, err
 	}
 	c1 := enc.items[i]
 	c2 := enc.items[j]
+	anyUnknown := false
 	for _, d1 := range enc.items[enc.nA:] {
 		for _, d2 := range enc.items[enc.nA:] {
 			// Orientation 1: A.c1 → B.d1, B.d2 → A.c2.
 			if enc.hasDep(c1, d1) && enc.hasDep(d2, c2) {
 				r, err := d.solveCycle(enc, c1, d1, d2, c2)
 				if err != nil {
-					return AccessPair{}, false, err
+					return AccessPair{}, false, false, err
 				}
 				if r.Sat {
-					return buildPair(t.Name, w.Name, c1, c2, d1, d2, r), true, nil
+					return buildPair(t.Name, w.Name, c1, c2, d1, d2, r), true, false, nil
 				}
+				anyUnknown = anyUnknown || r.Unknown
 			}
 			// Orientation 2: B.d1 → A.c1, A.c2 → B.d2.
 			if enc.hasDep(d1, c1) && enc.hasDep(c2, d2) {
 				r, err := d.solveCycle(enc, d1, c1, c2, d2)
 				if err != nil {
-					return AccessPair{}, false, err
+					return AccessPair{}, false, false, err
 				}
 				if r.Sat {
-					return buildPair(t.Name, w.Name, c1, c2, d1, d2, r), true, nil
+					return buildPair(t.Name, w.Name, c1, c2, d1, d2, r), true, false, nil
 				}
+				anyUnknown = anyUnknown || r.Unknown
 			}
 		}
 	}
-	return AccessPair{}, false, nil
+	return AccessPair{}, false, anyUnknown, nil
 }
 
 // cycleResult is the complete outcome of one cycle-satisfiability query:
@@ -192,7 +228,10 @@ func (d *detector) checkPairWitness(t, w *ast.Txn, i, j int) (AccessPair, bool, 
 // freshly solved detections byte-identical (reports never depend on which
 // encoder's solver produced the model).
 type cycleResult struct {
-	Sat          bool
+	Sat bool
+	// Unknown marks a budget-exhausted solve: neither SAT nor UNSAT may be
+	// claimed. Unknown results are never cached (see solveCycle).
+	Unknown      bool
 	Kind1, Kind2 EdgeKind
 	Flds1, Flds2 []string
 	// Sched is the witness schedule read off the satisfying model, present
@@ -228,6 +267,17 @@ func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst)
 		if enc.enc.S.Stopped() {
 			return cycleResult{}, d.ctxErr()
 		}
+		// A budget-exhausted Solve also returns false; it surfaces as an
+		// unknown verdict. The solver's learnt clauses are sound but its
+		// search state now diverges from a fresh oracle's, so this encoder
+		// can no longer participate in the history-keyed cache: taint it
+		// (subsequent queries solve directly) and hand the session path the
+		// sentinel so the unknown is never published as a cached verdict.
+		if enc.enc.S.Exhausted() {
+			enc.tainted = true
+			d.exhausted++
+			return cycleResult{Unknown: true}, errExhausted
+		}
 		if r.Sat {
 			r.Kind1, r.Flds1 = enc.modelEdge(from1, to1)
 			r.Kind2, r.Flds2 = enc.modelEdge(from2, to2)
@@ -237,9 +287,13 @@ func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst)
 		}
 		return r, nil
 	}
-	if d.session == nil {
+	if d.session == nil || enc.tainted {
 		d.solved++
-		return solve()
+		r, err := solve()
+		if err == errExhausted {
+			return r, nil
+		}
+		return r, err
 	}
 	s1 := enc.depS[from1.idx][to1.idx]
 	s2 := enc.depS[from2.idx][to2.idx]
@@ -252,6 +306,14 @@ func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst)
 		d.replayed += enc.replayPending()
 		return solve()
 	})
+	if err == errExhausted {
+		// The solve ran (and exhausted) on this encoder; the session's
+		// error path already removed the future, so the unknown was never
+		// cached and waiters retry as producers under their own budgets.
+		// The encoder is tainted, so its history hash no longer matters.
+		d.solved++
+		return cycleResult{Unknown: true}, nil
+	}
 	if err != nil {
 		return cycleResult{}, err
 	}
@@ -263,6 +325,12 @@ func (d *detector) solveCycle(enc *pairEncoder, from1, to1, from2, to2 *cmdInst)
 	enc.histHash = chainHist(enc.histHash, a1, a2)
 	return r, nil
 }
+
+// errExhausted is the internal sentinel a budget-exhausted solve returns
+// through the session cache's error path: like a cancellation it removes
+// the query's future before publishing, so unknowns are never cached, but
+// unlike a cancellation the detection continues with a degraded report.
+var errExhausted = errors.New("anomaly: solve budget exhausted")
 
 // chainHist folds one query's assumed propositions into an encoder's
 // query-history hash.
@@ -292,9 +360,13 @@ func (d *detector) encoderFor(t, w *ast.Txn) (*pairEncoder, error) {
 	}
 	// The stop probe aborts this encoder's solves when the detector's
 	// context is cancelled; Encoder.Release → Solver.Reset clears it before
-	// the solver returns to the pool.
+	// the solver returns to the pool. The budget, likewise per-solver and
+	// Reset-cleared, bounds each of this encoder's solves.
 	if d.stop != nil {
 		enc.enc.S.SetStop(d.stop)
+	}
+	if d.budget.Limited() {
+		enc.enc.S.SetBudget(d.budget)
 	}
 	d.encoders[key] = enc
 	return enc, nil
@@ -336,6 +408,10 @@ type pairEncoder struct {
 	// cache and not yet run on this solver; replayPending runs them before
 	// the next fresh solve to restore solver-state parity.
 	pending [][2]logic.Sym
+	// tainted marks an encoder whose solver exhausted a budget: its search
+	// state no longer matches a fresh oracle's, so it must neither consume
+	// nor produce history-keyed cache entries (see detector.solveCycle).
+	tainted bool
 	// assume is the reusable assumption buffer for the witness loop's
 	// SolveAssuming calls.
 	assume [2]sat.Lit

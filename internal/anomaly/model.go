@@ -134,7 +134,27 @@ func (a AccessPair) String() string {
 		a.Txn, a.C1, a.F1, a.C2, a.F2, a.Kind, a.Witness.Txn, a.Witness.D1, a.Witness.D2)
 }
 
+// UnknownPair names an access pair whose verdict a budgeted detection
+// could not establish: no witness proved it anomalous, but at least one of
+// its cycle queries ran out of solve budget, so it cannot be claimed clean
+// either.
+type UnknownPair struct {
+	Txn string
+	C1  string
+	C2  string
+}
+
 // Report is the detector's output.
+//
+// Degraded reports: a budgeted detection that exhausted at least one solve
+// is partial. What it still soundly claims (Nagar & Jagannathan's framing
+// for partial weak-consistency detection): every pair in Pairs is a real
+// anomaly — budgeted SAT answers come with a genuine model, and budgeted
+// UNSAT answers are genuine refutations, so exhaustion only ever *removes*
+// pairs from the report, never invents them. Pairs absent from both Pairs
+// and UnknownPairs are proven clean. Pairs in UnknownPairs are unresolved —
+// callers must treat them as possibly anomalous (the repair pipeline skips
+// them rather than claiming them repaired).
 type Report struct {
 	Model   Model
 	Pairs   []AccessPair
@@ -144,6 +164,15 @@ type Report struct {
 	// from its cache, so Solved <= Queries. State-parity replays are not
 	// included here — see SessionStats.Replayed.
 	Solved int
+	// Degraded is set when any solve exhausted its budget; the report is
+	// then a sound under-approximation (see the type comment).
+	Degraded bool
+	// Unknown is len(UnknownPairs): access pairs left unclassified.
+	Unknown int
+	// UnknownPairs lists the pairs whose verdict ran out of budget.
+	UnknownPairs []UnknownPair
+	// Exhausted counts the individual budget-exhausted SAT solves.
+	Exhausted int
 }
 
 // PairsByTxn groups the anomalous pairs by transaction name.

@@ -9,6 +9,7 @@ import (
 	"atropos/internal/ast"
 	"atropos/internal/logic"
 	"atropos/internal/pool"
+	"atropos/internal/sat"
 )
 
 // DetectSession is the incremental anomaly-detection engine. It answers the
@@ -50,6 +51,12 @@ type DetectSession struct {
 	// no solve, and no cache key, but cached cycle results only carry a
 	// Schedule if their first (cache-missing) asker recorded one.
 	record bool
+	// budget, when limited, bounds every SAT solve the session's detectors
+	// issue (see SetSolveBudget). Degraded per-transaction results are
+	// never stored in the fingerprint cache, and unknown verdicts are never
+	// stored in the query cache, so a later unbudgeted (or more generously
+	// budgeted) detection re-solves exactly the work that was cut short.
+	budget sat.Budget
 
 	mu      sync.Mutex
 	txns    map[uint64]txnEntry
@@ -148,6 +155,13 @@ func (s *DetectSession) RecordWitnesses() { s.record = true }
 // cached results from a non-recording session carry no schedules.
 func (s *DetectSession) Recording() bool { return s.record }
 
+// SetSolveBudget bounds every SAT solve of subsequent Detect calls by b
+// (sat.Budget semantics; the zero budget removes the bound). Budgeted
+// detections may return Degraded reports; their partial results never
+// enter the session's caches, so flipping the budget between calls is
+// always sound. Set it between Detect calls, not during one.
+func (s *DetectSession) SetSolveBudget(b sat.Budget) { s.budget = b }
+
 // Stats returns a snapshot of the session's aggregate cache statistics.
 func (s *DetectSession) Stats() SessionStats {
 	s.mu.Lock()
@@ -199,7 +213,9 @@ func (s *DetectSession) DetectContext(ctx context.Context, prog *ast.Program) (*
 	}
 	type txnOut struct {
 		pairs                    []AccessPair
+		unknown                  []UnknownPair
 		issued, solved, replayed int
+		exhausted                int
 	}
 	outs := make([]txnOut, n)
 	err := pool.ForEach(pool.Workers(s.parallelism), n, func(i int) error {
@@ -211,15 +227,20 @@ func (s *DetectSession) DetectContext(ctx context.Context, prog *ast.Program) (*
 			outs[i] = txnOut{pairs: e.pairs, issued: e.issued}
 			return nil
 		}
-		d := &detector{prog: prog, model: s.model, encoders: map[[2]string]*pairEncoder{}, session: s, record: s.record}
+		d := &detector{prog: prog, model: s.model, encoders: map[[2]string]*pairEncoder{}, session: s, record: s.record, budget: s.budget}
 		d.setContext(ctx)
 		pairs, err := d.detectTxn(prog.Txns[i])
 		d.releaseEncoders()
 		if err != nil {
 			return err
 		}
-		s.storeTxn(fp, txnEntry{pairs: pairs, issued: d.issued})
-		outs[i] = txnOut{pairs: pairs, issued: d.issued, solved: d.solved, replayed: d.replayed}
+		// Degraded results are partial, so only complete detections enter
+		// the fingerprint cache: a cached entry must equal what a fresh
+		// unbudgeted oracle would report.
+		if d.exhausted == 0 {
+			s.storeTxn(fp, txnEntry{pairs: pairs, issued: d.issued})
+		}
+		outs[i] = txnOut{pairs: pairs, unknown: d.unknownPairs, issued: d.issued, solved: d.solved, replayed: d.replayed, exhausted: d.exhausted}
 		return nil
 	})
 	if err != nil {
@@ -229,10 +250,14 @@ func (s *DetectSession) DetectContext(ctx context.Context, prog *ast.Program) (*
 	replayed := 0
 	for _, o := range outs {
 		report.Pairs = append(report.Pairs, o.pairs...)
+		report.UnknownPairs = append(report.UnknownPairs, o.unknown...)
 		report.Queries += o.issued
 		report.Solved += o.solved
+		report.Exhausted += o.exhausted
 		replayed += o.replayed
 	}
+	report.Unknown = len(report.UnknownPairs)
+	report.Degraded = report.Exhausted > 0
 	s.mu.Lock()
 	s.stats.Queries += report.Queries
 	s.stats.Solved += report.Solved

@@ -5,6 +5,7 @@ import (
 
 	"atropos/internal/ast"
 	"atropos/internal/logic"
+	"atropos/internal/sat"
 )
 
 // This file implements witness-schedule extraction: when a detector opts in
@@ -116,7 +117,14 @@ func DetectWitnessed(prog *ast.Program, model Model) (*Report, error) {
 // DetectWitnessedContext is DetectWitnessed with cancellation, mirroring
 // DetectContext.
 func DetectWitnessedContext(ctx context.Context, prog *ast.Program, model Model) (*Report, error) {
-	d := &detector{prog: prog, model: model, encoders: map[[2]string]*pairEncoder{}, record: true}
+	return DetectWitnessedBudgeted(ctx, prog, model, sat.Budget{})
+}
+
+// DetectWitnessedBudgeted is DetectWitnessedContext with a per-solve
+// resource budget, mirroring DetectBudgeted: exhausted solves degrade the
+// report instead of failing it, and a zero budget is byte-identical.
+func DetectWitnessedBudgeted(ctx context.Context, prog *ast.Program, model Model, b sat.Budget) (*Report, error) {
+	d := &detector{prog: prog, model: model, encoders: map[[2]string]*pairEncoder{}, record: true, budget: b}
 	d.setContext(ctx)
 	return runDetector(d)
 }

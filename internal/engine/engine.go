@@ -33,6 +33,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"atropos/internal/anomaly"
 	"atropos/internal/ast"
@@ -43,8 +44,17 @@ import (
 )
 
 // ErrOverloaded reports an admission rejection: every worker slot is busy
-// and the wait queue is full. Callers should back off and retry.
+// and the wait queue is full (or the request was shed after waiting past
+// the queue-wait ceiling). Callers should back off and retry after
+// RetryAfter.
 var ErrOverloaded = errors.New("engine: overloaded (worker queue full)")
+
+// ErrCircuitOpen reports a per-client circuit-breaker fast-fail: the
+// client's recent requests repeatedly exhausted their resource budgets, so
+// the engine rejects further ones without consuming a slot until the
+// cooldown passes. Callers should reduce their budget pressure (smaller
+// programs, larger budgets) before retrying.
+var ErrCircuitOpen = errors.New("engine: circuit open (repeated budget exhaustions)")
 
 // Config sizes an Engine.
 type Config struct {
@@ -57,6 +67,32 @@ type Config struct {
 	// Sessions caps the per-(client, model, recording) DetectSession LRU;
 	// <= 0 selects 64.
 	Sessions int
+	// MaxQueueWait is the CoDel-style queue-wait ceiling: a request still
+	// waiting for a worker slot after this long is shed with ErrOverloaded
+	// instead of going stale in the queue (its client's deadline budget is
+	// mostly spent by then anyway). 0 selects 30s; negative disables the
+	// ceiling.
+	MaxQueueWait time.Duration
+	// BreakerTrip is how many consecutive degraded (budget-exhausted)
+	// results open a client's circuit breaker; 0 selects 3, negative
+	// disables the breaker.
+	BreakerTrip int
+	// BreakerCooldown is how long an open breaker fast-fails the client
+	// before admitting a half-open probe; <= 0 selects 10s.
+	BreakerCooldown time.Duration
+	// Hooks instruments request execution for the deterministic
+	// service-chaos harness; nil costs nothing.
+	Hooks *Hooks
+}
+
+// Hooks are test/chaos instrumentation points. All hooks run on request
+// goroutines; they must be safe for concurrent use.
+type Hooks struct {
+	// Exec runs inside the request's worker slot, after admission and the
+	// panic guard are in place and before the verb body. It may stall (to
+	// hold slots and build queue depth) or panic (to exercise the guard) —
+	// exactly the faults exp.RunServiceChaos injects.
+	Exec func(verb, client string)
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +104,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Sessions <= 0 {
 		c.Sessions = 64
+	}
+	if c.MaxQueueWait == 0 {
+		c.MaxQueueWait = 30 * time.Second
+	}
+	if c.BreakerTrip == 0 {
+		c.BreakerTrip = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
 	}
 	return c
 }
@@ -113,6 +158,27 @@ type Engine struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+
+	// Overload-control state (see acquire, RetryAfter, breaker*).
+	shed             atomic.Int64
+	degraded         atomic.Int64
+	exhaustions      atomic.Int64
+	breakerTrips     atomic.Int64
+	breakerFastFails atomic.Int64
+	ewmaNs           atomic.Int64 // service-time EWMA, nanoseconds; 0 = no observation yet
+
+	bmu      sync.Mutex
+	breakers map[string]*breaker
+}
+
+// breaker is one client's circuit-breaker state: consec counts consecutive
+// degraded results; a non-zero openUntil means the circuit is open
+// (fast-failing) until that instant, after which the first check switches
+// it to half-open — one more degraded result re-opens it immediately, a
+// clean one closes it.
+type breaker struct {
+	consec    int
+	openUntil time.Time
 }
 
 // New builds an engine from cfg (zero value: GOMAXPROCS workers, 4×queue,
@@ -120,11 +186,12 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	return &Engine{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.Workers),
-		lru:   list.New(),
-		byKey: map[sessionKey]*list.Element{},
-		free:  map[sessionFlavor][]*anomaly.DetectSession{},
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		lru:      list.New(),
+		byKey:    map[sessionKey]*list.Element{},
+		free:     map[sessionFlavor][]*anomaly.DetectSession{},
+		breakers: map[string]*breaker{},
 	}
 }
 
@@ -153,9 +220,22 @@ func (e *Engine) acquire(ctx context.Context) error {
 		}
 	}
 	defer e.queued.Add(-1)
+	// CoDel-style staleness ceiling: a waiter this old has burned most of
+	// its client's deadline budget in line, so shedding it (and letting the
+	// client retry against a shorter queue) beats serving it late.
+	var shed <-chan time.Time
+	if e.cfg.MaxQueueWait > 0 {
+		t := time.NewTimer(e.cfg.MaxQueueWait)
+		defer t.Stop()
+		shed = t.C
+	}
 	select {
 	case e.sem <- struct{}{}:
 		return nil
+	case <-shed:
+		e.shed.Add(1)
+		e.rejected.Add(1)
+		return fmt.Errorf("%w (shed after waiting %s)", ErrOverloaded, e.cfg.MaxQueueWait)
 	case <-ctx.Done():
 		e.canceled.Add(1)
 		return ctx.Err()
@@ -164,9 +244,10 @@ func (e *Engine) acquire(ctx context.Context) error {
 
 func (e *Engine) release() { <-e.sem }
 
-// finish folds one executed request into the counters and passes its error
-// through.
-func (e *Engine) finish(err error) error {
+// finish folds one executed request into the counters, feeds the
+// service-time EWMA, and passes its error through.
+func (e *Engine) finish(start time.Time, err error) error {
+	e.observeService(time.Since(start))
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		e.canceled.Add(1)
 	} else {
@@ -175,15 +256,126 @@ func (e *Engine) finish(err error) error {
 	return err
 }
 
+// ewmaWeight is the EWMA smoothing numerator out of ewmaDenom: each new
+// observation contributes 20%, so the estimate tracks load shifts within a
+// handful of requests without jittering on one outlier.
+const (
+	ewmaWeight = 1
+	ewmaDenom  = 5
+)
+
+// observeService folds one request's service time into the EWMA. Lock-free:
+// concurrent finishers CAS, and a lost race simply re-folds against the
+// winner's estimate.
+func (e *Engine) observeService(d time.Duration) {
+	ns := int64(d)
+	if ns < 1 {
+		ns = 1
+	}
+	for {
+		old := e.ewmaNs.Load()
+		next := ns // first observation seeds the estimate directly
+		if old != 0 {
+			next = old + (ns-old)*ewmaWeight/ewmaDenom
+			if next < 1 {
+				next = 1
+			}
+		}
+		if e.ewmaNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// RetryAfter estimates how long a rejected client should back off: the
+// current queue (plus itself) worked off at the observed service rate across
+// the worker pool, clamped to [1s, 60s]. With no observations yet it
+// defaults to 1s.
+func (e *Engine) RetryAfter() time.Duration {
+	ewma := e.ewmaNs.Load()
+	if ewma == 0 {
+		return time.Second
+	}
+	wait := time.Duration((e.queued.Load() + 1) * ewma / int64(e.cfg.Workers))
+	if wait < time.Second {
+		return time.Second
+	}
+	if wait > time.Minute {
+		return time.Minute
+	}
+	return wait
+}
+
 // guard converts a panic inside one request's body into an error return,
 // so a single poisoned request cannot take down the daemon or leak its
 // worker slot (release is deferred after guard, so it still runs). The
 // panicking request's session is deliberately NOT checked back in — its
 // caches may be mid-mutation — which is why the verbs check sessions in
 // inline after the body returns rather than via defer.
-func (e *Engine) guard(err *error) {
+func (e *Engine) guard(start time.Time, err *error) {
 	if v := recover(); v != nil {
-		*err = e.finish(fmt.Errorf("engine: internal panic: %v\n%s", v, debug.Stack()))
+		*err = e.finish(start, fmt.Errorf("engine: internal panic: %v\n%s", v, debug.Stack()))
+	}
+}
+
+// execHook runs the chaos instrumentation point, if any.
+func (e *Engine) execHook(verb, client string) {
+	if e.cfg.Hooks != nil && e.cfg.Hooks.Exec != nil {
+		e.cfg.Hooks.Exec(verb, client)
+	}
+}
+
+// breakerCheck gates admission on the client's circuit breaker: an open
+// circuit fast-fails without consuming a slot; one past its cooldown flips
+// to half-open — the next request runs as a probe, but a single further
+// degraded result re-opens the circuit (consec resumes at trip-1).
+func (e *Engine) breakerCheck(client string) error {
+	if client == "" || e.cfg.BreakerTrip < 0 {
+		return nil
+	}
+	now := time.Now()
+	e.bmu.Lock()
+	defer e.bmu.Unlock()
+	b := e.breakers[client]
+	if b == nil || b.openUntil.IsZero() {
+		return nil
+	}
+	if now.Before(b.openUntil) {
+		e.breakerFastFails.Add(1)
+		e.rejected.Add(1)
+		return fmt.Errorf("%w (client %q, retry after %s)", ErrCircuitOpen, client, time.Until(b.openUntil).Round(time.Millisecond))
+	}
+	// Cooldown passed: half-open.
+	b.openUntil = time.Time{}
+	b.consec = e.cfg.BreakerTrip - 1
+	return nil
+}
+
+// breakerResult folds one completed request's degradation verdict into the
+// client's breaker: a clean result closes (and forgets) it; consecutive
+// degraded results up to the trip threshold open it for the cooldown.
+func (e *Engine) breakerResult(client string, degraded bool) {
+	if client == "" || e.cfg.BreakerTrip < 0 {
+		return
+	}
+	e.bmu.Lock()
+	defer e.bmu.Unlock()
+	if !degraded {
+		delete(e.breakers, client)
+		return
+	}
+	b := e.breakers[client]
+	if b == nil {
+		b = &breaker{}
+		e.breakers[client] = b
+	}
+	if !b.openUntil.IsZero() {
+		return // already open; a straggler's verdict changes nothing
+	}
+	b.consec++
+	if b.consec >= e.cfg.BreakerTrip {
+		b.openUntil = time.Now().Add(e.cfg.BreakerCooldown)
+		e.breakerTrips.Add(1)
 	}
 }
 
@@ -258,14 +450,20 @@ func (e *Engine) Parse(src string) (*ast.Program, error) {
 // related programs only re-solves what changed.
 func (e *Engine) Analyze(ctx context.Context, prog *ast.Program, model anomaly.Model, opts ...repair.Option) (rep *anomaly.Report, err error) {
 	o := repair.BuildOptions(opts...)
+	if err := e.breakerCheck(o.Client); err != nil {
+		return nil, err
+	}
 	if err := e.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer e.release()
-	defer e.guard(&err)
+	start := time.Now()
+	defer e.guard(start, &err)
+	e.execHook("analyze", o.Client)
 	if o.Client == "" || !o.Incremental {
-		rep, err := anomaly.DetectContext(ctx, prog, model)
-		return rep, e.finish(err)
+		rep, derr := anomaly.DetectBudgeted(ctx, prog, model, o.SolveBudget)
+		e.noteReport(o.Client, rep, derr)
+		return rep, e.finish(start, derr)
 	}
 	k := sessionKey{client: o.Client, model: model, record: o.Certify}
 	s := e.checkout(k)
@@ -276,20 +474,60 @@ func (e *Engine) Analyze(ctx context.Context, prog *ast.Program, model anomaly.M
 		par = 1
 	}
 	s.SetParallelism(par)
+	s.SetSolveBudget(o.SolveBudget)
 	rep, derr := s.DetectContext(ctx, prog)
 	e.checkin(k, s)
-	return rep, e.finish(derr)
+	e.noteReport(o.Client, rep, derr)
+	return rep, e.finish(start, derr)
+}
+
+// noteReport folds a detection verdict into the degradation counters and
+// the client's breaker.
+func (e *Engine) noteReport(client string, rep *anomaly.Report, err error) {
+	degraded := err == nil && rep != nil && rep.Degraded
+	if degraded {
+		e.degraded.Add(1)
+		e.exhaustions.Add(int64(rep.Exhausted))
+	}
+	if err == nil {
+		e.breakerResult(client, degraded)
+	}
+}
+
+// noteResult is noteReport's twin for full repair results.
+func (e *Engine) noteResult(client string, res *repair.Result, err error) {
+	degraded := err == nil && res != nil && res.Degraded
+	if degraded {
+		e.degraded.Add(1)
+		e.exhaustions.Add(int64(res.Exhausted))
+	}
+	if err == nil {
+		e.breakerResult(client, degraded)
+	}
 }
 
 // Repair runs the full repair pipeline under model. With a Client option
 // the pipeline's detection passes run through that client's cached session.
 func (e *Engine) Repair(ctx context.Context, prog *ast.Program, model anomaly.Model, opts ...repair.Option) (res *repair.Result, err error) {
 	o := repair.BuildOptions(opts...)
+	if err := e.breakerCheck(o.Client); err != nil {
+		return nil, err
+	}
 	if err := e.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer e.release()
-	defer e.guard(&err)
+	start := time.Now()
+	defer e.guard(start, &err)
+	e.execHook("repair", o.Client)
+	// A request deadline with no explicit stage split gets the default one,
+	// so a single slow stage degrades softly instead of eating the whole
+	// allowance and erroring at the end.
+	if o.Stages == (repair.StageDeadlines{}) {
+		if dl, ok := ctx.Deadline(); ok {
+			o.Stages = repair.Split(time.Until(dl))
+		}
+	}
 	var k sessionKey
 	var s *anomaly.DetectSession
 	if o.Client != "" && o.Incremental && o.Session == nil {
@@ -303,7 +541,8 @@ func (e *Engine) Repair(ctx context.Context, prog *ast.Program, model anomaly.Mo
 		// leave the session's caches mid-mutation.
 		e.checkin(k, s)
 	}
-	return res, e.finish(rerr)
+	e.noteResult(o.Client, res, rerr)
+	return res, e.finish(start, rerr)
 }
 
 // Certify detects with witness recording and replays every reported pair
@@ -313,9 +552,11 @@ func (e *Engine) Certify(ctx context.Context, prog *ast.Program, model anomaly.M
 		return nil, nil, err
 	}
 	defer e.release()
-	defer e.guard(&err)
+	start := time.Now()
+	defer e.guard(start, &err)
+	e.execHook("certify", "")
 	cert, rep, cerr := replay.CertifyModelContext(ctx, prog, model)
-	return cert, rep, e.finish(cerr)
+	return cert, rep, e.finish(start, cerr)
 }
 
 // Simulate runs one cluster deployment configuration. The simulator is
@@ -326,12 +567,14 @@ func (e *Engine) Simulate(ctx context.Context, cfg cluster.Config) (res cluster.
 		return cluster.Result{}, err
 	}
 	defer e.release()
-	defer e.guard(&err)
+	start := time.Now()
+	defer e.guard(start, &err)
+	e.execHook("simulate", "")
 	if err := ctx.Err(); err != nil {
-		return cluster.Result{}, e.finish(err)
+		return cluster.Result{}, e.finish(start, err)
 	}
 	res, serr := cluster.Run(cfg)
-	return res, e.finish(serr)
+	return res, e.finish(start, serr)
 }
 
 // Stats is a point-in-time snapshot of the engine's counters.
@@ -343,10 +586,25 @@ type Stats struct {
 	Queued   int `json:"queued"`
 	// Completed counts requests that ran to an answer (including
 	// application errors); Canceled counts context aborts — at admission or
-	// mid-solve; Rejected counts ErrOverloaded admissions.
+	// mid-solve; Rejected counts every fast-failed admission (queue-full,
+	// shed, and breaker rejections included).
 	Completed int64 `json:"completed"`
 	Canceled  int64 `json:"canceled"`
 	Rejected  int64 `json:"rejected"`
+	// Overload-control counters: Shed counts waiters evicted past the
+	// queue-wait ceiling; Degraded counts requests answered partially after
+	// budget/deadline exhaustion; BudgetExhaustions totals the individual
+	// exhausted solves behind them; the Breaker* trio tracks the per-client
+	// circuit breakers (BreakerOpen is an instantaneous gauge).
+	Shed              int64 `json:"shed"`
+	Degraded          int64 `json:"degraded"`
+	BudgetExhaustions int64 `json:"budget_exhaustions"`
+	BreakerTrips      int64 `json:"breaker_trips"`
+	BreakerFastFails  int64 `json:"breaker_fast_fails"`
+	BreakerOpen       int   `json:"breaker_open"`
+	// ServiceTimeEwmaMs is the smoothed per-request service time feeding
+	// Retry-After. Informational: timing-dependent, so never drift-compared.
+	ServiceTimeEwmaMs float64 `json:"service_time_ewma_ms"`
 	// Session cache counters.
 	SessionHits      int64 `json:"session_hits"`
 	SessionMisses    int64 `json:"session_misses"`
@@ -368,17 +626,33 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	cached := e.lru.Len()
 	e.mu.Unlock()
+	open := 0
+	now := time.Now()
+	e.bmu.Lock()
+	for _, b := range e.breakers {
+		if !b.openUntil.IsZero() && now.Before(b.openUntil) {
+			open++
+		}
+	}
+	e.bmu.Unlock()
 	return Stats{
-		Workers:          e.cfg.Workers,
-		QueueDepth:       e.cfg.QueueDepth,
-		InFlight:         len(e.sem),
-		Queued:           int(e.queued.Load()),
-		Completed:        e.completed.Load(),
-		Canceled:         e.canceled.Load(),
-		Rejected:         e.rejected.Load(),
-		SessionHits:      e.hits.Load(),
-		SessionMisses:    e.misses.Load(),
-		SessionEvictions: e.evictions.Load(),
-		CachedSessions:   cached,
+		Workers:           e.cfg.Workers,
+		QueueDepth:        e.cfg.QueueDepth,
+		InFlight:          len(e.sem),
+		Queued:            int(e.queued.Load()),
+		Completed:         e.completed.Load(),
+		Canceled:          e.canceled.Load(),
+		Rejected:          e.rejected.Load(),
+		Shed:              e.shed.Load(),
+		Degraded:          e.degraded.Load(),
+		BudgetExhaustions: e.exhaustions.Load(),
+		BreakerTrips:      e.breakerTrips.Load(),
+		BreakerFastFails:  e.breakerFastFails.Load(),
+		BreakerOpen:       open,
+		ServiceTimeEwmaMs: float64(e.ewmaNs.Load()) / 1e6,
+		SessionHits:       e.hits.Load(),
+		SessionMisses:     e.misses.Load(),
+		SessionEvictions:  e.evictions.Load(),
+		CachedSessions:    cached,
 	}
 }

@@ -87,6 +87,11 @@ type Baseline struct {
 	// benchmark × fault scenario × deployment (see chaos.go). Virtual-time
 	// deterministic, so the drift gate compares every column.
 	Chaos []ChaosRow `json:"chaos,omitempty"`
+	// ServiceChaos is the scripted service-fault panel (servicechaos.go):
+	// admission, shed, degradation, breaker, and panic counters under
+	// deterministic daemon-side fault injection. Every count column is
+	// drift-gated.
+	ServiceChaos *ServiceChaosResult `json:"service_chaos,omitempty"`
 	// Table1 compares the sequential and parallel corpus pipelines.
 	Table1 Table1Baseline `json:"table1"`
 	// Panels is one Fig. 12 deployment point per benchmark × mode.
@@ -296,6 +301,15 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 		return nil, err
 	}
 	out.Chaos = chaos.Rows
+
+	// Service-chaos panel: scripted daemon-side faults against one live
+	// engine. The script fixes every request's fate, so all counters are
+	// exact and drift-gated.
+	sc, err := RunServiceChaos(ServiceChaosConfig{})
+	if err != nil {
+		return nil, err
+	}
+	out.ServiceChaos = sc
 
 	if cfg.CountsOnly {
 		return out, nil

@@ -143,6 +143,37 @@ func CountDrift(got, want *Baseline) []string {
 			}
 		}
 	}
+	// Service-chaos counters are scripted-deterministic end to end, so every
+	// count column is compared. An absent section marks a pre-service-chaos
+	// baseline, which is not itself drift.
+	if want.ServiceChaos != nil && got.ServiceChaos != nil {
+		check := func(field string, gv, wv int64) {
+			if gv != wv {
+				drift = append(drift, fmt.Sprintf("service_chaos: %s = %d, baseline %d", field, gv, wv))
+			}
+		}
+		g, w := got.ServiceChaos, want.ServiceChaos
+		check("workers", int64(g.Workers), int64(w.Workers))
+		check("queue_depth", int64(g.QueueDepth), int64(w.QueueDepth))
+		check("stall_completed", int64(g.StallCompleted), int64(w.StallCompleted))
+		check("queue_rejected", int64(g.QueueRejected), int64(w.QueueRejected))
+		check("queue_shed", int64(g.QueueShed), int64(w.QueueShed))
+		check("breaker_degraded", int64(g.BreakerDegraded), int64(w.BreakerDegraded))
+		check("breaker_unknown", int64(g.BreakerUnknown), int64(w.BreakerUnknown))
+		check("breaker_trips", g.BreakerTrips, w.BreakerTrips)
+		check("breaker_fast_fails", int64(g.BreakerFastFails), int64(w.BreakerFastFails))
+		check("panics_recovered", int64(g.PanicsRecovered), int64(w.PanicsRecovered))
+		check("recovery_completed", int64(g.RecoveryCompleted), int64(w.RecoveryCompleted))
+		check("recovery_degraded", int64(g.RecoveryDegraded), int64(w.RecoveryDegraded))
+		check("engine_completed", g.EngineCompleted, w.EngineCompleted)
+		check("engine_rejected", g.EngineRejected, w.EngineRejected)
+		check("engine_shed", g.EngineShed, w.EngineShed)
+		check("engine_degraded", g.EngineDegraded, w.EngineDegraded)
+		check("engine_exhaustions", g.EngineExhaustions, w.EngineExhaustions)
+		check("final_in_flight", int64(g.FinalInFlight), int64(w.FinalInFlight))
+		check("final_queued", int64(g.FinalQueued), int64(w.FinalQueued))
+		check("breaker_open", int64(g.BreakerOpen), int64(w.BreakerOpen))
+	}
 	// Corpus anomaly totals are deterministic (fixed progen seeds) and
 	// engine-independent; a zero Programs count marks a pre-corpus
 	// baseline, which is not itself drift.

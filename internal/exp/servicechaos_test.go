@@ -1,0 +1,36 @@
+package exp
+
+import "testing"
+
+// TestServiceChaos runs the full scripted fault sequence and holds it to
+// the gate: stalls drain, overload sheds, the breaker trips exactly once,
+// the injected panic is contained, and the engine recovers.
+func TestServiceChaos(t *testing.T) {
+	res, err := RunServiceChaos(ServiceChaosConfig{})
+	if err != nil {
+		t.Fatalf("RunServiceChaos: %v", err)
+	}
+	for _, f := range ServiceChaosGate(res) {
+		t.Error(f)
+	}
+	if t.Failed() {
+		t.Logf("\n%s", res.Format())
+	}
+}
+
+// TestServiceChaosDeterministic: two runs produce identical count columns —
+// the property that lets BENCH_baseline.json pin them.
+func TestServiceChaosDeterministic(t *testing.T) {
+	a, err := RunServiceChaos(ServiceChaosConfig{})
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	b, err := RunServiceChaos(ServiceChaosConfig{})
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	a.Wall, b.Wall = 0, 0
+	if *a != *b {
+		t.Errorf("service-chaos counts differ across runs:\nrun1: %+v\nrun2: %+v", a, b)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"atropos/internal/ast"
 	"atropos/internal/refactor"
 	"atropos/internal/replay"
+	"atropos/internal/sat"
 )
 
 // Result is the outcome of a repair run.
@@ -51,6 +52,26 @@ type Result struct {
 	// pipeline so every entry point (context-first, legacy wrappers, the
 	// service) reports the same number.
 	Elapsed time.Duration
+
+	// Degraded is set when the run was cut short by a resource bound — a
+	// SAT solve budget (Options.SolveBudget) or a per-stage deadline
+	// (Options.Stages) — and the result is therefore partial. What a
+	// degraded result still soundly claims: Program is a valid refactoring
+	// of the input, every pair in Initial/Remaining is a real anomaly, and
+	// running SerializableTxns under SC removes every anomaly the run knew
+	// about or could not rule out (unknown-verdict transactions are
+	// conservatively included). Only completeness is lost: some pairs may
+	// have gone undetected or unrepaired.
+	Degraded bool
+	// DegradedStages names the pipeline stages whose deadline allowance
+	// expired: "detect", "repair", "certify" (budget-exhausted SAT solves
+	// set Degraded and the counters below without naming a stage).
+	DegradedStages []string
+	// Unknown counts access pairs whose verdict ran out of solve budget
+	// across the detection passes; Exhausted the individual
+	// budget-exhausted SAT solves.
+	Unknown   int
+	Exhausted int
 
 	// stepBuf is the reused formatting scratch behind stepf: the pair loop
 	// logs one step per access pair, and formatting each into a fresh
@@ -97,6 +118,41 @@ type Options struct {
 	// Client is an opaque caller identity, carried for the service layer's
 	// session keying and logs; the pipeline itself ignores it.
 	Client string
+	// SolveBudget bounds every SAT solve of the pipeline's detection
+	// passes (sat.Budget semantics; the zero budget is unlimited and
+	// byte-identical to an unbudgeted run). Budget-exhausted solves
+	// degrade the result instead of failing the request.
+	SolveBudget sat.Budget
+	// Stages splits the run into per-stage deadline allowances so one slow
+	// stage degrades instead of consuming the caller's whole deadline.
+	// Zero fields leave the stage bounded only by ctx.
+	Stages StageDeadlines
+}
+
+// StageDeadlines carves a request deadline into per-stage allowances. The
+// three detection passes share Detect (each pass draws on what the earlier
+// ones left); the pair-repair loop stops starting new pairs once Repair is
+// spent; certificate replay is cut off after Certify, returning a partial
+// certificate. An expired stage marks the Result degraded — it never fails
+// the request (the caller's own ctx still aborts everything).
+type StageDeadlines struct {
+	Detect  time.Duration
+	Repair  time.Duration
+	Certify time.Duration
+}
+
+// Split carves a total deadline into the default stage proportions: 55%
+// detect, 25% repair, 20% certify. The engine applies it to a request's
+// remaining deadline when the caller set no explicit stages.
+func Split(total time.Duration) StageDeadlines {
+	if total <= 0 {
+		return StageDeadlines{}
+	}
+	return StageDeadlines{
+		Detect:  total * 55 / 100,
+		Repair:  total * 25 / 100,
+		Certify: total * 20 / 100,
+	}
 }
 
 // Option is a functional setting for Run, the context-first entry point.
@@ -118,6 +174,12 @@ func Session(s *anomaly.DetectSession) Option { return func(o *Options) { o.Sess
 
 // Client tags the run with a caller identity (see Options.Client).
 func Client(id string) Option { return func(o *Options) { o.Client = id } }
+
+// SolveBudget bounds every detection SAT solve (see Options.SolveBudget).
+func SolveBudget(b sat.Budget) Option { return func(o *Options) { o.SolveBudget = b } }
+
+// Stages installs per-stage deadline allowances (see Options.Stages).
+func Stages(s StageDeadlines) Option { return func(o *Options) { o.Stages = s } }
 
 // BuildOptions folds functional options over the default configuration
 // (incremental detection on). The service layer uses it to inspect options
@@ -152,9 +214,13 @@ func RepairWith(prog *ast.Program, model anomaly.Model, opts Options) (*Result, 
 // RunWith is Run with a pre-built Options value.
 func RunWith(ctx context.Context, prog *ast.Program, model anomaly.Model, opts Options) (*Result, error) {
 	start := time.Now()
-	detect := func(p *ast.Program) (*anomaly.Report, error) { return anomaly.DetectContext(ctx, p, model) }
+	detect := func(ctx context.Context, p *ast.Program) (*anomaly.Report, error) {
+		return anomaly.DetectBudgeted(ctx, p, model, opts.SolveBudget)
+	}
 	if opts.Certify {
-		detect = func(p *ast.Program) (*anomaly.Report, error) { return anomaly.DetectWitnessedContext(ctx, p, model) }
+		detect = func(ctx context.Context, p *ast.Program) (*anomaly.Report, error) {
+			return anomaly.DetectWitnessedBudgeted(ctx, p, model, opts.SolveBudget)
+		}
 	}
 	session := opts.Session
 	if session != nil {
@@ -176,7 +242,10 @@ func RunWith(ctx context.Context, prog *ast.Program, model anomaly.Model, opts O
 			par = 1
 		}
 		session.SetParallelism(par)
-		detect = func(p *ast.Program) (*anomaly.Report, error) { return session.DetectContext(ctx, p) }
+		session.SetSolveBudget(opts.SolveBudget)
+		detect = func(ctx context.Context, p *ast.Program) (*anomaly.Report, error) {
+			return session.DetectContext(ctx, p)
+		}
 	}
 
 	// Snapshot injected-session statistics so Result.Stats reports this
@@ -188,10 +257,86 @@ func RunWith(ctx context.Context, prog *ast.Program, model anomaly.Model, opts O
 	}
 
 	res := &Result{}
-	initial, err := detect(prog)
+	// degrade records one stage's allowance expiring; absorb folds one
+	// completed detection pass's budget-degradation into the result.
+	degrade := func(stage string) {
+		res.Degraded = true
+		if !slices.Contains(res.DegradedStages, stage) {
+			res.DegradedStages = append(res.DegradedStages, stage)
+		}
+	}
+	freshQueries := 0
+	absorb := func(rep *anomaly.Report) {
+		res.Degraded = res.Degraded || rep.Degraded
+		res.Unknown += rep.Unknown
+		res.Exhausted += rep.Exhausted
+		freshQueries += rep.Queries
+	}
+	// finish computes the run's stats and elapsed time; every return path
+	// (complete or degraded) goes through it.
+	finish := func() {
+		if session != nil {
+			after := session.Stats()
+			res.Stats = anomaly.SessionStats{
+				Queries:   after.Queries - statsBefore.Queries,
+				Solved:    after.Solved - statsBefore.Solved,
+				Replayed:  after.Replayed - statsBefore.Replayed,
+				QueryHits: after.QueryHits - statsBefore.QueryHits,
+				TxnHits:   after.TxnHits - statsBefore.TxnHits,
+				TxnMisses: after.TxnMisses - statsBefore.TxnMisses,
+			}
+		} else {
+			// The fresh oracle solves everything it issues.
+			res.Stats = anomaly.SessionStats{Queries: freshQueries, Solved: freshQueries}
+		}
+		res.Elapsed = time.Since(start)
+	}
+
+	// The three detection passes share the detect-stage allowance: each
+	// pass runs under a context bounded by what the earlier passes left.
+	// An expired stage is a soft outcome (expired=true), not an error —
+	// unless the caller's own ctx died, which always aborts the request.
+	detectRemaining := opts.Stages.Detect
+	runDetect := func(p *ast.Program) (rep *anomaly.Report, expired bool, err error) {
+		if opts.Stages.Detect <= 0 {
+			rep, err = detect(ctx, p)
+			return rep, false, err
+		}
+		if detectRemaining <= 0 {
+			return nil, true, nil
+		}
+		t0 := time.Now()
+		dctx, cancel := context.WithTimeout(ctx, detectRemaining)
+		rep, err = detect(dctx, p)
+		cancel()
+		detectRemaining -= time.Since(t0)
+		if err != nil {
+			if dctx.Err() != nil && ctx.Err() == nil {
+				return nil, true, nil
+			}
+			return nil, false, err
+		}
+		return rep, false, nil
+	}
+
+	initial, expired, err := runDetect(prog)
 	if err != nil {
 		return nil, err
 	}
+	if expired {
+		// The initial pass never finished: nothing is known, so degrade to
+		// the sound catch-all — leave the program untouched and run every
+		// transaction under SC.
+		degrade("detect")
+		res.Program = prog
+		for _, t := range prog.Txns {
+			res.SerializableTxns = append(res.SerializableTxns, t.Name)
+		}
+		res.stepf("detect stage expired before the initial pass; conservatively serializing all %d transactions", len(prog.Txns))
+		finish()
+		return res, nil
+	}
+	absorb(initial)
 	res.Initial = initial.Pairs
 
 	// The refactoring engine is functional (copy-on-write by default), so
@@ -201,17 +346,54 @@ func RunWith(ctx context.Context, prog *ast.Program, model anomaly.Model, opts O
 	p := preprocess(prog, initial.Pairs, res)
 
 	// Re-detect: preprocessing changed command labels (U4 → U4.1, U4.2).
-	rep, err := detect(p)
+	rep, expired, err := runDetect(p)
 	if err != nil {
 		return nil, err
 	}
-	for _, pair := range rep.Pairs {
+	if expired {
+		// Post-preprocessing pairs are unknown, so nothing can be repaired;
+		// serialize every transaction the initial pass found anomalous.
+		degrade("detect")
+		res.Program = p
+		seen := map[string]bool{}
+		for _, pair := range initial.Pairs {
+			if !seen[pair.Txn] {
+				seen[pair.Txn] = true
+				res.SerializableTxns = append(res.SerializableTxns, pair.Txn)
+			}
+		}
+		res.stepf("detect stage expired after preprocessing; conservatively serializing %d anomalous transactions", len(res.SerializableTxns))
+		finish()
+		return res, nil
+	}
+	absorb(rep)
+
+	// Pair-repair loop: the stage allowance is checked between pairs, so a
+	// slow refactoring degrades by skipping the tail instead of running
+	// the request's whole deadline down. Budget-unknown pairs are absent
+	// from rep.Pairs by construction — they are skipped, not failed.
+	var repairDeadline time.Time
+	if opts.Stages.Repair > 0 {
+		repairDeadline = time.Now().Add(opts.Stages.Repair)
+	}
+	for pi, pair := range rep.Pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !repairDeadline.IsZero() && time.Now().After(repairDeadline) {
+			degrade("repair")
+			res.stepf("repair stage expired; skipped %d unprocessed pairs", len(rep.Pairs)-pi)
+			break
+		}
 		if p2, desc, ok := tryRepair(p, pair, res); ok {
 			p = p2
 			res.stepf("repaired %s: %s", pair, desc)
 		} else {
 			res.stepf("unrepaired %s: %s", pair, desc)
 		}
+	}
+	if rep.Unknown > 0 {
+		res.stepf("skipped %d unknown pairs (solve budget exhausted during detection)", rep.Unknown)
 	}
 
 	moved := map[string]map[string]bool{}
@@ -223,41 +405,63 @@ func RunWith(ctx context.Context, prog *ast.Program, model anomaly.Model, opts O
 	}
 	p = postprocess(p, res, moved)
 
-	final, err := detect(p)
+	final, expired, err := runDetect(p)
 	if err != nil {
 		return nil, err
 	}
-	if session != nil {
-		after := session.Stats()
-		res.Stats = anomaly.SessionStats{
-			Queries:   after.Queries - statsBefore.Queries,
-			Solved:    after.Solved - statsBefore.Solved,
-			Replayed:  after.Replayed - statsBefore.Replayed,
-			QueryHits: after.QueryHits - statsBefore.QueryHits,
-			TxnHits:   after.TxnHits - statsBefore.TxnHits,
-			TxnMisses: after.TxnMisses - statsBefore.TxnMisses,
-		}
-	} else {
-		// The fresh oracle solves everything it issues.
-		fresh := initial.Queries + rep.Queries + final.Queries
-		res.Stats = anomaly.SessionStats{Queries: fresh, Solved: fresh}
-	}
 	res.Program = p
-	res.Remaining = final.Pairs
 	seen := map[string]bool{}
-	for _, pair := range final.Pairs {
-		if !seen[pair.Txn] {
-			seen[pair.Txn] = true
-			res.SerializableTxns = append(res.SerializableTxns, pair.Txn)
+	serialize := func(txn string) {
+		if !seen[txn] {
+			seen[txn] = true
+			res.SerializableTxns = append(res.SerializableTxns, txn)
+		}
+	}
+	if expired {
+		// The final pass never confirmed what the repairs eliminated:
+		// Remaining is unknown, so serialize every transaction the middle
+		// pass saw a (known or unknown) pair in.
+		degrade("detect")
+		for _, pair := range rep.Pairs {
+			serialize(pair.Txn)
+		}
+		for _, u := range rep.UnknownPairs {
+			serialize(u.Txn)
+		}
+		res.stepf("detect stage expired before the final pass; conservatively serializing %d transactions", len(res.SerializableTxns))
+	} else {
+		absorb(final)
+		res.Remaining = final.Pairs
+		for _, pair := range final.Pairs {
+			serialize(pair.Txn)
+		}
+		// Unknown-verdict pairs may be real anomalies: their transactions
+		// run under SC too, which keeps the degraded AT-SC deployment
+		// sound at the cost of serializing more than strictly necessary.
+		for _, u := range final.UnknownPairs {
+			serialize(u.Txn)
 		}
 	}
 	if opts.Certify {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res.Certificate = replay.CertifyRepair(prog, res.Program, initial, res.SerializableTxns)
+		cctx, cancel := ctx, func() {}
+		if opts.Stages.Certify > 0 {
+			cctx, cancel = context.WithTimeout(ctx, opts.Stages.Certify)
+		}
+		cert, complete := replay.CertifyRepairContext(cctx, prog, res.Program, initial, res.SerializableTxns)
+		cancel()
+		if !complete {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			degrade("certify")
+			res.stepf("certify stage expired; certificate covers %d of %d pairs", cert.Total, len(initial.Pairs))
+		}
+		res.Certificate = cert
 	}
-	res.Elapsed = time.Since(start)
+	finish()
 	return res, nil
 }
 

@@ -87,8 +87,19 @@ func (c *Certificate) Rate() float64 {
 // polarity can be taken. The first run whose dependency graph contains a
 // cycle through the pair's two commands certifies it.
 func Certify(prog *ast.Program, rep *anomaly.Report) *Certificate {
+	cert, _ := certifyContext(context.Background(), prog, rep)
+	return cert
+}
+
+// certifyContext is Certify with cooperative cancellation between pairs:
+// when ctx expires mid-run the certificate built so far is returned with
+// complete=false (its counts cover only the pairs processed).
+func certifyContext(ctx context.Context, prog *ast.Program, rep *anomaly.Report) (*Certificate, bool) {
 	cert := &Certificate{Model: rep.Model}
 	for _, pair := range rep.Pairs {
+		if ctx.Err() != nil {
+			return cert, false
+		}
 		cert.Total++
 		out := certifyPair(prog, pair)
 		if out.Lowered {
@@ -99,7 +110,7 @@ func Certify(prog *ast.Program, rep *anomaly.Report) *Certificate {
 		}
 		cert.Outcomes = append(cert.Outcomes, out)
 	}
-	return cert
+	return cert, true
 }
 
 // itemIdx finds instance 0's static command index for a command label.
@@ -217,12 +228,30 @@ type RepairCertificate struct {
 // original and the repaired program. stillAnomalous lists transactions the
 // repair left with residual pairs (repair.Result.SerializableTxns).
 func CertifyRepair(orig, repaired *ast.Program, rep *anomaly.Report, stillAnomalous []string) *RepairCertificate {
+	rc, _ := CertifyRepairContext(context.Background(), orig, repaired, rep, stillAnomalous)
+	return rc
+}
+
+// CertifyRepairContext is CertifyRepair with cooperative cancellation: ctx
+// is checked between pairs in both the positive-certificate ladder and the
+// negative-control replays. When it expires mid-run the partial
+// certificate built so far is returned with complete=false — its counts
+// cover only the pairs processed, so callers must label the result
+// degraded instead of holding it to the certification gates.
+func CertifyRepairContext(ctx context.Context, orig, repaired *ast.Program, rep *anomaly.Report, stillAnomalous []string) (*RepairCertificate, bool) {
 	partial := map[string]bool{}
 	for _, t := range stillAnomalous {
 		partial[t] = true
 	}
-	rc := &RepairCertificate{Certificate: Certify(orig, rep)}
+	cert, complete := certifyContext(ctx, orig, rep)
+	rc := &RepairCertificate{Certificate: cert}
+	if !complete {
+		return rc, false
+	}
 	for _, out := range rc.Outcomes {
+		if ctx.Err() != nil {
+			return rc, false
+		}
 		if !out.Lowered {
 			continue
 		}
@@ -269,5 +298,5 @@ func CertifyRepair(orig, repaired *ast.Program, rep *anomaly.Report, stillAnomal
 			rc.RepairedViolations++
 		}
 	}
-	return rc
+	return rc, true
 }

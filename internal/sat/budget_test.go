@@ -1,0 +1,216 @@
+package sat
+
+import "testing"
+
+// TestBudgetExhaustsSolve: a conflict budget far below what a hard UNSAT
+// instance needs must make Solve return false with Exhausted() true (and
+// Stopped() false) — an unknown, not a refutation.
+func TestBudgetExhaustsSolve(t *testing.T) {
+	s := pigeonhole(t, 9, 8)
+	s.SetBudget(Budget{Conflicts: 10})
+	if s.Solve() {
+		t.Fatal("PHP(9,8) reported SAT")
+	}
+	if !s.Exhausted() {
+		t.Fatal("Solve returned false without Exhausted(): refuted PHP(9,8) inside 10 conflicts?")
+	}
+	if s.Stopped() {
+		t.Fatal("budget exhaustion reads as Stopped()")
+	}
+}
+
+// TestZeroBudgetUnlimited: the zero Budget must not limit anything — the
+// solve runs to its real verdict with Exhausted() false.
+func TestZeroBudgetUnlimited(t *testing.T) {
+	if (Budget{}).Limited() {
+		t.Fatal("zero Budget reports Limited()")
+	}
+	s := pigeonhole(t, 5, 4)
+	s.SetBudget(Budget{})
+	if s.Solve() {
+		t.Fatal("PHP(5,4) reported SAT")
+	}
+	if s.Exhausted() {
+		t.Fatal("unlimited solve reports Exhausted()")
+	}
+}
+
+// TestBudgetRetryAfterExhaustion: lifting the budget and re-solving the same
+// solver must run to a real verdict with Exhausted() false — an exhausted
+// solve is retryable in place, like a stopped one.
+func TestBudgetRetryAfterExhaustion(t *testing.T) {
+	s := pigeonhole(t, 6, 5)
+	s.SetBudget(Budget{Conflicts: 2})
+	if s.Solve() || !s.Exhausted() {
+		t.Fatal("setup: first solve was not exhausted")
+	}
+	s.SetBudget(Budget{})
+	if s.Solve() {
+		t.Fatal("PHP(6,5) reported SAT on retry")
+	}
+	if s.Exhausted() {
+		t.Fatal("Exhausted() true after a completed retry")
+	}
+}
+
+// TestBudgetIsPerSolveDelta: the conflict allowance is snapshotted at each
+// Solve, so a sequence of solves on one solver each gets the full budget —
+// earlier solves' conflicts must not count against later ones.
+func TestBudgetIsPerSolveDelta(t *testing.T) {
+	s := pigeonhole(t, 4, 3) // refutable in well under 200 conflicts
+	s.SetBudget(Budget{Conflicts: 200})
+	if s.Solve() {
+		t.Fatal("PHP(4,3) reported SAT")
+	}
+	if s.Exhausted() {
+		t.Fatalf("PHP(4,3) exhausted a 200-conflict budget (%d conflicts)", s.Conflicts)
+	}
+	if s.Conflicts == 0 {
+		t.Skip("instance refuted without conflicts; delta semantics not exercised")
+	}
+	// Re-solving under assumptions re-runs a search; with an absolute cap the
+	// accumulated s.Conflicts from run one would eat the allowance.
+	for i := 0; i < 5; i++ {
+		if s.Solve() {
+			t.Fatal("PHP(4,3) reported SAT on re-solve")
+		}
+		if s.Exhausted() {
+			t.Fatalf("re-solve %d exhausted: budget charged across Solve calls (total conflicts %d)", i, s.Conflicts)
+		}
+	}
+}
+
+// TestArenaBudgetIsAbsolute: the arena ceiling is a memory bound, not a
+// delta — a solver whose clause database already exceeds it exhausts on the
+// next Solve before searching.
+func TestArenaBudgetIsAbsolute(t *testing.T) {
+	s := pigeonhole(t, 6, 5)
+	if len(s.arena) == 0 {
+		t.Fatal("setup: problem clauses allocated no arena")
+	}
+	s.SetBudget(Budget{ArenaLits: 1})
+	if s.Solve() {
+		t.Fatal("PHP(6,5) reported SAT")
+	}
+	if !s.Exhausted() {
+		t.Fatal("solve with overfull arena did not exhaust")
+	}
+	if s.Conflicts != 0 {
+		t.Fatalf("arena-exhausted solve ran %d conflicts", s.Conflicts)
+	}
+}
+
+// TestResetClearsBudget: Reset (the pooling hook) must shed the budget so a
+// pooled solver cannot inherit a dead request's ceiling.
+func TestResetClearsBudget(t *testing.T) {
+	s := pigeonhole(t, 5, 4)
+	s.SetBudget(Budget{Conflicts: 1})
+	if s.Solve() || !s.Exhausted() {
+		t.Fatal("setup: solve was not exhausted")
+	}
+	s.Reset()
+	if s.Exhausted() {
+		t.Fatal("Exhausted() survived Reset")
+	}
+	if s.budget.Limited() {
+		t.Fatal("budget survived Reset")
+	}
+}
+
+// TestBudgetDeterministic: exhaustion is checked every main-loop iteration,
+// so for a fixed formula and budget the abandoned search stops at identical
+// counter values — the determinism the service-chaos gate pins.
+func TestBudgetDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		s := pigeonhole(t, 9, 8)
+		s.SetBudget(Budget{Conflicts: 50})
+		if s.Solve() || !s.Exhausted() {
+			t.Fatal("setup: solve was not exhausted")
+		}
+		return s.Conflicts, s.Propagations
+	}
+	c1, p1 := run()
+	c2, p2 := run()
+	if c1 != c2 || p1 != p2 {
+		t.Fatalf("exhaustion point drifted: (%d conflicts, %d props) vs (%d, %d)", c1, p1, c2, p2)
+	}
+}
+
+// fuzzCNF builds the same random CNF (derived from the fuzz bytes) on a
+// fresh solver: nv variables, clauses of up to three literals split on zero
+// bytes. Returns the solver and whether clause addition already refuted the
+// formula at level 0.
+func fuzzCNF(data []byte, nv int) (*Solver, bool) {
+	s := New()
+	for i := 0; i < nv; i++ {
+		s.NewVar()
+	}
+	ok := true
+	var clause []Lit
+	flush := func() {
+		if len(clause) > 0 {
+			ok = s.AddClause(clause...) && ok
+			clause = clause[:0]
+		}
+	}
+	for _, b := range data {
+		if b == 0 {
+			flush()
+			continue
+		}
+		clause = append(clause, NewLit(int(b>>1)%nv, b&1 == 1))
+		if len(clause) == 3 {
+			flush()
+		}
+	}
+	flush()
+	return s, !ok
+}
+
+// FuzzBudgetedSolveEquivalence is the budget-soundness differential: for a
+// random CNF, (1) a solver with an effectively infinite budget must return
+// the exact verdict of an unbudgeted solver without ever exhausting, and
+// (2) a tightly budgeted solver must either exhaust or agree — a budget may
+// only withhold answers, never change them.
+func FuzzBudgetedSolveEquivalence(f *testing.F) {
+	f.Add([]byte{3, 5, 0, 2, 9, 0, 6, 1, 4, 0, 7}, uint8(12))
+	f.Add([]byte{2, 3, 4, 5, 6, 7, 2, 5, 3, 0, 1, 1}, uint8(1))
+	f.Add([]byte{255, 254, 253, 0, 9, 8, 7, 0, 128, 129, 130}, uint8(40))
+	f.Fuzz(func(t *testing.T, data []byte, rawBudget uint8) {
+		if len(data) > 1<<12 {
+			return
+		}
+		nv := 3 + len(data)%8
+
+		ref, refuted := fuzzCNF(data, nv)
+		want := ref.Solve()
+		if ref.Stopped() || ref.Exhausted() {
+			t.Fatal("unbudgeted reference solve neither finished nor was interrupted")
+		}
+		if refuted && want {
+			t.Fatal("level-0 refuted formula reported SAT")
+		}
+
+		huge, _ := fuzzCNF(data, nv)
+		huge.SetBudget(Budget{Conflicts: 1 << 40, Propagations: 1 << 40, ArenaLits: 1 << 40})
+		if got := huge.Solve(); got != want {
+			t.Fatalf("huge budget changed the verdict: %v, want %v", got, want)
+		}
+		if huge.Exhausted() {
+			t.Fatal("huge budget exhausted on a toy formula")
+		}
+
+		tight, _ := fuzzCNF(data, nv)
+		tight.SetBudget(Budget{Conflicts: 1 + int64(rawBudget)%16, Propagations: 1 + int64(rawBudget)/16})
+		got := tight.Solve()
+		if tight.Exhausted() {
+			if got {
+				t.Fatal("exhausted solve reported SAT")
+			}
+			return // unknown: no claim to check
+		}
+		if got != want {
+			t.Fatalf("tight budget changed the verdict without exhausting: %v, want %v", got, want)
+		}
+	})
+}

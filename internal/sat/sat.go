@@ -142,6 +142,14 @@ type Solver struct {
 	stop    func() bool
 	stopped bool
 
+	// Resource budget: when set, Solve abandons the search the moment a
+	// per-call conflict/propagation ceiling or the arena memory ceiling is
+	// crossed, returning false with Exhausted() true — a distinguishable
+	// "unknown" rather than a wrong UNSAT. A zero budget never triggers and
+	// adds no work to the search loop.
+	budget    Budget
+	exhausted bool
+
 	binConflict [2]Lit // literals of a binary conflict (crefBinary)
 	binScratch  [2]Lit // reason view for binary-implied literals
 	seenLit     []byte // per-literal scratch for AddClause dedup
@@ -224,7 +232,55 @@ func (s *Solver) Reset() {
 	s.lbdEpoch = 0
 	s.stop = nil
 	s.stopped = false
+	s.budget = Budget{}
+	s.exhausted = false
 	s.Conflicts, s.Decisions, s.Propagations, s.LearntsDeleted = 0, 0, 0, 0
+}
+
+// Budget bounds one Solve call. Zero fields are unlimited; a zero Budget
+// disables budgeting entirely (Solve behaves byte-identically to an
+// unbudgeted solver — the differential fuzz target pins this).
+type Budget struct {
+	// Conflicts / Propagations cap the respective per-Solve deltas: the
+	// counters are snapshotted when Solve starts, so a long Solve sequence
+	// on one solver gives every call the full allowance.
+	Conflicts    int64
+	Propagations int64
+	// ArenaLits caps the total clause-arena size in literals (an absolute
+	// memory ceiling, not a delta: learnt clauses persist across Solve
+	// calls, and it is the accumulated database that exhausts memory).
+	ArenaLits int64
+}
+
+// Limited reports whether any ceiling is set.
+func (b Budget) Limited() bool {
+	return b.Conflicts > 0 || b.Propagations > 0 || b.ArenaLits > 0
+}
+
+// SetBudget installs a per-Solve resource budget. The zero Budget removes
+// it. Reset clears the budget, so pooled solvers never carry one into
+// their next life.
+func (s *Solver) SetBudget(b Budget) { s.budget = b }
+
+// Exhausted reports whether the most recent Solve was abandoned because it
+// crossed its resource budget rather than finishing with a real SAT/UNSAT
+// answer (or being stopped). Callers that treat Solve's false as UNSAT
+// must check Exhausted (and Stopped) first.
+//
+// An exhausted Solve leaves the learnt clauses it derived in place — they
+// are sound consequences — but the search state diverges from what an
+// unbudgeted run would have produced, so incremental callers that memoize
+// on solver-state parity must stop reusing cached answers afterwards (see
+// internal/anomaly's encoder tainting).
+func (s *Solver) Exhausted() bool { return s.exhausted }
+
+// overBudget checks the per-Solve deltas and the arena ceiling against the
+// installed budget. Called only when the budget is limited.
+func (s *Solver) overBudget(baseConfl, baseProp int64) bool {
+	b := &s.budget
+	return (b.Conflicts > 0 && s.Conflicts-baseConfl >= b.Conflicts) ||
+		(b.Propagations > 0 && s.Propagations-baseProp >= b.Propagations) ||
+		(b.ArenaLits > 0 && int64(len(s.arena)) >= b.ArenaLits)
 }
 
 // SetStop installs a cancellation probe: Solve polls f periodically and
@@ -748,6 +804,7 @@ func luby(i int64) int64 {
 // satisfiable result, the model is available through Value.
 func (s *Solver) Solve(assumptions ...Lit) bool {
 	s.stopped = false
+	s.exhausted = false
 	if !s.ok {
 		return false
 	}
@@ -782,9 +839,21 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 	const stopCheckMask = 63
 	var iter uint
 
+	// Budget baselines: the ceilings apply to this call's deltas. The
+	// check runs every iteration when a budget is installed — plain int
+	// compares, off the hot path entirely when unlimited — so exhaustion
+	// is deterministic for a given formula and budget (the service-chaos
+	// gate pins degraded counts on this).
+	limited := s.budget.Limited()
+	baseConfl, baseProp := s.Conflicts, s.Propagations
+
 	for {
 		if iter++; s.stop != nil && iter&stopCheckMask == 0 && s.stop() {
 			s.stopped = true
+			return false
+		}
+		if limited && s.overBudget(baseConfl, baseProp) {
+			s.exhausted = true
 			return false
 		}
 		confl := s.propagate()

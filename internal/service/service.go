@@ -34,6 +34,7 @@ import (
 	"atropos/internal/cluster"
 	"atropos/internal/engine"
 	"atropos/internal/repair"
+	"atropos/internal/sat"
 )
 
 // maxBodyBytes bounds request bodies; programs are small DSL texts.
@@ -41,10 +42,20 @@ const maxBodyBytes = 1 << 20
 
 // Server wires the engine's verbs to HTTP routes. Construct with New.
 type Server struct {
-	eng   *engine.Engine
-	mux   *http.ServeMux
-	ready atomic.Bool
-	logf  func(format string, args ...any)
+	eng    *engine.Engine
+	mux    *http.ServeMux
+	ready  atomic.Bool
+	logf   func(format string, args ...any)
+	nextID atomic.Int64 // fallback X-Request-ID counter
+}
+
+// ridKey carries the request id through the handler context.
+type ridKey struct{}
+
+// requestID returns the id ServeHTTP assigned to this request.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ridKey{}).(string)
+	return id
 }
 
 // New builds the HTTP server for an engine. The server starts ready.
@@ -73,13 +84,23 @@ func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
 // down. http.ErrAbortHandler passes through: it is net/http's own
 // abort-this-response protocol, not a defect.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Every request gets an id — the caller's X-Request-ID when present, a
+	// generated one otherwise — echoed on the response, threaded through the
+	// handler context, and stamped on logs and error bodies, so one request
+	// can be traced across client, daemon, and panic stacks.
+	rid := r.Header.Get("X-Request-ID")
+	if rid == "" {
+		rid = fmt.Sprintf("atropos-%d", s.nextID.Add(1))
+	}
+	w.Header().Set("X-Request-ID", rid)
+	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
 	defer func() {
 		if v := recover(); v != nil {
 			if v == http.ErrAbortHandler {
 				panic(v)
 			}
-			s.logf("service: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error"})
+			s.logf("service: panic serving %s %s (request %s): %v\n%s", r.Method, r.URL.Path, rid, v, debug.Stack())
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error", RequestID: rid})
 		}
 	}()
 	s.mux.ServeHTTP(w, r)
@@ -122,11 +143,29 @@ type ProgramRequest struct {
 	Incremental *bool `json:"incremental,omitempty"`
 	// Parallelism bounds the detection session's transaction fan-out.
 	Parallelism int `json:"parallelism,omitempty"`
+	// BudgetConflicts / BudgetPropagations bound each SAT solve's work
+	// (conflicts learned / literals propagated); BudgetArenaLits caps its
+	// clause-arena growth. A solve past its budget returns "unknown" and
+	// the response degrades (degraded/unknown fields) instead of erroring.
+	// Zero disables that dimension; all-zero is byte-identical to today.
+	BudgetConflicts    int64 `json:"budget_conflicts,omitempty"`
+	BudgetPropagations int64 `json:"budget_propagations,omitempty"`
+	BudgetArenaLits    int64 `json:"budget_arena_lits,omitempty"`
+}
+
+// budget translates the request's solver-budget knobs.
+func (req *ProgramRequest) budget() sat.Budget {
+	return sat.Budget{
+		Conflicts:    req.BudgetConflicts,
+		Propagations: req.BudgetPropagations,
+		ArenaLits:    req.BudgetArenaLits,
+	}
 }
 
 // errorResponse is every non-2xx body.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // PairJSON is one anomalous access pair.
@@ -182,6 +221,12 @@ type AnalyzeResponse struct {
 	Pairs   []PairJSON `json:"pairs"`
 	Queries int        `json:"queries"`
 	Solved  int        `json:"solved"`
+	// Degraded marks a partial report: Unknown access pairs hit the solve
+	// budget (Exhausted individual solves) and are neither confirmed
+	// anomalous nor proven clean. Absent on un-budgeted requests.
+	Degraded  bool `json:"degraded,omitempty"`
+	Unknown   int  `json:"unknown,omitempty"`
+	Exhausted int  `json:"exhausted,omitempty"`
 	// ElapsedMs is wall clock and therefore non-deterministic; golden
 	// tests strip it.
 	ElapsedMs float64 `json:"elapsed_ms"`
@@ -199,8 +244,16 @@ type RepairResponse struct {
 	Queries          int        `json:"queries"`
 	Solved           int        `json:"solved"`
 	CacheHitRate     float64    `json:"cache_hit_rate"`
-	Certificate      *CertJSON  `json:"certificate,omitempty"`
-	ElapsedMs        float64    `json:"elapsed_ms"`
+	// Degraded marks a partial result: DegradedStages names the pipeline
+	// stages that ran out of budget or stage deadline, Unknown counts
+	// undecided access pairs, Exhausted the budget-exhausted solves. The
+	// Program is still valid; SerializableTxns stays conservative.
+	Degraded       bool      `json:"degraded,omitempty"`
+	DegradedStages []string  `json:"degraded_stages,omitempty"`
+	Unknown        int       `json:"unknown,omitempty"`
+	Exhausted      int       `json:"exhausted,omitempty"`
+	Certificate    *CertJSON `json:"certificate,omitempty"`
+	ElapsedMs      float64   `json:"elapsed_ms"`
 }
 
 // CertJSON summarizes a witness-replay certificate.
@@ -269,12 +322,14 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 // writeError maps an engine/pipeline error onto its transport status:
-// overload → 429 + Retry-After, deadline → 504, cancellation (the client
-// hung up) → 499-style silent drop, everything else → the given status.
-func writeError(w http.ResponseWriter, status int, err error) {
+// overload / open circuit → 429 + an adaptive Retry-After (queue depth ×
+// observed service time, engine.RetryAfter), deadline → 504, cancellation
+// (the client hung up) → 499-style silent drop, everything else → the given
+// status. Every error body echoes the request id.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	switch {
-	case errors.Is(err, engine.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, engine.ErrOverloaded), errors.Is(err, engine.ErrCircuitOpen):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.eng.RetryAfter()))
 		status = http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
@@ -282,7 +337,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 		// The client disconnected; it will never read a body.
 		return
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: requestID(r)})
+}
+
+// retryAfterSeconds renders a backoff hint as the integral seconds the
+// Retry-After header requires, rounding up so the hint never undershoots.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, into any) error {
@@ -329,6 +394,7 @@ func (req *ProgramRequest) options() []repair.Option {
 		repair.Client(req.Client),
 		repair.Certify(req.Certify),
 		repair.Parallelism(req.Parallelism),
+		repair.SolveBudget(req.budget()),
 	}
 	if req.Incremental != nil {
 		opts = append(opts, repair.Incremental(*req.Incremental))
@@ -346,16 +412,16 @@ func (req *ProgramRequest) model() (anomaly.Model, error) {
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	var req ProgramRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.Source == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing source"))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("missing source"))
 		return
 	}
 	prog, err := s.eng.Parse(req.Source)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ParseResponse{
@@ -368,17 +434,17 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req ProgramRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	prog, err := s.program(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	model, err := req.model()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := requestContext(r, req.TimeoutMs)
@@ -386,7 +452,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rep, err := s.eng.Analyze(ctx, prog, model, req.options()...)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, AnalyzeResponse{
@@ -395,6 +461,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Pairs:     pairsJSON(rep.Pairs),
 		Queries:   rep.Queries,
 		Solved:    rep.Solved,
+		Degraded:  rep.Degraded,
+		Unknown:   rep.Unknown,
+		Exhausted: rep.Exhausted,
 		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
 	})
 }
@@ -402,24 +471,24 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	var req ProgramRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	prog, err := s.program(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	model, err := req.model()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := requestContext(r, req.TimeoutMs)
 	defer cancel()
 	res, err := s.eng.Repair(ctx, prog, model, req.options()...)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	resp := RepairResponse{
@@ -432,6 +501,10 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		Queries:          res.Stats.Queries,
 		Solved:           res.Stats.Solved,
 		CacheHitRate:     res.Stats.CacheHitRate(),
+		Degraded:         res.Degraded,
+		DegradedStages:   res.DegradedStages,
+		Unknown:          res.Unknown,
+		Exhausted:        res.Exhausted,
 		ElapsedMs:        float64(res.Elapsed) / float64(time.Millisecond),
 	}
 	for _, c := range res.Corrs {
@@ -456,17 +529,17 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	var req ProgramRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	prog, err := s.program(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	model, err := req.model()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := requestContext(r, req.TimeoutMs)
@@ -474,7 +547,7 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	cert, rep, err := s.eng.Certify(ctx, prog, model)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, CertifyResponse{
@@ -495,17 +568,17 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	b := benchmarks.ByName(req.Benchmark)
 	if b == nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown benchmark %q", req.Benchmark))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("unknown benchmark %q", req.Benchmark))
 		return
 	}
 	prog, err := b.Program()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	topo := cluster.VACluster
@@ -516,7 +589,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case "Global":
 		topo = cluster.GlobalCluster
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown topology %q (want VA, US, or Global)", req.Topology))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("unknown topology %q (want VA, US, or Global)", req.Topology))
 		return
 	}
 	mode := cluster.ModeEC
@@ -527,7 +600,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case "AT-SC", "ATSC":
 		mode = cluster.ModeATSC
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want EC, SC, or AT-SC)", req.Mode))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want EC, SC, or AT-SC)", req.Mode))
 		return
 	}
 	scale := benchmarks.Scale{Records: req.Records} // zero ⇒ DefaultScale
@@ -560,7 +633,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if !found {
-			writeError(w, http.StatusBadRequest,
+			s.writeError(w, r, http.StatusBadRequest,
 				fmt.Errorf("unknown fault_scenario %q (want one of %v)", req.FaultScenario, names))
 			return
 		}
@@ -569,7 +642,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.eng.Simulate(ctx, cfg)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SimulateResponse{

@@ -161,10 +161,14 @@ func TestBadRequests(t *testing.T) {
 }
 
 // TestErrorStatusMapping pins writeError's transport contract directly:
-// overload → 429 + Retry-After, deadline → 504, cancellation → silent drop.
+// overload / open circuit → 429 + Retry-After, deadline → 504,
+// cancellation → silent drop.
 func TestErrorStatusMapping(t *testing.T) {
+	s := New(engine.New(engine.Config{Workers: 1}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/analyze", nil)
+
 	rec := httptest.NewRecorder()
-	writeError(rec, http.StatusInternalServerError, engine.ErrOverloaded)
+	s.writeError(rec, req, http.StatusInternalServerError, engine.ErrOverloaded)
 	if rec.Code != http.StatusTooManyRequests {
 		t.Errorf("overload status = %d, want 429", rec.Code)
 	}
@@ -173,19 +177,28 @@ func TestErrorStatusMapping(t *testing.T) {
 	}
 
 	rec = httptest.NewRecorder()
-	writeError(rec, http.StatusInternalServerError, fmt.Errorf("solve: %w", context.DeadlineExceeded))
+	s.writeError(rec, req, http.StatusInternalServerError, engine.ErrCircuitOpen)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("circuit-open status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("circuit-open 429 without Retry-After")
+	}
+
+	rec = httptest.NewRecorder()
+	s.writeError(rec, req, http.StatusInternalServerError, fmt.Errorf("solve: %w", context.DeadlineExceeded))
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Errorf("deadline status = %d, want 504", rec.Code)
 	}
 
 	rec = httptest.NewRecorder()
-	writeError(rec, http.StatusInternalServerError, context.Canceled)
+	s.writeError(rec, req, http.StatusInternalServerError, context.Canceled)
 	if rec.Body.Len() != 0 {
 		t.Errorf("cancelled request got a body: %s", rec.Body)
 	}
 
 	rec = httptest.NewRecorder()
-	writeError(rec, http.StatusBadRequest, errors.New("boom"))
+	s.writeError(rec, req, http.StatusBadRequest, errors.New("boom"))
 	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "boom") {
 		t.Errorf("plain error: status %d body %s", rec.Code, rec.Body)
 	}
