@@ -10,9 +10,9 @@ COVER_FLOOR ?= 60
 # Seconds each fuzz target runs under `make fuzz` / the nightly workflow.
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race bench bench-compare cover drift certify loadtest-smoke chaos service-chaos fuzz baseline profile
+.PHONY: ci fmt vet build test race race-par bench bench-compare cover drift certify loadtest-smoke chaos service-chaos scaling-smoke baseline-mc fuzz baseline profile
 
-ci: fmt vet build race bench cover drift certify loadtest-smoke chaos service-chaos
+ci: fmt vet build race race-par bench cover drift certify loadtest-smoke chaos service-chaos scaling-smoke
 
 # gofmt as a check: fail (and list the files) if anything is unformatted.
 fmt:
@@ -32,6 +32,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race-detector pass over the concurrent detection/repair surfaces at a
+# fixed fan-out width of 8 (wider than any default on CI runners), so the
+# wavefront scheduler and the sharded cons table are exercised under
+# contention regardless of host core count. ATROPOS_TEST_PARALLELISM
+# overrides the min(GOMAXPROCS, 4) default inside repair.Options and the
+# differential detection tests.
+race-par:
+	ATROPOS_TEST_PARALLELISM=8 $(GO) test -race ./internal/anomaly ./internal/repair
 
 # One pass over every experiment benchmark and hot-path microbenchmark —
 # a smoke test that each driver still runs, not a measurement — followed by
@@ -56,7 +65,7 @@ bench:
 # compare against another ref.
 BASE_REF ?= HEAD~1
 BENCH_PATTERN ?= BenchmarkTable1_|BenchmarkDetect|BenchmarkPairEncoder|BenchmarkAssert|BenchmarkEncode|BenchmarkAddClauses|BenchmarkSolveAssuming|BenchmarkPigeonhole|BenchmarkSim
-BENCH_PKGS ?= . ./internal/anomaly ./internal/logic ./internal/sat ./internal/cluster
+BENCH_PKGS ?= . ./internal/anomaly ./internal/ast ./internal/logic ./internal/sat ./internal/cluster
 BENCH_COUNT ?= 5
 
 # Run the benchmark suite at BASE_REF (in a throwaway git worktree) and in
@@ -106,6 +115,7 @@ fuzz:
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzRepairRandomProgram$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzDetectSessionEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzCOWDeepCloneEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/repair -run '^$$' -fuzz '^FuzzParallelDetectEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/replay -run '^$$' -fuzz '^FuzzWitnessReplaySoundness$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzFaultScheduleEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sat -run '^$$' -fuzz '^FuzzBudgetedSolveEquivalence$$' -fuzztime $(FUZZTIME)
@@ -143,6 +153,20 @@ service-chaos:
 # Regenerate the committed perf snapshot (see EXPERIMENTS.md §Baselines).
 baseline:
 	$(GO) run ./cmd/atropos-exp -exp baseline -duration 2 -out BENCH_baseline.json
+
+# Multi-core scaling baseline: the Table-1 repair corpus at 1/2/4/8
+# detection workers, best-of-3 (see EXPERIMENTS.md §Scaling). The summary
+# is machine-dependent, so scaling-summary.json is gitignored, unlike
+# BENCH_baseline.json. The gate enforces identical anomaly counts at
+# every width, plus a 0.7 efficiency floor at 8 workers on hosts with
+# >= 8 cores (self-skipped below that).
+baseline-mc:
+	$(GO) run ./cmd/atropos-exp -exp scaling -out scaling-summary.json
+
+# CI smoke variant: 1 vs 2 workers, one repeat; the speedup > 1.0 check
+# self-skips on single-core hosts, the count-equality check never does.
+scaling-smoke:
+	$(GO) run ./cmd/atropos-exp -exp scaling -smoke
 
 # Capture CPU + allocation profiles of the two hot surfaces — the repair
 # pipeline (Table 1 over all nine benchmarks) and the compiled cluster

@@ -128,9 +128,18 @@ type RepairOption = repair.Option
 func WithIncrementalDetect(on bool) RepairOption { return repair.Incremental(on) }
 
 // WithDetectParallelism bounds the worker goroutines of the detection
-// passes; n <= 1 means sequential (the default, and the only setting whose
-// SAT-query counters are deterministic).
+// passes. Zero — the default — selects min(GOMAXPROCS, 4): multi-core
+// detection is the fast path. Pass an explicit 1 for strictly sequential
+// detection (the pre-flip behavior, and the only setting whose
+// Solved/Replayed cache counters are deterministic; reported anomalies are
+// identical at every setting).
 func WithDetectParallelism(n int) RepairOption { return repair.Parallelism(n) }
+
+// WithPortfolio races k diversified SAT-solver replicas per detection
+// query, first definitive verdict wins. Which pairs are anomalous is
+// unchanged; the reported fields and witness schedules come from whichever
+// replica won and are not byte-reproducible across runs. Off by default.
+func WithPortfolio(k int) RepairOption { return repair.Portfolio(k) }
 
 // WithCertify replays every initial anomaly as an executable certificate
 // with negative controls (RepairResult.Certificate).

@@ -27,7 +27,10 @@ func benchTable1(b *testing.B, name string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := repair.Repair(prog, anomaly.EC); err != nil {
+		// Detection parallelism pinned to 1: these benchmarks are
+		// alloc-gated, and only the sequential path allocates identically
+		// on every machine (worker fan-out scales with the width).
+		if _, err := repair.RepairWith(prog, anomaly.EC, repair.Options{Incremental: true, Parallelism: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

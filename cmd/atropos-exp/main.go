@@ -43,7 +43,7 @@ import (
 )
 
 var (
-	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, baseline, drift, certify, chaos, all")
+	expName  = flag.String("exp", "table1", "experiment: table1, fig12, fig13, fig14, fig15, fig16, invariants, summary, baseline, drift, certify, chaos, scaling, all")
 	benchArg = flag.String("bench", "", "benchmark for fig12/fig16 (default: the figure's benchmarks)")
 	duration = flag.Int("duration", 90, "seconds of simulated time per performance point")
 	clients  = flag.String("clients", "", "comma-separated client counts (default: paper's sweep)")
@@ -59,6 +59,8 @@ var (
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProf  = flag.String("memprofile", "", "write an allocation profile of the experiment to this file")
 	scenArg  = flag.String("scenarios", "", "comma-separated chaos scenario names (default: the full panel)")
+	workers  = flag.String("workers", "", "comma-separated detection-parallelism widths for the scaling sweep (default 1,2,4,8)")
+	smoke    = flag.Bool("smoke", false, "scaling: cheap 1-vs-2 worker smoke variant instead of the full sweep")
 )
 
 func main() {
@@ -119,6 +121,8 @@ func main() {
 		runCertify()
 	case "chaos":
 		runChaos()
+	case "scaling":
+		runScaling()
 	case "all":
 		runTable1()
 		runFig(12)
@@ -328,6 +332,52 @@ func runDrift() {
 	}
 	fmt.Fprintf(os.Stderr, "atropos-exp: %d count divergences from %s — regenerate with `make baseline` if intentional\n", len(drift), *baseline)
 	os.Exit(1)
+}
+
+// runScaling is the multi-core scaling baseline (`make baseline-mc`) and
+// its CI smoke variant (`make scaling-smoke`): the Table-1 repair corpus
+// measured at increasing detection-parallelism widths, gated on anomaly
+// counts staying identical at every width plus — on hosts with enough
+// cores — a 0.7 efficiency floor at 8 workers (full sweep) or a
+// speedup > 1.0 at 2 workers (smoke).
+func runScaling() {
+	fmt.Println("== Multi-core scaling: Table-1 repairs vs detection workers ==")
+	cfg := exp.ScalingConfig{Smoke: *smoke, NonIncremental: !*incr}
+	if *workers != "" {
+		for _, part := range strings.Split(*workers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -workers: %w", err))
+			}
+			cfg.Workers = append(cfg.Workers, n)
+		}
+	}
+	res, err := exp.RunScaling(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Format())
+	if *outPath != "" {
+		buf, err := res.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scaling summary written to %s\n", *outPath)
+	}
+	for _, s := range exp.ScalingGateSkipped(res) {
+		fmt.Println("skipped:", s)
+	}
+	if fails := exp.ScalingGate(res); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "scaling:", f)
+		}
+		fmt.Fprintf(os.Stderr, "atropos-exp: %d scaling-gate failures\n", len(fails))
+		os.Exit(1)
+	}
+	fmt.Println("scaling gate passed")
 }
 
 // runCertify is the witness-replay certification gate (`make certify`):

@@ -44,7 +44,8 @@ func main() {
 	showSteps := flag.Bool("steps", false, "print refactoring steps")
 	benchName := flag.String("bench", "", `built-in benchmark names, comma-separated, or "all"`)
 	outPath := flag.String("out", "", "write the refactored program to this file instead of stdout (single input only)")
-	parallel := flag.Int("parallel", 0, "worker goroutines for multiple inputs (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for multiple inputs (0 = GOMAXPROCS); with one input, the detection fan-out width (0 = min(GOMAXPROCS, 4))")
+	portfolio := flag.Int("portfolio", 1, "race this many diversified SAT solver replicas per detection query, first verdict wins (1 = off)")
 	incremental := flag.Bool("incremental", true, "use the cached incremental detection engine inside repair")
 	certify := flag.Bool("certify", false, "replay every detected anomaly as an executable certificate in the cluster simulator")
 	flag.Parse()
@@ -64,15 +65,20 @@ func main() {
 	// Analyze/repair every input concurrently on the experiment engine's
 	// worker pool; buffer per-input output so the report order matches the
 	// input order.
-	// With multiple inputs -parallel fans out across them; with a single
-	// input it instead bounds the detection session's transaction fan-out
+	// With multiple inputs -parallel fans out across them and detection
+	// inside each repair stays sequential (the cores are already claimed);
+	// with a single input it instead bounds the detection session's
+	// (txn, witness) fan-out, defaulting to the multi-core fast path
 	// (reports are identical at every setting).
 	opts := []atropos.RepairOption{
 		atropos.WithIncrementalDetect(*incremental),
 		atropos.WithCertify(*certify),
+		atropos.WithPortfolio(*portfolio),
 	}
 	if len(inputs) == 1 {
-		opts = append(opts, atropos.WithDetectParallelism(exp.Workers(*parallel)))
+		opts = append(opts, atropos.WithDetectParallelism(*parallel))
+	} else {
+		opts = append(opts, atropos.WithDetectParallelism(1))
 	}
 	ctx := context.Background()
 	outputs := make([]string, len(inputs))

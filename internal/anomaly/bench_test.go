@@ -5,6 +5,7 @@ import (
 
 	"atropos/internal/ast"
 	"atropos/internal/benchmarks"
+	"atropos/internal/logic"
 	"atropos/internal/parser"
 	"atropos/internal/sema"
 )
@@ -33,7 +34,7 @@ func BenchmarkPairEncoderBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := newPairEncoder(prog, t, t, EC, true, false); err != nil {
+		if _, err := newPairEncoder(logic.AcquireEncoder(), prog, t, t, EC, true, false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -63,6 +64,28 @@ func BenchmarkDetectSmallBank(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Detect(prog, EC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectParallel_TPCC measures a cold wavefront detection of the
+// largest benchmark at a fixed fan-out of 4 workers — the parallel fast
+// path end to end: sharded interning, per-worker encoder caches, the
+// (txn, witness) wavefront scheduler. A fresh session per iteration keeps
+// allocs/op deterministic (the fixed width keeps it machine-independent,
+// so the allocgate can gate it; see cmd/allocgate).
+func BenchmarkDetectParallel_TPCC(b *testing.B) {
+	prog, err := benchmarks.TPCC.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSession(EC)
+		s.SetParallelism(4)
+		if _, err := s.Detect(prog); err != nil {
 			b.Fatal(err)
 		}
 	}

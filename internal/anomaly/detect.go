@@ -111,6 +111,16 @@ type detector struct {
 	// session, when non-nil, memoizes solved cycle queries across
 	// detectors (and across Detect calls) by canonical formula hash.
 	session *DetectSession
+	// encCache, when non-nil, is the worker-local encoder freelist the
+	// parallel wavefront routes acquisition through (DESIGN.md §15); nil
+	// falls back to the shared pool. The wavefront re-points it at the
+	// current worker's cache on every task resumption.
+	encCache *logic.EncoderCache
+	// portfolio > 1 races that many diversified solver replicas per query
+	// (sat.SetPortfolio). Portfolio encoders are tainted at birth: raced
+	// models are timing-dependent, so they must never feed the
+	// history-keyed cache.
+	portfolio int
 	// record opts satisfiable queries into witness-schedule extraction
 	// (witness.go); it adds no propositions and changes no solve, so
 	// reports and cache keys are identical either way.
@@ -131,20 +141,7 @@ type detector struct {
 // witness command pairs for a satisfiable dependency cycle.
 func (d *detector) detectTxn(t *ast.Txn) ([]AccessPair, error) {
 	cmds := ast.Commands(t.Body)
-	// Only transactions sharing a table with t can contribute a dependency
-	// edge (defineEdges requires x.table == y.table); skipping the rest
-	// avoids building dead encodings. Results are unaffected: a disjoint
-	// witness defines no deps and issues no queries.
-	tables := txnTables(t)
-	var witnesses []*ast.Txn
-	for _, w := range d.prog.Txns {
-		for tb := range txnTables(w) {
-			if tables[tb] {
-				witnesses = append(witnesses, w)
-				break
-			}
-		}
-	}
+	witnesses := witnessesOf(d.prog, t)
 	var found []AccessPair
 	for i := 0; i < len(cmds); i++ {
 		for j := i + 1; j < len(cmds); j++ {
@@ -167,6 +164,25 @@ func (d *detector) detectTxn(t *ast.Txn) ([]AccessPair, error) {
 		}
 	}
 	return found, nil
+}
+
+// witnessesOf lists the witness transactions of t in program order. Only
+// transactions sharing a table with t can contribute a dependency edge
+// (defineEdges requires x.table == y.table); skipping the rest avoids
+// building dead encodings. Results are unaffected: a disjoint witness
+// defines no deps and issues no queries.
+func witnessesOf(prog *ast.Program, t *ast.Txn) []*ast.Txn {
+	tables := txnTables(t)
+	var witnesses []*ast.Txn
+	for _, w := range prog.Txns {
+		for tb := range txnTables(w) {
+			if tables[tb] {
+				witnesses = append(witnesses, w)
+				break
+			}
+		}
+	}
+	return witnesses
 }
 
 func (d *detector) checkPair(t *ast.Txn, witnesses []*ast.Txn, i, j int) (AccessPair, bool, bool, error) {
@@ -339,12 +355,17 @@ func chainHist(h uint64, a1, a2 string) uint64 {
 }
 
 // releaseEncoders returns every encoder's solver memory to the shared pool
-// once the detector's results are extracted. Nothing a detector publishes
-// aliases encoder memory: reported pairs, cached cycle results, and cache
-// keys carry only immutable strings and freshly built field slices.
+// (or the detector's worker-local freelist) once the detector's results
+// are extracted. Nothing a detector publishes aliases encoder memory:
+// reported pairs, cached cycle results, and cache keys carry only
+// immutable strings and freshly built field slices.
 func (d *detector) releaseEncoders() {
 	for _, enc := range d.encoders {
-		enc.enc.Release()
+		if d.encCache != nil {
+			d.encCache.Release(enc.enc)
+		} else {
+			enc.enc.Release()
+		}
 	}
 	clear(d.encoders)
 }
@@ -354,10 +375,25 @@ func (d *detector) encoderFor(t, w *ast.Txn) (*pairEncoder, error) {
 	if enc, ok := d.encoders[key]; ok {
 		return enc, nil
 	}
-	enc, err := newPairEncoder(d.prog, t, w, d.model, d.session != nil, d.record)
+	var le *logic.Encoder
+	if d.encCache != nil {
+		le = d.encCache.Acquire()
+	} else {
+		le = logic.AcquireEncoder()
+	}
+	// Portfolio mode must be configured before the encoding is asserted:
+	// the shadow replicas replicate the clause stream from this point on.
+	// Portfolio encoders skip formula hashing — they are tainted at birth
+	// (below), so no cache key ever needs their hash.
+	if d.portfolio > 1 {
+		le.S.SetPortfolio(d.portfolio)
+	}
+	hashed := d.session != nil && d.portfolio <= 1
+	enc, err := newPairEncoder(le, d.prog, t, w, d.model, hashed, d.record)
 	if err != nil {
 		return nil, err
 	}
+	enc.tainted = d.portfolio > 1
 	// The stop probe aborts this encoder's solves when the detector's
 	// context is cancelled; Encoder.Release → Solver.Reset clears it before
 	// the solver returns to the pool. The budget, likewise per-solver and
@@ -460,13 +496,14 @@ func (pe *pairEncoder) internRel(name func(i, j int) string) [][]logic.Sym {
 	return m
 }
 
-// newPairEncoder builds the SAT encoding for (t, w). hashed opts the
-// encoder into formula-hash recording, needed only when a session will key
-// its query cache on the encoding; record opts it into witness-schedule
-// bookkeeping (witness.go).
-func newPairEncoder(prog *ast.Program, t, w *ast.Txn, model Model, hashed, record bool) (*pairEncoder, error) {
+// newPairEncoder builds the SAT encoding for (t, w) on the supplied (fresh
+// or freshly reset) encoder. hashed opts the encoder into formula-hash
+// recording, needed only when a session will key its query cache on the
+// encoding; record opts it into witness-schedule bookkeeping (witness.go).
+// On error the encoder is left unreleased; letting it be collected is safe.
+func newPairEncoder(le *logic.Encoder, prog *ast.Program, t, w *ast.Txn, model Model, hashed, record bool) (*pairEncoder, error) {
 	pe := &pairEncoder{
-		enc:       logic.AcquireEncoder(),
+		enc:       le,
 		deps:      map[int]map[int]bool{},
 		edgeNames: map[int]map[int][]edgeProp{},
 		tName:     t.Name,

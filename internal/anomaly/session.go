@@ -36,16 +36,20 @@ import (
 //     verdicts and witness-edge data; a sequence divergence falls back to
 //     solving, after replaying the skipped prefix for state parity.
 //
-// Independent transactions fan out over the shared worker pool
-// (SetParallelism); each worker detects one transaction, covering all its
-// (txn, witness) encoders, so per-encoder query order — and with it every
-// reported witness and field — matches the sequential oracle exactly.
+// Detection work fans out over a work-stealing pool at (txn, witness)
+// granularity (SetParallelism; see parallel.go): witness tasks advance in
+// a wavefront that reproduces the sequential witness loop's early exits,
+// so per-encoder query order — and with it every reported witness and
+// field — matches the sequential oracle exactly.
 //
 // A session is safe for concurrent use by its own workers; callers should
 // issue Detect calls sequentially.
 type DetectSession struct {
 	model       Model
 	parallelism int
+	// portfolio > 1 races that many diversified solver replicas per cycle
+	// query (see SetPortfolio).
+	portfolio int
 	// record opts every detection into witness-schedule extraction. It must
 	// be set before the first Detect call: recording changes no encoding,
 	// no solve, and no cache key, but cached cycle results only carry a
@@ -135,13 +139,24 @@ func NewSession(model Model) *DetectSession {
 // Model returns the session's consistency model.
 func (s *DetectSession) Model() Model { return s.model }
 
-// SetParallelism bounds the worker goroutines Detect fans transactions out
-// on; n <= 0 selects GOMAXPROCS, 1 forces sequential detection. Reported
-// pairs are identical at every setting — cached values are pinned to the
-// producer's solver state by the history-keyed cache, so they do not
-// depend on which worker populates a key first. Only the
+// SetParallelism bounds the worker goroutines Detect fans (txn, witness)
+// tasks out on; n <= 0 selects GOMAXPROCS, 1 forces sequential detection.
+// Reported pairs are identical at every setting — the wavefront reproduces
+// each encoder's sequential query order (parallel.go), and cached values
+// are pinned to the producer's solver state by the history-keyed cache, so
+// they do not depend on which worker populates a key first. Only the
 // Solved/Replayed/QueryHits stats can shift under concurrency.
 func (s *DetectSession) SetParallelism(n int) { s.parallelism = n }
+
+// SetPortfolio races k diversified CDCL replicas per cycle query, first
+// definitive verdict wins (sat.SetPortfolio); k <= 1 restores plain
+// solving. Verdicts — and therefore which pairs are anomalous, and under
+// which witness — are unchanged, but the satisfying models a race reports
+// are timing-dependent, so reported fields and witness schedules may
+// legitimately vary between runs. For the same reason portfolio encoders
+// never consume or produce history-keyed query-cache entries. Set it
+// between Detect calls, not during one.
+func (s *DetectSession) SetPortfolio(k int) { s.portfolio = k }
 
 // RecordWitnesses opts every subsequent detection into witness-schedule
 // extraction (see witness.go): reported pairs carry Witness.Schedule.
@@ -211,38 +226,43 @@ func (s *DetectSession) DetectContext(ctx context.Context, prog *ast.Program) (*
 	for _, sch := range prog.Schemas {
 		schemaHash[sch.Name] = ast.HashSchema(sch)
 	}
-	type txnOut struct {
-		pairs                    []AccessPair
-		unknown                  []UnknownPair
-		issued, solved, replayed int
-		exhausted                int
+	fps := make([]uint64, n)
+	for i := range prog.Txns {
+		fps[i] = fingerprintTxn(prog, i, hashes, tables, schemaHash, s.model)
 	}
-	outs := make([]txnOut, n)
-	err := pool.ForEach(pool.Workers(s.parallelism), n, func(i int) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		fp := fingerprintTxn(prog, i, hashes, tables, schemaHash, s.model)
-		if e, ok := s.lookupTxn(fp); ok {
-			outs[i] = txnOut{pairs: e.pairs, issued: e.issued}
+	var outs []txnOut
+	var err error
+	if workers := pool.Workers(s.parallelism); workers > 1 {
+		// Wavefront fan-out over (txn, witness) tasks — see parallel.go for
+		// why the reports stay byte-identical to the sequential oracle.
+		outs, err = s.detectWavefront(ctx, prog, workers, fps)
+	} else {
+		outs = make([]txnOut, n)
+		err = pool.ForEach(1, n, func(i int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if e, ok := s.lookupTxn(fps[i]); ok {
+				outs[i] = txnOut{pairs: e.pairs, issued: e.issued}
+				return nil
+			}
+			d := &detector{prog: prog, model: s.model, encoders: map[[2]string]*pairEncoder{}, session: s, record: s.record, budget: s.budget, portfolio: s.portfolio}
+			d.setContext(ctx)
+			pairs, err := d.detectTxn(prog.Txns[i])
+			d.releaseEncoders()
+			if err != nil {
+				return err
+			}
+			// Degraded results are partial, so only complete detections enter
+			// the fingerprint cache: a cached entry must equal what a fresh
+			// unbudgeted oracle would report.
+			if d.exhausted == 0 {
+				s.storeTxn(fps[i], txnEntry{pairs: pairs, issued: d.issued})
+			}
+			outs[i] = txnOut{pairs: pairs, unknown: d.unknownPairs, issued: d.issued, solved: d.solved, replayed: d.replayed, exhausted: d.exhausted}
 			return nil
-		}
-		d := &detector{prog: prog, model: s.model, encoders: map[[2]string]*pairEncoder{}, session: s, record: s.record, budget: s.budget}
-		d.setContext(ctx)
-		pairs, err := d.detectTxn(prog.Txns[i])
-		d.releaseEncoders()
-		if err != nil {
-			return err
-		}
-		// Degraded results are partial, so only complete detections enter
-		// the fingerprint cache: a cached entry must equal what a fresh
-		// unbudgeted oracle would report.
-		if d.exhausted == 0 {
-			s.storeTxn(fp, txnEntry{pairs: pairs, issued: d.issued})
-		}
-		outs[i] = txnOut{pairs: pairs, unknown: d.unknownPairs, issued: d.issued, solved: d.solved, replayed: d.replayed, exhausted: d.exhausted}
-		return nil
-	})
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

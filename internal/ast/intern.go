@@ -15,17 +15,47 @@ import "sync"
 // never interned: uuid() is fresh per evaluation, so two occurrences are
 // never equal and sharing them would let the equality fast path lie.
 //
+// The table is sharded by hash (DESIGN.md §15) so that N-way parallel
+// detection does not serialize on a single mutex: each shard carries its
+// own lock, bucket map, and share of the global bound. Correctness is
+// unchanged — a given hash always maps to the same shard, so two
+// structurally equal expressions still meet in one bucket.
+//
 // The bound caps memory for adversarial workloads (fuzzers generating
-// unbounded distinct literals): once full, Intern still canonicalizes
-// against existing entries but stops inserting new ones.
+// unbounded distinct literals): once a shard is full, Intern still
+// canonicalizes against its existing entries but stops inserting new ones.
+// The per-shard bound keeps the aggregate cap at consTableMax; skew across
+// shards can fill one shard early, which only costs sharing, never safety.
 
-const consTableMax = 1 << 16
+const (
+	consTableMax = 1 << 16
+	consShards   = 64 // power of two; shard index taken from hash digest bits
+	consShardMax = consTableMax / consShards
+)
 
-var consTable = struct {
+type consShard struct {
 	sync.Mutex
 	m map[uint64][]Expr
 	n int
-}{m: make(map[uint64][]Expr)}
+	// Pad to a cache line so shard locks on adjacent array slots do not
+	// false-share under parallel detection.
+	_ [24]byte
+}
+
+var consTable [consShards]consShard
+
+func init() {
+	for i := range consTable {
+		consTable[i].m = make(map[uint64][]Expr)
+	}
+}
+
+// consShardFor picks the shard for a hash word. The digest bits of HashExpr
+// are already well mixed; use high digest bits so the shard index and the
+// map's own bucketing (low bits) stay independent.
+func consShardFor(h uint64) *consShard {
+	return &consTable[(h>>32)&(consShards-1)]
+}
 
 // Intern returns the canonical node for e, interning its children bottom-up.
 // The result prints and compares identically to e; callers must treat it as
@@ -49,16 +79,17 @@ func Intern(e Expr) Expr {
 	if h&hashUUID != 0 {
 		return e
 	}
-	consTable.Lock()
-	defer consTable.Unlock()
-	for _, c := range consTable.m[h] {
+	s := consShardFor(h)
+	s.Lock()
+	defer s.Unlock()
+	for _, c := range s.m[h] {
 		if EqualExpr(c, e) {
 			return c
 		}
 	}
-	if consTable.n < consTableMax {
-		consTable.m[h] = append(consTable.m[h], e)
-		consTable.n++
+	if s.n < consShardMax {
+		s.m[h] = append(s.m[h], e)
+		s.n++
 	}
 	return e
 }

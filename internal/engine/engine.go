@@ -67,6 +67,13 @@ type Config struct {
 	// Sessions caps the per-(client, model, recording) DetectSession LRU;
 	// <= 0 selects 64.
 	Sessions int
+	// DetectParallelism is the per-request detection worker count applied
+	// when a request does not set repair.Parallelism itself: 0 selects
+	// repair.DefaultParallelism (min(GOMAXPROCS, 4) — multi-core detection
+	// is the fast path), 1 restores strictly sequential per-request
+	// detection (the right setting when the engine's own Workers fan-out
+	// already saturates the machine), n > 1 pins the count.
+	DetectParallelism int
 	// MaxQueueWait is the CoDel-style queue-wait ceiling: a request still
 	// waiting for a worker slot after this long is shed with ErrOverloaded
 	// instead of going stale in the queue (its client's deadline budget is
@@ -467,13 +474,14 @@ func (e *Engine) Analyze(ctx context.Context, prog *ast.Program, model anomaly.M
 	}
 	k := sessionKey{client: o.Client, model: model, record: o.Certify}
 	s := e.checkout(k)
-	// Sequential detection is the safe default — the engine already fans
-	// requests out across workers (mirrors repair.Options.Parallelism).
+	// Request option first, then the engine-wide default; zero resolves to
+	// repair.DefaultParallelism (mirrors repair.Options.Parallelism).
 	par := o.Parallelism
-	if par <= 1 {
-		par = 1
+	if par == 0 {
+		par = e.cfg.DetectParallelism
 	}
-	s.SetParallelism(par)
+	s.SetParallelism(repair.ResolveParallelism(par))
+	s.SetPortfolio(o.Portfolio)
 	s.SetSolveBudget(o.SolveBudget)
 	rep, derr := s.DetectContext(ctx, prog)
 	e.checkin(k, s)
@@ -527,6 +535,11 @@ func (e *Engine) Repair(ctx context.Context, prog *ast.Program, model anomaly.Mo
 		if dl, ok := ctx.Deadline(); ok {
 			o.Stages = repair.Split(time.Until(dl))
 		}
+	}
+	// Engine-wide detection parallelism applies when the request left the
+	// knob unset; repair.RunWith resolves the final zero to the default.
+	if o.Parallelism == 0 {
+		o.Parallelism = e.cfg.DetectParallelism
 	}
 	var k sessionKey
 	var s *anomaly.DetectSession

@@ -218,7 +218,10 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		rep, err := repair.RepairWith(prog, anomaly.EC, repair.Options{Incremental: !cfg.NonIncremental})
+		// Parallelism pinned to 1: SATSolved and CacheHitRate are
+		// drift-gated, and only sequential detection keeps them exact
+		// (concurrent workers shift which query populates a cache key).
+		rep, err := repair.RepairWith(prog, anomaly.EC, repair.Options{Incremental: !cfg.NonIncremental, Parallelism: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +263,9 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 	runtime.ReadMemStats(&cBefore)
 	corpusStart := time.Now()
 	for _, p := range corpus {
-		rep, err := repair.RepairWith(p, anomaly.EC, repair.Options{Incremental: !cfg.NonIncremental})
+		// Sequential detection, as above: the corpus anomaly totals are
+		// drift-gated.
+		rep, err := repair.RepairWith(p, anomaly.EC, repair.Options{Incremental: !cfg.NonIncremental, Parallelism: 1})
 		if err != nil {
 			return nil, err
 		}

@@ -104,7 +104,9 @@ func CertifyNegatives(benches []*benchmarks.Benchmark, parallelism int) ([]Certi
 	out := make([]CertifyNegative, len(benches))
 	err := ForEach(Workers(parallelism), len(benches), func(i int) error {
 		prog, _ := benches[i].Program()
-		res, err := repair.RepairWith(prog, anomaly.EC, repair.Options{Incremental: true, Certify: true})
+		// Detection runs sequentially inside each repair: the benchmark
+		// grid already owns the worker pool.
+		res, err := repair.RepairWith(prog, anomaly.EC, repair.Options{Incremental: true, Certify: true, Parallelism: 1})
 		if err != nil {
 			return err
 		}

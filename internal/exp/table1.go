@@ -61,7 +61,7 @@ func Table1(benches []*benchmarks.Benchmark, opts ...Option) ([]Table1Row, error
 		case 0: // EC detection + repair (EC, AT, and the shape columns)
 			// The grid is already fanned out per benchmark, so the
 			// detection session inside each repair runs sequentially.
-			res, err := core.RunWith(prog, anomaly.EC, repair.Options{Incremental: o.incremental})
+			res, err := core.RunWith(prog, anomaly.EC, repair.Options{Incremental: o.incremental, Parallelism: 1})
 			if err != nil {
 				return fmt.Errorf("table1: %s: %w", b.Name, err)
 			}

@@ -1,0 +1,37 @@
+package logic
+
+import "testing"
+
+func TestEncoderCacheReuse(t *testing.T) {
+	var c EncoderCache
+	e1 := c.Acquire()
+	e1.Var("p")
+	c.Release(e1)
+	e2 := c.Acquire()
+	if e2 != e1 {
+		t.Fatalf("expected the freelist to return the released encoder")
+	}
+	// The released encoder must be reset: a fresh encoder knows no syms.
+	if got := e2.NameOf(e2.Sym("q")); got != "q" {
+		t.Fatalf("reset encoder interned %q for q", got)
+	}
+	c.Release(e2)
+	c.Drain()
+	if len(c.free) != 0 {
+		t.Fatalf("Drain left %d encoders on the freelist", len(c.free))
+	}
+}
+
+func TestEncoderCacheOverflowSpills(t *testing.T) {
+	var c EncoderCache
+	encs := make([]*Encoder, encoderCacheCap+3)
+	for i := range encs {
+		encs[i] = NewEncoder()
+	}
+	for _, e := range encs {
+		c.Release(e)
+	}
+	if len(c.free) != encoderCacheCap {
+		t.Fatalf("freelist holds %d encoders, cap is %d", len(c.free), encoderCacheCap)
+	}
+}

@@ -115,6 +115,60 @@ func FuzzCOWDeepCloneEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzParallelDetectEquivalence fuzzes the parallel fast path's
+// contract: over random progen programs, weak models, fan-out widths,
+// and portfolio sizes, a wavefront detection must report the same pairs
+// as the sequential fresh oracle (byte-identical without a portfolio;
+// identity-identical with one — racing replicas return timing-dependent
+// satisfying models, so reported fields may differ while the verdicts,
+// and hence the pair identities, cannot). The nightly CI job runs this
+// target alongside the others (see .github/workflows/nightly.yml).
+func FuzzParallelDetectEquivalence(f *testing.F) {
+	f.Add(int64(0), uint8(0), uint8(2), uint8(1))
+	f.Add(int64(1), uint8(1), uint8(4), uint8(3))
+	f.Add(int64(2), uint8(2), uint8(8), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, modelByte, parByte, kByte uint8) {
+		model := []anomaly.Model{anomaly.EC, anomaly.CC, anomaly.RR}[int(modelByte)%3]
+		par := 2 + int(parByte)%7     // 2..8 workers
+		portfolio := 1 + int(kByte)%3 // 1..3 replicas
+		p := progen.Program(seed)
+		fresh, err := anomaly.Detect(p, model)
+		if err != nil {
+			t.Fatalf("seed %d %v: Detect: %v", seed, model, err)
+		}
+		s := anomaly.NewSession(model)
+		s.SetParallelism(par)
+		s.SetPortfolio(portfolio)
+		got, err := s.Detect(p)
+		if err != nil {
+			t.Fatalf("seed %d %v par=%d k=%d: wavefront Detect: %v", seed, model, par, portfolio, err)
+		}
+		if got.Queries != fresh.Queries {
+			t.Fatalf("seed %d %v par=%d k=%d: wavefront issued %d queries, fresh %d",
+				seed, model, par, portfolio, got.Queries, fresh.Queries)
+		}
+		if portfolio <= 1 {
+			if !reflect.DeepEqual(fresh.Pairs, got.Pairs) {
+				t.Fatalf("seed %d %v par=%d: wavefront diverges:\nfresh %v\ngot   %v",
+					seed, model, par, fresh.Pairs, got.Pairs)
+			}
+			return
+		}
+		if len(fresh.Pairs) != len(got.Pairs) {
+			t.Fatalf("seed %d %v par=%d k=%d: %d pairs vs fresh %d",
+				seed, model, par, portfolio, len(got.Pairs), len(fresh.Pairs))
+		}
+		for i := range fresh.Pairs {
+			fp, gp := fresh.Pairs[i], got.Pairs[i]
+			if fp.Txn != gp.Txn || fp.C1 != gp.C1 || fp.C2 != gp.C2 ||
+				fp.Witness.Txn != gp.Witness.Txn || fp.Witness.D1 != gp.Witness.D1 || fp.Witness.D2 != gp.Witness.D2 {
+				t.Fatalf("seed %d %v par=%d k=%d: pair %d identity diverges:\nfresh %v\ngot   %v",
+					seed, model, par, portfolio, i, fp, gp)
+			}
+		}
+	})
+}
+
 // FuzzDetectSessionEquivalence fuzzes the incremental oracle's core
 // contract: a DetectSession must report byte-identical pairs to a fresh
 // Detect on the same program, under every weak model, and repair must make

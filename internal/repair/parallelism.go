@@ -1,0 +1,43 @@
+package repair
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// defaultParallelismCap bounds the detection workers an unset
+// Options.Parallelism selects. Detection's parallel efficiency flattens
+// past a handful of workers on typical benchmark programs (the wavefront
+// couples witness tasks through the found bits, and the session cache
+// serializes identical queries), while callers like the experiment grid
+// fan whole repairs out and want the remaining cores for that outer
+// level — so the default claims at most four.
+const defaultParallelismCap = 4
+
+// DefaultParallelism is the detection worker count an unset (zero)
+// Options.Parallelism resolves to: min(GOMAXPROCS, 4). The
+// ATROPOS_TEST_PARALLELISM environment variable, when set to a positive
+// integer, overrides it — the CI race job uses it to drive the parallel
+// detection paths at a fixed width regardless of the runner's core count.
+func DefaultParallelism() int {
+	if v := os.Getenv("ATROPOS_TEST_PARALLELISM"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	if p := runtime.GOMAXPROCS(0); p < defaultParallelismCap {
+		return p
+	}
+	return defaultParallelismCap
+}
+
+// ResolveParallelism maps an Options.Parallelism value to a concrete
+// worker count: zero (unset) selects DefaultParallelism, anything else is
+// taken as given (1 = sequential).
+func ResolveParallelism(n int) int {
+	if n == 0 {
+		return DefaultParallelism()
+	}
+	return n
+}

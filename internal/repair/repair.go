@@ -96,12 +96,22 @@ type Options struct {
 	// identical either way; only the number of solved SAT queries differs.
 	Incremental bool
 	// Parallelism bounds the worker goroutines the detection session fans
-	// transactions out on. Values <= 1 select sequential detection — the
-	// safe default, since callers (the experiment grid, multi-input CLIs)
-	// often fan Repair itself out; pass n > 1 (e.g. runtime.GOMAXPROCS(0))
-	// to parallelize detection inside one repair. Reported results are
-	// identical at every setting. Ignored without Incremental.
+	// (txn, witness) tasks out on. Zero — the unset default — selects
+	// DefaultParallelism (min(GOMAXPROCS, 4)): multi-core detection is the
+	// fast path. Pass an explicit 1 for strictly sequential detection (the
+	// pre-flip behavior — still the right call when the caller fans Repair
+	// itself out, as the experiment grid does), or any n > 1 to pin the
+	// worker count. Reported results are identical at every setting.
+	// Ignored without Incremental.
 	Parallelism int
+	// Portfolio > 1 races that many diversified CDCL replicas per detection
+	// SAT query, first definitive verdict wins (sat.SetPortfolio). Verdicts
+	// — which pairs are anomalous, under which witness — are unchanged, but
+	// reported fields and witness schedules come from whichever replica's
+	// model won and are not byte-reproducible across runs; portfolio
+	// queries also bypass the session's query cache. Off (<= 1) by default.
+	// Ignored without Incremental.
+	Portfolio int
 	// Certify records witness schedules during detection (reports and cache
 	// keys are unchanged — recording is strictly additive) and, after the
 	// pipeline, replays every initial pair as an executable certificate
@@ -162,8 +172,13 @@ type Option func(*Options)
 // (on by default).
 func Incremental(on bool) Option { return func(o *Options) { o.Incremental = on } }
 
-// Parallelism bounds the detection session's transaction fan-out workers.
+// Parallelism bounds the detection session's fan-out workers (see
+// Options.Parallelism; 0 selects DefaultParallelism, 1 forces sequential).
 func Parallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// Portfolio races k diversified solver replicas per detection SAT query
+// (see Options.Portfolio).
+func Portfolio(k int) Option { return func(o *Options) { o.Portfolio = k } }
 
 // Certify enables witness recording plus post-pipeline certificate replay.
 func Certify(on bool) Option { return func(o *Options) { o.Certify = on } }
@@ -237,11 +252,8 @@ func RunWith(ctx context.Context, prog *ast.Program, model anomaly.Model, opts O
 		}
 	}
 	if session != nil {
-		par := opts.Parallelism
-		if par <= 1 {
-			par = 1
-		}
-		session.SetParallelism(par)
+		session.SetParallelism(ResolveParallelism(opts.Parallelism))
+		session.SetPortfolio(opts.Portfolio)
 		session.SetSolveBudget(opts.SolveBudget)
 		detect = func(ctx context.Context, p *ast.Program) (*anomaly.Report, error) {
 			return session.DetectContext(ctx, p)

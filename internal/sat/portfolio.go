@@ -1,0 +1,137 @@
+package sat
+
+import "sync/atomic"
+
+// Portfolio solving (DESIGN.md §15): SetPortfolio(k) attaches k-1 shadow
+// solvers to this one. Every NewVar and AddClause is forwarded, so all
+// replicas hold the same formula under the same variable numbering, but
+// each shadow searches differently (diversified initial phases and restart
+// schedule). Solve then races all replicas: the first definitive verdict —
+// SAT or UNSAT, not stopped, not budget-exhausted — wins, and the losers
+// are aborted through the solver's existing cooperative stop probe.
+//
+// Verdicts are sound and deterministic — SAT/UNSAT is a property of the
+// formula, not of which replica answers first. Which *model* a satisfiable
+// query reports is timing-dependent (the winner's), and after an aborted
+// race each replica's learnt state diverges, so a later budget-exhaustion
+// boundary is timing-dependent too. Callers that need byte-reproducible
+// model-derived output must not enable the portfolio (the anomaly session
+// taints portfolio encoders out of its history-keyed cache for exactly
+// this reason).
+
+// SetPortfolio configures the solver to race k replicas per Solve call
+// (the solver itself plus k-1 diversified shadows); k <= 1 restores plain
+// solving. Must be called at decision level 0 (between Solve calls). The
+// current formula — variables, level-0 units, and problem clauses — is
+// replicated onto the new shadows, and everything added afterwards is
+// forwarded, so SetPortfolio may be called before or during incremental
+// clause loading. Reset drops the shadows.
+func (s *Solver) SetPortfolio(k int) {
+	s.shadows = nil
+	for i := 1; i < k; i++ {
+		sh := New()
+		sh.diversity = i
+		for v := 0; v < s.NumVars(); v++ {
+			sh.NewVar()
+		}
+		if !s.ok {
+			// Already unsat: don't replicate (the trail/clauses may be
+			// mid-conflict); a poisoned shadow must not report SAT.
+			sh.ok = false
+			s.shadows = append(s.shadows, sh)
+			continue
+		}
+		// Level-0 trail: units and their implications, all formula-implied.
+		for _, l := range s.trail {
+			sh.AddClause(l)
+		}
+		// Binary clauses live only in the watch lists; each appears once
+		// per literal, so keep the li < blocker orientation. Learnt
+		// binaries replicate too — they are implied, so this is sound.
+		for li := range s.watches {
+			for _, w := range s.watches[li] {
+				if w.ref == crefBinary && li < int(w.blocker) {
+					sh.AddClause(Lit(li), w.blocker)
+				}
+			}
+		}
+		for _, r := range s.clauses {
+			if !s.claDead(r) {
+				sh.AddClause(s.claLits(r)...)
+			}
+		}
+		s.shadows = append(s.shadows, sh)
+	}
+}
+
+// Portfolio returns the number of replicas Solve races (1 when plain).
+func (s *Solver) Portfolio() int { return 1 + len(s.shadows) }
+
+// solvePortfolio races the solver and its shadows on one query. Each
+// replica's stop probe is the shared abort flag OR'd with the caller's
+// stop function; the first definitive verdict sets the flag, and the
+// result is published back onto the primary (model, stopped, exhausted)
+// so callers observe exactly the plain-solver contract.
+func (s *Solver) solvePortfolio(assumptions []Lit) bool {
+	s.stopped = false
+	s.exhausted = false
+	if !s.ok {
+		return false
+	}
+	userStop := s.stop
+	var abort atomic.Bool
+	probe := func() bool {
+		return abort.Load() || (userStop != nil && userStop())
+	}
+	replicas := make([]*Solver, 0, 1+len(s.shadows))
+	replicas = append(replicas, s)
+	replicas = append(replicas, s.shadows...)
+	for _, r := range replicas {
+		r.stop = probe
+	}
+	type outcome struct {
+		idx int
+		sat bool
+	}
+	ch := make(chan outcome, len(replicas))
+	for i, r := range replicas {
+		go func(i int, r *Solver) {
+			ch <- outcome{idx: i, sat: r.solveOne(assumptions)}
+		}(i, r)
+	}
+	winner, winnerSat := -1, false
+	for range replicas {
+		out := <-ch
+		r := replicas[out.idx]
+		if r.stopped || r.exhausted {
+			continue
+		}
+		if winner == -1 {
+			winner, winnerSat = out.idx, out.sat
+			abort.Store(true) // stop the losers
+		}
+	}
+	for _, r := range replicas {
+		r.stop = nil
+		r.stopped = false
+	}
+	s.stop = userStop
+	if winner >= 0 {
+		s.exhausted = false
+		if winnerSat && winner != 0 {
+			s.model = append(s.model[:0], replicas[winner].model...)
+		}
+		return winnerSat
+	}
+	// No definitive verdict. The abort flag was never set, so every stop
+	// came from the caller's probe; otherwise every replica exhausted its
+	// budget.
+	if userStop != nil && userStop() {
+		s.stopped = true
+		s.exhausted = false
+		return false
+	}
+	s.stopped = false
+	s.exhausted = true
+	return false
+}

@@ -1,0 +1,168 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomInstance builds one random 3-SAT-ish instance on two solvers: a
+// plain one and one configured with a k-replica portfolio, interleaving
+// SetPortfolio into the clause stream to exercise state replication.
+func randomInstance(rng *rand.Rand, k int, portfolioAt int) (plain, port *Solver, clauses [][]Lit, nVars int) {
+	nVars = 3 + rng.Intn(12)
+	nClauses := 1 + rng.Intn(5*nVars)
+	plain, port = New(), New()
+	for v := 0; v < nVars; v++ {
+		plain.NewVar()
+		port.NewVar()
+	}
+	for i := 0; i < nClauses; i++ {
+		if i == portfolioAt {
+			port.SetPortfolio(k)
+		}
+		width := 1 + rng.Intn(3)
+		c := make([]Lit, width)
+		for j := range c {
+			c[j] = NewLit(rng.Intn(nVars), rng.Intn(2) == 0)
+		}
+		clauses = append(clauses, c)
+		plain.AddClause(c...)
+		port.AddClause(c...)
+	}
+	if portfolioAt >= nClauses {
+		port.SetPortfolio(k)
+	}
+	return plain, port, clauses, nVars
+}
+
+// TestPortfolioVerdictEquivalence pins the portfolio's core guarantee:
+// the SAT/UNSAT verdict equals the plain solver's on every instance, and
+// a satisfiable race reports a genuine model (whichever replica won).
+func TestPortfolioVerdictEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(427))
+	for iter := 0; iter < 200; iter++ {
+		k := 2 + rng.Intn(3)
+		plain, port, clauses, _ := randomInstance(rng, k, rng.Intn(20))
+		want := plain.Solve()
+		got := port.Solve()
+		if got != want {
+			t.Fatalf("iter %d: portfolio=%v plain=%v", iter, got, want)
+		}
+		if port.Stopped() || port.Exhausted() {
+			t.Fatalf("iter %d: definitive race left Stopped=%v Exhausted=%v", iter, port.Stopped(), port.Exhausted())
+		}
+		if got {
+			for ci, c := range clauses {
+				ok := false
+				for _, l := range c {
+					val := port.Value(l.Var())
+					if l.Sign() {
+						val = !val
+					}
+					ok = ok || val
+				}
+				if !ok {
+					t.Fatalf("iter %d: portfolio model does not satisfy clause %d", iter, ci)
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioIncrementalAssumptions checks the repair pipeline's usage
+// shape: one encoding, many assumption queries on the same portfolio.
+func TestPortfolioIncrementalAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 50; iter++ {
+		plain, port, _, nVars := randomInstance(rng, 3, 0)
+		for q := 0; q < 6; q++ {
+			a := NewLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			b := NewLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			want := plain.Solve(a, b)
+			got := port.Solve(a, b)
+			if got != want {
+				t.Fatalf("iter %d query %d: portfolio=%v plain=%v", iter, q, got, want)
+			}
+		}
+	}
+}
+
+func TestPortfolioUnsatCore(t *testing.T) {
+	s := pigeonhole(t, 6, 5)
+	s.SetPortfolio(4)
+	if s.Solve() {
+		t.Fatal("pigeonhole(6,5) reported SAT under portfolio")
+	}
+	if s.Stopped() || s.Exhausted() {
+		t.Fatal("definitive UNSAT race left stopped/exhausted set")
+	}
+}
+
+func TestPortfolioExhaustionNeedsAllReplicas(t *testing.T) {
+	s := pigeonhole(t, 9, 8)
+	s.SetPortfolio(3)
+	s.SetBudget(Budget{Conflicts: 1})
+	if s.Solve() {
+		t.Fatal("budgeted pigeonhole reported SAT")
+	}
+	if !s.Exhausted() {
+		t.Fatal("all replicas over budget must surface Exhausted")
+	}
+	if s.Stopped() {
+		t.Fatal("budget exhaustion must not read as Stopped")
+	}
+	// Removing the budget resolves the query definitively.
+	s.SetBudget(Budget{})
+	if s.Solve() {
+		t.Fatal("pigeonhole(9,8) reported SAT after budget removal")
+	}
+	if s.Exhausted() {
+		t.Fatal("unbudgeted race left Exhausted set")
+	}
+}
+
+func TestPortfolioStopAborts(t *testing.T) {
+	s := pigeonhole(t, 9, 8)
+	s.SetPortfolio(3)
+	stopped := false
+	s.SetStop(func() bool { return stopped })
+	stopped = true
+	if s.Solve() {
+		t.Fatal("stopped solve reported SAT")
+	}
+	if !s.Stopped() {
+		t.Fatal("caller stop must surface Stopped")
+	}
+}
+
+func TestPortfolioResetDropsShadows(t *testing.T) {
+	s := New()
+	s.NewVar()
+	s.SetPortfolio(4)
+	if s.Portfolio() != 4 {
+		t.Fatalf("Portfolio() = %d, want 4", s.Portfolio())
+	}
+	s.Reset()
+	if s.Portfolio() != 1 {
+		t.Fatalf("Reset kept %d replicas", s.Portfolio())
+	}
+}
+
+func TestPortfolioReplicationSnapshot(t *testing.T) {
+	// Clauses added before SetPortfolio (units, binaries, long clauses)
+	// must reach the shadows: force a verdict only decidable with them.
+	s := New()
+	a, b, c, d := s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(NewLit(a, false))                                    // unit
+	s.AddClause(NewLit(a, true), NewLit(b, false))                   // binary: a→b
+	s.AddClause(NewLit(b, true), NewLit(c, false), NewLit(d, false)) // long
+	s.SetPortfolio(3)
+	s.AddClause(NewLit(c, true))
+	s.AddClause(NewLit(d, true))
+	if s.Solve() {
+		t.Fatal("instance is UNSAT; portfolio reported SAT (snapshot not replicated?)")
+	}
+	if s.Stopped() || s.Exhausted() {
+		t.Fatal("definitive UNSAT race left stopped/exhausted set")
+	}
+}

@@ -141,8 +141,15 @@ type ProgramRequest struct {
 	// Incremental (repair/analyze) toggles cached incremental detection;
 	// defaults to true.
 	Incremental *bool `json:"incremental,omitempty"`
-	// Parallelism bounds the detection session's transaction fan-out.
+	// Parallelism bounds the detection session's (txn, witness) fan-out;
+	// 0 defers to the engine's default (min(GOMAXPROCS, 4)), 1 forces
+	// sequential detection.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Portfolio > 1 races that many diversified SAT-solver replicas per
+	// detection query, first definitive verdict wins. Reported anomalies
+	// are unchanged; the witnessing fields/schedules are whichever
+	// replica's model won and are not byte-reproducible.
+	Portfolio int `json:"portfolio,omitempty"`
 	// BudgetConflicts / BudgetPropagations bound each SAT solve's work
 	// (conflicts learned / literals propagated); BudgetArenaLits caps its
 	// clause-arena growth. A solve past its budget returns "unknown" and
@@ -394,6 +401,7 @@ func (req *ProgramRequest) options() []repair.Option {
 		repair.Client(req.Client),
 		repair.Certify(req.Certify),
 		repair.Parallelism(req.Parallelism),
+		repair.Portfolio(req.Portfolio),
 		repair.SolveBudget(req.budget()),
 	}
 	if req.Incremental != nil {
